@@ -1,0 +1,543 @@
+// Benchmarks: one group per reproduced paper artifact (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for the corresponding tables). The
+// full table generators live in internal/experiments and run via
+// `go run ./cmd/squirrel bench`; these testing.B benchmarks isolate the
+// primitive costs behind each table so regressions are visible.
+package squirrel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"squirrel"
+	"squirrel/internal/algebra"
+	"squirrel/internal/checker"
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/sim"
+	"squirrel/internal/vdp"
+)
+
+// benchSystem assembles the paper's running example at the given scale
+// with one of the named annotation configurations.
+func benchSystem(b *testing.B, nR, nS int, cfg string) *squirrel.System {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	sys := squirrel.NewSystem()
+	db1 := sys.AddSource("db1")
+	r := squirrel.NewRelation(squirrel.MustSchema("R", []squirrel.Attribute{
+		{Name: "r1", Type: squirrel.KindInt}, {Name: "r2", Type: squirrel.KindInt},
+		{Name: "r3", Type: squirrel.KindInt}, {Name: "r4", Type: squirrel.KindInt}}, "r1"),
+		squirrel.Set)
+	for i := 1; i <= nR; i++ {
+		r4 := int64(100)
+		if rng.Intn(4) == 0 {
+			r4 = 50
+		}
+		r.Insert(squirrel.T(int64(i), int64(1+rng.Intn(nS)), int64(rng.Intn(200)), r4))
+	}
+	db1.MustLoadTable(r)
+	db2 := sys.AddSource("db2")
+	s := squirrel.NewRelation(squirrel.MustSchema("S", []squirrel.Attribute{
+		{Name: "s1", Type: squirrel.KindInt}, {Name: "s2", Type: squirrel.KindInt},
+		{Name: "s3", Type: squirrel.KindInt}}, "s1"), squirrel.Set)
+	for i := 1; i <= nS; i++ {
+		s.Insert(squirrel.T(int64(i), int64(rng.Intn(10)), int64(rng.Intn(100))))
+	}
+	db2.MustLoadTable(s)
+	sys.MustDefineView("T",
+		`SELECT r1, r3, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`)
+	switch cfg {
+	case "materialized":
+	case "virtual-aux":
+		sys.AnnotateAllVirtual("R'", []string{"r1", "r2", "r3"})
+	case "hybrid":
+		sys.AnnotateAllVirtual("R'", []string{"r1", "r2", "r3"})
+		sys.AnnotateAllVirtual("S'", []string{"s1", "s2"})
+		sys.Annotate("T", []string{"r1", "s1"}, []string{"r3", "s2"})
+	case "virtual":
+		sys.AnnotateAllVirtual("R'", []string{"r1", "r2", "r3"})
+		sys.AnnotateAllVirtual("S'", []string{"s1", "s2"})
+		sys.AnnotateAllVirtual("T", []string{"r1", "r3", "s1", "s2"})
+	default:
+		b.Fatalf("unknown config %q", cfg)
+	}
+	sys.MustStart()
+	return sys
+}
+
+// nextKey hands out fresh primary keys for benchmark inserts.
+var nextKey int64 = 1 << 40
+
+func commitR(b *testing.B, sys *squirrel.System, n int) {
+	b.Helper()
+	d := squirrel.NewDelta()
+	for i := 0; i < n; i++ {
+		nextKey++
+		d.Insert("R", squirrel.T(nextKey, int64(1+i%500), int64(i%200), 100))
+	}
+	if _, err := sys.MustSource("db1").Apply(d); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func commitS(b *testing.B, sys *squirrel.System, n int) {
+	b.Helper()
+	d := squirrel.NewDelta()
+	for i := 0; i < n; i++ {
+		nextKey++
+		d.Insert("S", squirrel.T(nextKey, int64(i%10), int64(i%100)))
+	}
+	if _, err := sys.MustSource("db2").Apply(d); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkE1IncrementalMaintenance measures one fully-materialized update
+// transaction (Example 2.1 / Figure 1) at several scales.
+func BenchmarkE1IncrementalMaintenance(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("R=%d", n), func(b *testing.B) {
+			sys := benchSystem(b, n, n/2, "materialized")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				commitR(b, sys, 8)
+				if _, err := sys.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE1RecomputeBaseline measures the from-scratch evaluation that
+// incremental maintenance replaces.
+func BenchmarkE1RecomputeBaseline(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("R=%d", n), func(b *testing.B) {
+			sys := benchSystem(b, n, n/2, "materialized")
+			plan := sys.Plan()
+			db1 := sys.MustSource("db1").DB()
+			db2 := sys.MustSource("db2").DB()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, _ := db1.Current("R")
+				s, _ := db2.Current("S")
+				if _, err := plan.EvalAll(vdp.ResolverFromCatalog(
+					map[string]*relation.Relation{"R": r, "S": s})); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2VirtualAuxiliary measures Example 2.2's two propagation
+// paths: ΔR (no polling) vs ΔS (polls db1 for the virtual R').
+func BenchmarkE2VirtualAuxiliary(b *testing.B) {
+	b.Run("deltaR-no-poll", func(b *testing.B) {
+		sys := benchSystem(b, 4000, 2000, "virtual-aux")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			commitR(b, sys, 4)
+			if _, err := sys.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("deltaS-polls-db1", func(b *testing.B) {
+		sys := benchSystem(b, 4000, 2000, "virtual-aux")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			commitS(b, sys, 4)
+			if _, err := sys.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3HybridQueries measures Example 2.3's query paths against the
+// hybrid export: hot (materialized only), cold standard, cold key-based.
+func BenchmarkE3HybridQueries(b *testing.B) {
+	cond, err := squirrel.ParseCondition("r3 < 100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		attrs []string
+		cond  squirrel.Expr
+		opts  squirrel.QueryOptions
+	}{
+		{"hot-materialized", []string{"r1", "s1"}, nil, squirrel.QueryOptions{}},
+		{"cold-standard", []string{"r3", "s1"}, cond, squirrel.QueryOptions{KeyBased: squirrel.KeyBasedOff}},
+		{"cold-keybased", []string{"r3", "s1"}, cond, squirrel.QueryOptions{KeyBased: squirrel.KeyBasedForce}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sys := benchSystem(b, 4000, 2000, "hybrid")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.QueryExport("T", c.attrs, c.cond, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4Figure2 measures the exact pseudo-consistency/consistency
+// decision over the Figure 2 scenario.
+func BenchmarkE4Figure2(b *testing.B) {
+	sc, _ := checker.Figure2Scenario()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := sc.PseudoConsistent()
+		if err != nil || !p {
+			b.Fatal("pseudo must hold")
+		}
+		c, err := sc.Consistent()
+		if err != nil || c {
+			b.Fatal("consistent must fail")
+		}
+	}
+}
+
+// BenchmarkE5Figure4 measures update transactions against the Example 5.1
+// two-export plan (difference node, θ-join, hybrid E) for each churn side.
+func BenchmarkE5Figure4(b *testing.B) {
+	build := func(b *testing.B) *squirrel.System {
+		sys := squirrel.NewSystem()
+		rng := rand.New(rand.NewSource(2))
+		for _, spec := range []struct{ src, rel, a1, a2 string }{
+			{"dbA", "A", "a1", "a2"}, {"dbB", "B", "b1", "b2"},
+			{"dbC", "C", "c1", "c2"}, {"dbD", "D", "d1", "d2"},
+		} {
+			rel := squirrel.NewRelation(squirrel.MustSchema(spec.rel, []squirrel.Attribute{
+				{Name: spec.a1, Type: squirrel.KindInt}, {Name: spec.a2, Type: squirrel.KindInt}}, spec.a1),
+				squirrel.Set)
+			for i := 1; i <= 400; i++ {
+				rel.Insert(squirrel.T(int64(i), int64(rng.Intn(40))))
+			}
+			sys.AddSource(spec.src).MustLoadTable(rel)
+		}
+		sys.MustDefineView("E", `SELECT a1, a2, b1 FROM A JOIN B ON a1*a1 + a2 < b2*b2`)
+		sys.MustDefineView("G", `SELECT a1, b1 FROM E EXCEPT SELECT c1, d1 FROM C JOIN D ON c2 = d2`)
+		sys.Annotate("E", []string{"a1", "b1"}, []string{"a2"})
+		sys.AnnotateAllVirtual("B'", []string{"b1", "b2"})
+		sys.AnnotateAllVirtual("G_r", []string{"c1", "d1"})
+		sys.MustStart()
+		return sys
+	}
+	for _, side := range []struct{ name, src, rel string }{
+		{"AB-churn", "dbA", "A"}, {"CD-churn", "dbC", "C"},
+	} {
+		b.Run(side.name, func(b *testing.B) {
+			sys := build(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nextKey++
+				d := squirrel.NewDelta()
+				d.Insert(side.rel, squirrel.T(nextKey, int64(i%40)))
+				if _, err := sys.MustSource(side.src).Apply(d); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6KernelDiscipline measures the disciplined kernel propagation
+// on the adversarial Example 6.1 pattern (simultaneous ΔR' and ΔS' whose
+// join partners are each other).
+func BenchmarkE6KernelDiscipline(b *testing.B) {
+	sys := benchSystem(b, 2000, 1000, "materialized")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nextKey++
+		joinKey := nextKey
+		d := squirrel.NewDelta()
+		nextKey++
+		d.Insert("R", squirrel.T(nextKey, joinKey, int64(i%200), 100))
+		d.Insert("S", squirrel.T(joinKey, int64(i%10), int64(i%50)))
+		if _, err := sys.MustSource("db1").Apply(d.Filter("R")); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.MustSource("db2").Apply(d.Filter("S")); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7ConsistencyCheck measures the trace checker (the Theorem 7.1
+// verifier): replaying source logs and validating one recorded query.
+func BenchmarkE7ConsistencyCheck(b *testing.B) {
+	sys := benchSystem(b, 1000, 500, "hybrid")
+	for i := 0; i < 10; i++ {
+		commitR(b, sys, 3)
+		if _, err := sys.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.QueryExport("T", []string{"r1", "s1"}, nil, squirrel.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.CheckConsistency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8FreshnessSimulation measures one full discrete-event
+// simulation run of the Theorem 7.2 environment (commits, announcements,
+// delayed polls, periodic update transactions, queries; 20k virtual
+// ticks) plus its freshness verification.
+func BenchmarkE8FreshnessSimulation(b *testing.B) {
+	rSchema := squirrel.MustSchema("R", []squirrel.Attribute{
+		{Name: "r1", Type: squirrel.KindInt}, {Name: "r2", Type: squirrel.KindInt},
+		{Name: "r3", Type: squirrel.KindInt}, {Name: "r4", Type: squirrel.KindInt}}, "r1")
+	sSchema := squirrel.MustSchema("S", []squirrel.Attribute{
+		{Name: "s1", Type: squirrel.KindInt}, {Name: "s2", Type: squirrel.KindInt},
+		{Name: "s3", Type: squirrel.KindInt}}, "s1")
+	for i := 0; i < b.N; i++ {
+		bld := vdp.NewBuilder()
+		if err := bld.AddSource("db1", rSchema); err != nil {
+			b.Fatal(err)
+		}
+		if err := bld.AddSource("db2", sSchema); err != nil {
+			b.Fatal(err)
+		}
+		if err := bld.AddViewSQL("T",
+			`SELECT r1, r3, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`); err != nil {
+			b.Fatal(err)
+		}
+		plan, err := bld.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := sim.Delays{
+			Ann:         map[string]clock.Time{"db1": 100, "db2": 300},
+			Comm:        map[string]clock.Time{"db1": 20, "db2": 50},
+			QProcSource: map[string]clock.Time{"db1": 10, "db2": 15},
+			UHold:       1000, UProc: 50, QProcMed: 5,
+		}
+		h, err := sim.NewHarness(plan, nil, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Sim.Horizon = 20000
+		next := int64(0)
+		for t := clock.Time(137); t < 20000; t += 713 {
+			h.ScheduleCommit(t, "db1", func() *delta.Delta {
+				next++
+				dd := delta.New()
+				dd.Insert("R", relation.T(next, 10*(1+next%4), next%50, 100))
+				return dd
+			})
+		}
+		for t := clock.Time(550); t < 20000; t += 1103 {
+			h.ScheduleQuery(t, "T", nil)
+		}
+		h.Sim.Run()
+		bounds := d.Bounds(h.Med, plan.Sources())
+		if _, err := h.Environment().CheckFreshness(bounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Spectrum measures the update-vs-query cost asymmetry that
+// produces the §1 crossover: one update transaction and one hot query per
+// configuration.
+func BenchmarkE9Spectrum(b *testing.B) {
+	for _, cfg := range []string{"materialized", "hybrid", "virtual"} {
+		b.Run(cfg+"/update", func(b *testing.B) {
+			sys := benchSystem(b, 2000, 1000, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				commitR(b, sys, 4)
+				if _, err := sys.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(cfg+"/query", func(b *testing.B) {
+			sys := benchSystem(b, 2000, 1000, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.QueryExport("T", []string{"r1", "s1"}, nil,
+					squirrel.QueryOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10ColdQueryByMaterialization measures the §5.3 trade-off: the
+// cold (all-attributes) query cost as the export's materialized fraction
+// grows.
+func BenchmarkE10ColdQueryByMaterialization(b *testing.B) {
+	fractions := []struct {
+		name string
+		mats []string
+	}{
+		{"0of4", nil},
+		{"2of4", []string{"r1", "s1"}},
+		{"4of4", []string{"r1", "r3", "s1", "s2"}},
+	}
+	all := []string{"r1", "r3", "s1", "s2"}
+	for _, f := range fractions {
+		b.Run(f.name, func(b *testing.B) {
+			sys := benchAnnotated(b, f.mats, all)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.QueryExport("T", nil, nil,
+					squirrel.QueryOptions{KeyBased: squirrel.KeyBasedOff}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchAnnotated(b *testing.B, mats, all []string) *squirrel.System {
+	b.Helper()
+	matSet := map[string]bool{}
+	for _, m := range mats {
+		matSet[m] = true
+	}
+	var virt []string
+	for _, a := range all {
+		if !matSet[a] {
+			virt = append(virt, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	sys := squirrel.NewSystem()
+	db1 := sys.AddSource("db1")
+	r := squirrel.NewRelation(squirrel.MustSchema("R", []squirrel.Attribute{
+		{Name: "r1", Type: squirrel.KindInt}, {Name: "r2", Type: squirrel.KindInt},
+		{Name: "r3", Type: squirrel.KindInt}, {Name: "r4", Type: squirrel.KindInt}}, "r1"),
+		squirrel.Set)
+	for i := 1; i <= 3000; i++ {
+		r.Insert(squirrel.T(int64(i), int64(1+rng.Intn(1500)), int64(rng.Intn(200)), 100))
+	}
+	db1.MustLoadTable(r)
+	db2 := sys.AddSource("db2")
+	s := squirrel.NewRelation(squirrel.MustSchema("S", []squirrel.Attribute{
+		{Name: "s1", Type: squirrel.KindInt}, {Name: "s2", Type: squirrel.KindInt},
+		{Name: "s3", Type: squirrel.KindInt}}, "s1"), squirrel.Set)
+	for i := 1; i <= 1500; i++ {
+		s.Insert(squirrel.T(int64(i), int64(rng.Intn(10)), int64(rng.Intn(100))))
+	}
+	db2.MustLoadTable(s)
+	sys.MustDefineView("T",
+		`SELECT r1, r3, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`)
+	sys.AnnotateAllVirtual("R'", []string{"r1", "r2", "r3"})
+	sys.AnnotateAllVirtual("S'", []string{"s1", "s2"})
+	sys.Annotate("T", mats, virt)
+	sys.MustStart()
+	return sys
+}
+
+// BenchmarkE11WireQuery measures a cold query whose poll crosses TCP
+// loopback versus staying in-process (the Figure 3 deployment overhead).
+func BenchmarkE11WireQuery(b *testing.B) {
+	// The in-process variant; the TCP variant lives in the E11 experiment
+	// table (it needs server lifecycle management awkward under b.N).
+	sys := benchSystem(b, 2000, 1000, "hybrid")
+	cond, _ := squirrel.ParseCondition("r3 < 100")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.QueryExport("T", []string{"r3", "s1"}, cond,
+			squirrel.QueryOptions{KeyBased: squirrel.KeyBasedOff}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12Batching measures the smash-annihilation ablation: one
+// churn-heavy batch propagated as a single update transaction.
+func BenchmarkE12Batching(b *testing.B) {
+	for _, batch := range []int{1, 25} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			sys := benchSystem(b, 2000, 1000, "materialized")
+			src := sys.MustSource("db1")
+			hot := squirrel.T(int64(987654), int64(10), int64(1), int64(100))
+			present := false
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for c := 0; c < batch; c++ {
+					d := squirrel.NewDelta()
+					if present {
+						d.Delete("R", hot)
+					} else {
+						d.Insert("R", hot)
+					}
+					present = !present
+					if _, err := src.Apply(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := sys.SyncAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13JoinStrategies isolates the three join paths of the §5.3
+// ablation.
+func BenchmarkE13JoinStrategies(b *testing.B) {
+	ls := squirrel.MustSchema("L", []squirrel.Attribute{
+		{Name: "lk", Type: squirrel.KindInt}, {Name: "lv", Type: squirrel.KindInt}})
+	rs := squirrel.MustSchema("Rr", []squirrel.Attribute{
+		{Name: "rk", Type: squirrel.KindInt}, {Name: "rv", Type: squirrel.KindInt}})
+	rng := rand.New(rand.NewSource(6))
+	const n = 1000
+	l := squirrel.NewRelation(ls, squirrel.Bag)
+	rPlain := squirrel.NewRelation(rs, squirrel.Bag)
+	rIndexed := squirrel.NewRelation(rs, squirrel.Bag)
+	if err := rIndexed.BuildIndex("rk"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		l.Add(squirrel.T(rng.Intn(n), rng.Intn(10)), 1)
+		tr := squirrel.T(rng.Intn(n), rng.Intn(10))
+		rPlain.Add(tr, 1)
+		rIndexed.Add(tr, 1)
+	}
+	hashCond := algebra.Eq(algebra.A("lk"), algebra.A("rk"))
+	nlCond := algebra.Eq(algebra.Add(algebra.A("lk"), algebra.CInt(0)), algebra.A("rk"))
+	cases := []struct {
+		name string
+		r    *squirrel.Relation
+		cond squirrel.Expr
+	}{
+		{"nested-loop", rPlain, nlCond},
+		{"hash-build", rPlain, hashCond},
+		{"index-probe", rIndexed, hashCond},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.EvalJoin(l, c.r, c.cond, "J"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

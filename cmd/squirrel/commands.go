@@ -1,0 +1,169 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"squirrel"
+	"squirrel/internal/algebra"
+	"squirrel/internal/checker"
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/sqlview"
+	"squirrel/internal/wire"
+)
+
+// cmdDemo runs the paper's running example interactively.
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys := squirrel.NewSystem()
+	db1 := sys.AddSource("db1")
+	db1.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("R", []squirrel.Attribute{
+			{Name: "r1", Type: squirrel.KindInt}, {Name: "r2", Type: squirrel.KindInt},
+			{Name: "r3", Type: squirrel.KindInt}, {Name: "r4", Type: squirrel.KindInt}}, "r1"),
+		squirrel.T(1, 10, 5, 100), squirrel.T(2, 10, 120, 100),
+		squirrel.T(3, 20, 7, 100), squirrel.T(4, 30, 9, 50)))
+	db2 := sys.AddSource("db2")
+	db2.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("S", []squirrel.Attribute{
+			{Name: "s1", Type: squirrel.KindInt}, {Name: "s2", Type: squirrel.KindInt},
+			{Name: "s3", Type: squirrel.KindInt}}, "s1"),
+		squirrel.T(10, 1, 20), squirrel.T(20, 2, 40), squirrel.T(30, 3, 80)))
+	sys.MustDefineView("T",
+		`SELECT r1, r3, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`)
+	sys.Annotate("T", []string{"r1", "s1"}, []string{"r3", "s2"})
+	sys.AnnotateAllVirtual("R'", []string{"r1", "r2", "r3"})
+	if err := sys.Start(); err != nil {
+		return err
+	}
+	fmt.Println("annotated VDP (Example 2.3 configuration):")
+	fmt.Print(sys.Plan())
+	fmt.Println("\nVDP-rulebase (§5.2):")
+	fmt.Print(sys.Plan().Rulebase())
+
+	ans, err := sys.Query(`SELECT r1, s1 FROM T`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nπ_(r1,s1) T — served from the store:\n%s", ans)
+
+	if _, err := db1.Insert("R", squirrel.T(5, 20, 11, 100)); err != nil {
+		return err
+	}
+	if err := sys.SyncAll(); err != nil {
+		return err
+	}
+	cond, err := squirrel.ParseCondition("r3 < 100")
+	if err != nil {
+		return err
+	}
+	res, err := sys.QueryExport("T", []string{"r3", "s1"}, cond,
+		squirrel.QueryOptions{KeyBased: squirrel.KeyBasedAuto})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nafter ΔR, π_(r3,s1) σ_(r3<100) T — key-based=%v, polls=%d:\n%s",
+		res.KeyBased, res.Polled, res.Answer)
+
+	if err := sys.CheckConsistency(); err != nil {
+		return fmt.Errorf("consistency check failed: %w", err)
+	}
+	fmt.Println("\nconsistency check (Theorem 7.1): OK")
+	return nil
+}
+
+// cmdFigure2 prints the Figure 2 scenario and its verdicts.
+func cmdFigure2(args []string) error {
+	fs := flag.NewFlagSet("figure2", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, table := checker.Figure2Scenario()
+	fmt.Println("Figure 2 scenario (single source DB, view S = π₂(R)):")
+	fmt.Print(table)
+	pseudo, err := sc.PseudoConsistent()
+	if err != nil {
+		return err
+	}
+	consistent, err := sc.Consistent()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npseudo-consistent: %v   consistent: %v\n", pseudo, consistent)
+	fmt.Println("(Remark 3.1: pseudo-consistency does not imply consistency)")
+	return nil
+}
+
+// cmdServeSource serves the demo source databases over TCP (one listener
+// per database), for use with `squirrel query` and examples/netmediator.
+func cmdServeSource(args []string) error {
+	fs := flag.NewFlagSet("serve-source", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address for db1 (db2 uses port+1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	clk := &clock.Logical{}
+	db1 := source.NewDB("db1", clk)
+	r := relation.NewSet(relation.MustSchema("R", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r2", Type: relation.KindInt},
+		{Name: "r3", Type: relation.KindInt}, {Name: "r4", Type: relation.KindInt}}, "r1"))
+	r.Insert(relation.T(1, 10, 5, 100))
+	r.Insert(relation.T(2, 10, 120, 100))
+	r.Insert(relation.T(3, 20, 7, 100))
+	if err := db1.LoadRelation(r); err != nil {
+		return err
+	}
+	srv := wire.NewSourceServer(db1)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving source database %q on %s (ctrl-c to stop)\n", db1.Name(), bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Close()
+}
+
+// cmdQuery runs one snapshot query against a TCP source server.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "source server address")
+	rel := fs.String("rel", "R", "relation to query")
+	attrs := fs.String("attrs", "", "comma-separated projection (default: all)")
+	cond := fs.String("where", "", "condition, e.g. 'r4 = 100'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var attrList []string
+	if *attrs != "" {
+		attrList = strings.Split(*attrs, ",")
+	}
+	var pred algebra.Expr
+	if *cond != "" {
+		pred, err = sqlview.ParseExpr(*cond)
+		if err != nil {
+			return err
+		}
+	}
+	answers, asOf, err := c.QueryMulti([]source.QuerySpec{{Rel: *rel, Attrs: attrList, Cond: pred}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("source %q, state as of t=%d:\n%s", c.Name(), asOf, answers[0])
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command squirrel is the CLI for the Squirrel data-integration
+// reproduction (Hull & Zhou, SIGMOD 1996):
+//
+//	squirrel bench [-e E1,...]   regenerate the experiment tables (E1–E11)
+//	squirrel demo                run the paper's running example end to end
+//	squirrel figure2             print the Figure 2 scenario and verdicts
+//	squirrel serve-source        serve a demo source database over TCP
+//	squirrel query               one-shot query against TCP-served sources
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"squirrel/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "figure2":
+		err = cmdFigure2(os.Args[2:])
+	case "serve-source":
+		err = cmdServeSource(os.Args[2:])
+	case "serve-mediator":
+		err = cmdServeMediator(os.Args[2:])
+	case "query-view":
+		err = cmdQueryView(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "squirrel: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "squirrel: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: squirrel <command> [flags]
+
+commands:
+  bench [-e E1,E4,...]       run the reproduction experiments (default: all)
+  demo                       run the paper's running example (Examples 2.1-2.3)
+  figure2                    print the Figure 2 scenario and its verdicts
+  serve-source -addr :7070   serve the demo source databases over TCP
+  serve-mediator ...         assemble and serve a mediator over TCP sources
+  query -addr HOST:PORT ...  one-shot snapshot query against a source server
+  query-view -addr ... -export V [-attrs a,b] [-where 'a = 1'] [-sync]
+                             query a running mediator
+`)
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	which := fs.String("e", "", "comma-separated experiment ids (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := experiments.IDs()
+	if *which != "" {
+		ids = strings.Split(*which, ",")
+	}
+	fmt.Printf("Squirrel reproduction experiments (%s)\n", strings.Join(ids, ", "))
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, ok := experiments.Registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(experiments.IDs(), ", "))
+		}
+		if err := run(os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/persist"
+	"squirrel/internal/sqlview"
+	"squirrel/internal/vdp"
+	"squirrel/internal/wire"
+)
+
+// repeatable flag value.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// cmdServeMediator assembles a mediator against TCP-served source
+// databases (schemas discovered via the catalog protocol), optionally
+// restores a persisted snapshot, serves queries over TCP, runs the
+// periodic update-transaction loop, and saves a snapshot on shutdown.
+//
+//	squirrel serve-mediator \
+//	    -source 127.0.0.1:7070 -source 127.0.0.1:7071 \
+//	    -view 'T=SELECT r1, s1 FROM R JOIN S ON r2 = s1' \
+//	    -virtual 'T:s1' \
+//	    -listen 127.0.0.1:7080 -flush 500ms -state state.json
+func cmdServeMediator(args []string) error {
+	fs := flag.NewFlagSet("serve-mediator", flag.ExitOnError)
+	var sources, views, virtuals multiFlag
+	fs.Var(&sources, "source", "source server address (repeatable)")
+	fs.Var(&views, "view", "view definition NAME=SQL (repeatable)")
+	fs.Var(&virtuals, "virtual", "virtual annotation NODE:attr,attr (repeatable)")
+	listen := fs.String("listen", "127.0.0.1:7080", "mediator listen address")
+	flush := fs.Duration("flush", 500*time.Millisecond, "update-transaction period (u_hold)")
+	state := fs.String("state", "", "snapshot file: restored on start if present, saved on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(sources) == 0 || len(views) == 0 {
+		return fmt.Errorf("serve-mediator needs at least one -source and one -view")
+	}
+
+	clk := &clock.Logical{}
+	b := vdp.NewBuilder()
+	conns := map[string]core.SourceConn{}
+	var clients []*wire.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for _, addr := range sources {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("dialing source %s: %w", addr, err)
+		}
+		clients = append(clients, c)
+		schemas, err := c.Catalog()
+		if err != nil {
+			return fmt.Errorf("catalog from %s: %w", addr, err)
+		}
+		for _, schema := range schemas {
+			if err := b.AddSource(c.Name(), schema); err != nil {
+				return err
+			}
+		}
+		conns[c.Name()] = c
+		fmt.Printf("source %q at %s: %d relations\n", c.Name(), addr, len(schemas))
+	}
+	for _, v := range views {
+		name, sql, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("bad -view %q (want NAME=SQL)", v)
+		}
+		if err := b.AddViewSQL(strings.TrimSpace(name), sql); err != nil {
+			return err
+		}
+	}
+	for _, v := range virtuals {
+		node, attrs, ok := strings.Cut(v, ":")
+		if !ok {
+			return fmt.Errorf("bad -virtual %q (want NODE:attr,attr)", v)
+		}
+		b.Annotate(strings.TrimSpace(node), vdp.Ann(nil, strings.Split(attrs, ",")))
+	}
+	plan, err := b.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nannotated VDP:")
+	fmt.Print(plan)
+
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: clk})
+	if err != nil {
+		return err
+	}
+	for _, c := range clients {
+		c.OnAnnounce(med.OnAnnouncement)
+	}
+
+	restored := false
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			snap, err := persist.Load(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("loading snapshot: %w", err)
+			}
+			if err := med.Restore(snap); err != nil {
+				return fmt.Errorf("restoring snapshot: %w", err)
+			}
+			restored = true
+			fmt.Printf("restored state from %s (ref′ %v)\n", *state, med.LastProcessed())
+		}
+	}
+	if !restored {
+		if err := med.Initialize(); err != nil {
+			return err
+		}
+	}
+
+	rt, err := core.NewRuntime(med, *flush)
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	defer rt.Stop()
+
+	srv := wire.NewMediatorServer(med)
+	bound, err := srv.Start(*listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("\nmediator serving on %s (flush every %s; ctrl-c to stop)\n", bound, *flush)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	if err := rt.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "squirrel: final flush: %v\n", err)
+	}
+	if *state != "" {
+		snap, err := med.Snapshot()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*state)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := persist.Save(f, snap); err != nil {
+			return err
+		}
+		fmt.Printf("state saved to %s\n", *state)
+	}
+	return nil
+}
+
+// cmdQueryView runs one query against a mediator server.
+func cmdQueryView(args []string) error {
+	fs := flag.NewFlagSet("query-view", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7080", "mediator server address")
+	export := fs.String("export", "", "export relation name")
+	attrs := fs.String("attrs", "", "comma-separated projection (default: all)")
+	cond := fs.String("where", "", "condition, e.g. 's1 = 10'")
+	sync := fs.Bool("sync", false, "drain the mediator's update queue first")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *export == "" {
+		return fmt.Errorf("query-view needs -export")
+	}
+	c, err := wire.DialMediator(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if *sync {
+		n, err := c.Sync()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drained %d update transaction(s)\n", n)
+	}
+	var attrList []string
+	if *attrs != "" {
+		attrList = strings.Split(*attrs, ",")
+	}
+	var pred algebra.Expr
+	if *cond != "" {
+		pred, err = sqlview.ParseExpr(*cond)
+		if err != nil {
+			return fmt.Errorf("bad -where %q: %w", *cond, err)
+		}
+	}
+	ans, committed, err := c.Query(*export, attrList, pred)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query transaction t=%d:\n%s", committed, ans)
+	return nil
+}

@@ -1,0 +1,80 @@
+package squirrel_test
+
+import (
+	"fmt"
+
+	"squirrel"
+)
+
+// ExampleSystem assembles the paper's running example (Example 2.1): two
+// autonomous sources, one integrated view, incremental maintenance.
+func ExampleSystem() {
+	sys := squirrel.NewSystem()
+
+	db1 := sys.AddSource("db1")
+	db1.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("R", []squirrel.Attribute{
+			{Name: "r1", Type: squirrel.KindInt},
+			{Name: "r2", Type: squirrel.KindInt},
+			{Name: "r4", Type: squirrel.KindInt},
+		}, "r1"),
+		squirrel.T(1, 10, 100),
+	))
+	db2 := sys.AddSource("db2")
+	db2.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("S", []squirrel.Attribute{
+			{Name: "s1", Type: squirrel.KindInt},
+			{Name: "s2", Type: squirrel.KindInt},
+		}, "s1"),
+		squirrel.T(10, 7),
+	))
+
+	sys.MustDefineView("T", `SELECT r1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100`)
+	sys.MustStart()
+
+	rows, _ := sys.Query(`SELECT r1, s2 FROM T`)
+	fmt.Println("initial:", rows.Card(), "row(s)")
+
+	db1.Insert("R", squirrel.T(2, 10, 100)) // a source commits
+	sys.SyncAll()                           // incremental propagation
+
+	rows, _ = sys.Query(`SELECT r1, s2 FROM T`)
+	fmt.Println("after insert:", rows.Card(), "row(s)")
+
+	if err := sys.CheckConsistency(); err != nil {
+		fmt.Println("inconsistent:", err)
+		return
+	}
+	fmt.Println("consistent: true")
+	// Output:
+	// initial: 1 row(s)
+	// after insert: 2 row(s)
+	// consistent: true
+}
+
+// ExampleSystem_hybrid shows Example 2.3's partially materialized view:
+// hot attributes served locally, cold ones fetched on demand.
+func ExampleSystem_hybrid() {
+	sys := squirrel.NewSystem()
+	db1 := sys.AddSource("db1")
+	db1.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("R", []squirrel.Attribute{
+			{Name: "r1", Type: squirrel.KindInt},
+			{Name: "r3", Type: squirrel.KindInt},
+		}, "r1"),
+		squirrel.T(1, 5), squirrel.T(2, 120),
+	))
+	sys.MustDefineView("V", `SELECT r1, r3 FROM R`)
+	sys.Annotate("V", []string{"r1"}, []string{"r3"}) // r3 virtual
+	sys.MustStart()
+
+	hot, _ := sys.QueryExport("V", []string{"r1"}, nil, squirrel.QueryOptions{})
+	fmt.Println("hot query polls:", hot.Polled)
+
+	cond, _ := squirrel.ParseCondition("r3 < 100")
+	cold, _ := sys.QueryExport("V", []string{"r1", "r3"}, cond, squirrel.QueryOptions{})
+	fmt.Println("cold query polls:", cold.Polled, "rows:", cold.Answer.Card())
+	// Output:
+	// hot query polls: 0
+	// cold query polls: 1 rows: 1
+}

@@ -1,0 +1,230 @@
+// Command hybridview walks the paper's worked examples of hybrid
+// materialized/virtual support:
+//
+//   - Example 2.2: the auxiliary relation R' kept virtual — updates to R
+//     propagate cheaply (rule #1 needs only S'), while the rare updates to
+//     S force a compensated poll of R's source.
+//   - Example 2.3: the export relation T partially materialized
+//     [r1^m, r3^v, s1^m, s2^v] — queries over materialized attributes are
+//     served locally; queries touching virtual attributes build temporary
+//     relations, by standard (children-based) or key-based construction.
+//   - Example 5.1 / Figure 4: two export relations E and G with a
+//     difference node, an expensive θ-join (a1²+a2 < b2²), a hybrid E and
+//     virtual B' and F.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"squirrel"
+)
+
+func main() {
+	example22and23()
+	example51()
+}
+
+func banner(s string) { fmt.Printf("\n=== %s ===\n", s) }
+
+func example22and23() {
+	banner("Examples 2.2 and 2.3: virtual auxiliary data and a hybrid export")
+
+	sys := squirrel.NewSystem()
+	db1 := sys.AddSource("db1")
+	db1.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("R", []squirrel.Attribute{
+			{Name: "r1", Type: squirrel.KindInt}, {Name: "r2", Type: squirrel.KindInt},
+			{Name: "r3", Type: squirrel.KindInt}, {Name: "r4", Type: squirrel.KindInt}}, "r1"),
+		squirrel.T(1, 10, 5, 100), squirrel.T(2, 10, 120, 100),
+		squirrel.T(3, 20, 7, 100), squirrel.T(4, 30, 9, 50),
+	))
+	db2 := sys.AddSource("db2")
+	db2.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("S", []squirrel.Attribute{
+			{Name: "s1", Type: squirrel.KindInt}, {Name: "s2", Type: squirrel.KindInt},
+			{Name: "s3", Type: squirrel.KindInt}}, "s1"),
+		squirrel.T(10, 1, 20), squirrel.T(20, 2, 40), squirrel.T(30, 3, 80),
+	))
+	sys.MustDefineView("T",
+		`SELECT r1, r3, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`)
+
+	// Example 2.2: R' virtual (updates to R are frequent; save the space
+	// and maintenance cost). Example 2.3: T hybrid [r1^m,r3^v,s1^m,s2^v].
+	sys.AnnotateAllVirtual("R'", []string{"r1", "r2", "r3"})
+	sys.Annotate("T", []string{"r1", "s1"}, []string{"r3", "s2"})
+	sys.MustStart()
+	fmt.Print(sys.Plan())
+
+	med := sys.Mediator()
+	fmt.Printf("\ndb1 is a %s, db2 is a %s\n", med.Contributor("db1"), med.Contributor("db2"))
+
+	// Frequent case: ΔR propagates without touching db1 again.
+	before := med.Stats().SourcePolls
+	if _, err := db1.Insert("R", squirrel.T(5, 20, 11, 100)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SyncAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ΔR processed with %d source polls (rule #1: ΔT = ΔR' ⋈ S')\n",
+		med.Stats().SourcePolls-before)
+
+	// Rare case: ΔS needs R', which is virtual — the mediator polls db1,
+	// compensating for any queued-but-unprocessed R updates.
+	before = med.Stats().SourcePolls
+	if _, err := db2.Insert("S", squirrel.T(40, 4, 10)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SyncAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ΔS processed with %d source poll(s) (rule #2 needs R')\n",
+		med.Stats().SourcePolls-before)
+
+	// Example 2.3 queries. Materialized-only: no polling.
+	res, err := sys.QueryExport("T", []string{"r1", "s1"}, nil, squirrel.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nπ_{r1,s1} T  — materialized attributes only: %d rows, %d polls\n",
+		res.Answer.Card(), res.Polled)
+
+	// Touching virtual r3: the VAP constructs temporaries. Standard
+	// construction polls db1 and db2 (both children are consulted); the
+	// key-based construction (r1 is R's key, materialized in T) joins the
+	// store with a single poll of db1.
+	cond, err := squirrel.ParseCondition("r3 < 100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	std, err := sys.QueryExport("T", []string{"r3", "s1"}, cond,
+		squirrel.QueryOptions{KeyBased: squirrel.KeyBasedOff})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb, err := sys.QueryExport("T", []string{"r3", "s1"}, cond,
+		squirrel.QueryOptions{KeyBased: squirrel.KeyBasedForce})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("π_{r3,s1} σ_{r3<100} T — standard construction: %d rows, %d poll(s)\n",
+		std.Answer.Card(), std.Polled)
+	fmt.Printf("π_{r3,s1} σ_{r3<100} T — key-based construction: %d rows, %d poll(s), keyBased=%v\n",
+		kb.Answer.Card(), kb.Polled, kb.KeyBased)
+	if !std.Answer.Equal(kb.Answer) {
+		log.Fatal("constructions disagree!")
+	}
+
+	if err := sys.CheckConsistency(); err != nil {
+		log.Fatalf("consistency: %v", err)
+	}
+	fmt.Println("consistency check: OK")
+}
+
+func example51() {
+	banner("Example 5.1 / Figure 4: two exports with a difference node")
+
+	sys := squirrel.NewSystem()
+	dbA := sys.AddSource("dbA")
+	dbA.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("A", []squirrel.Attribute{
+			{Name: "a1", Type: squirrel.KindInt}, {Name: "a2", Type: squirrel.KindInt}}, "a1"),
+		squirrel.T(1, 1), squirrel.T(2, 2), squirrel.T(3, 1),
+	))
+	dbB := sys.AddSource("dbB")
+	dbB.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("B", []squirrel.Attribute{
+			{Name: "b1", Type: squirrel.KindInt}, {Name: "b2", Type: squirrel.KindInt}}, "b1"),
+		squirrel.T(10, 3), squirrel.T(20, 4),
+	))
+	dbC := sys.AddSource("dbC")
+	dbC.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("C", []squirrel.Attribute{
+			{Name: "c1", Type: squirrel.KindInt}, {Name: "c2", Type: squirrel.KindInt}}, "c1"),
+		squirrel.T(1, 10), squirrel.T(5, 20),
+	))
+	dbD := sys.AddSource("dbD")
+	dbD.MustLoadTable(squirrel.Relations(
+		squirrel.MustSchema("D", []squirrel.Attribute{
+			{Name: "d1", Type: squirrel.KindInt}, {Name: "d2", Type: squirrel.KindInt}}, "d1"),
+		squirrel.T(10, 10), squirrel.T(30, 20),
+	))
+
+	// E = π_{a1,a2,b1} σ(A ⋈_{a1²+a2<b2²} B): the expensive θ-join.
+	sys.MustDefineView("E",
+		`SELECT a1, a2, b1 FROM A JOIN B ON a1*a1 + a2 < b2*b2`)
+	// G = π_{a1,b1} E − F where F = π_{c1,d1}(C ⋈_{c2=d2} D). G's left
+	// branch reads the export E directly, as in Figure 4.
+	sys.MustDefineView("G",
+		`SELECT a1, b1 FROM E EXCEPT SELECT c1, d1 FROM C JOIN D ON c2 = d2`)
+
+	// Figure 4's suggested annotation: E hybrid [a1^m, a2^v, b1^m]
+	// (a1, b1 feed G and answer most queries; a2 is cheap to fetch via
+	// A's key); B' and F virtual; everything else materialized.
+	sys.Annotate("E", []string{"a1", "b1"}, []string{"a2"})
+	sys.AnnotateAllVirtual("B'", []string{"b1", "b2"})
+	sys.AnnotateAllVirtual("G_r", []string{"c1", "d1"}) // F in the paper's figure
+	sys.MustStart()
+	fmt.Print(sys.Plan())
+
+	g, err := sys.Query(`SELECT a1, b1 FROM G`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nG (set node, fully materialized):")
+	fmt.Print(g)
+
+	// Update the difference's right side: F gains (1, 10), killing that
+	// G row; the diff-node rules of §5.2 handle it incrementally.
+	fmt.Println("\ndbC commits: insert C(9, 10); dbD commits: insert D(9, 10) — no G change")
+	if _, err := dbC.Insert("C", squirrel.T(9, 10)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dbD.Insert("D", squirrel.T(40, 10)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SyncAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dbC commits: insert C(2, 88); dbD commits: insert D(10, 88) — F gains (2,10), which leaves G")
+	if _, err := dbC.Insert("C", squirrel.T(2, 88)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dbD.Insert("D", squirrel.T(10, 88)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SyncAll(); err != nil {
+		log.Fatal(err)
+	}
+	g, err = sys.Query(`SELECT a1, b1 FROM G`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nG after the difference-side updates:")
+	fmt.Print(g)
+
+	// Query E's virtual attribute a2: with B' virtual, the standard
+	// construction polls dbB; key-based construction (a1 is A's key,
+	// materialized in E) reads A' locally instead.
+	std, err := sys.QueryExport("E", []string{"a1", "a2"}, nil,
+		squirrel.QueryOptions{KeyBased: squirrel.KeyBasedOff})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb, err := sys.QueryExport("E", []string{"a1", "a2"}, nil,
+		squirrel.QueryOptions{KeyBased: squirrel.KeyBasedAuto})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nπ_{a1,a2} E — standard: %d polls; auto (key-based=%v): %d polls\n",
+		std.Polled, kb.KeyBased, kb.Polled)
+	if !std.Answer.Equal(kb.Answer) {
+		log.Fatal("constructions disagree!")
+	}
+
+	if err := sys.CheckConsistency(); err != nil {
+		log.Fatalf("consistency: %v", err)
+	}
+	fmt.Println("consistency check: OK")
+}

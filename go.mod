@@ -1,0 +1,3 @@
+module squirrel
+
+go 1.22

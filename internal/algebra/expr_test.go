@@ -1,0 +1,251 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"squirrel/internal/relation"
+)
+
+func env(t *testing.T, attrs map[string]relation.Value) Env {
+	t.Helper()
+	return mapEnv(attrs)
+}
+
+type mapEnv map[string]relation.Value
+
+func (m mapEnv) Lookup(name string) (relation.Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+func TestAttrAndConst(t *testing.T) {
+	e := env(t, map[string]relation.Value{"x": relation.Int(5)})
+	v, err := A("x").Eval(e)
+	if err != nil || v.AsInt() != 5 {
+		t.Fatalf("attr: %v %v", v, err)
+	}
+	if _, err := A("missing").Eval(e); err == nil {
+		t.Errorf("unknown attribute should error")
+	}
+	v, err = CStr("hi").Eval(e)
+	if err != nil || v.AsString() != "hi" {
+		t.Errorf("const: %v %v", v, err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	e := env(t, map[string]relation.Value{"x": relation.Int(7), "y": relation.Float(2)})
+	cases := []struct {
+		expr Expr
+		want relation.Value
+	}{
+		{Add(A("x"), CInt(3)), relation.Int(10)},
+		{Sub(A("x"), CInt(3)), relation.Int(4)},
+		{Mul(A("x"), CInt(2)), relation.Int(14)},
+		{Div(A("x"), CInt(2)), relation.Int(3)}, // integer division
+		{Add(A("x"), A("y")), relation.Float(9)},
+		{Div(A("x"), A("y")), relation.Float(3.5)},
+		{Mul(A("y"), A("y")), relation.Float(4)}, // b2² from Example 5.1
+	}
+	for _, c := range cases {
+		v, err := c.expr.Eval(e)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if !v.Equal(c.want) {
+			t.Errorf("%s = %s, want %s", c.expr, v, c.want)
+		}
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	e := env(t, map[string]relation.Value{"s": relation.Str("x")})
+	if _, err := Add(A("s"), CInt(1)).Eval(e); err == nil {
+		t.Errorf("arithmetic on string should error")
+	}
+	if _, err := Div(CInt(1), CInt(0)).Eval(e); err == nil {
+		t.Errorf("int division by zero should error")
+	}
+	if _, err := Div(CFloat(1), CFloat(0)).Eval(e); err == nil {
+		t.Errorf("float division by zero should error")
+	}
+	if _, err := Add(A("missing"), CInt(1)).Eval(e); err == nil {
+		t.Errorf("error must propagate from operands")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	e := env(t, map[string]relation.Value{"x": relation.Int(5)})
+	cases := []struct {
+		expr Expr
+		want bool
+	}{
+		{Eq(A("x"), CInt(5)), true},
+		{Ne(A("x"), CInt(5)), false},
+		{Lt(A("x"), CInt(6)), true},
+		{Le(A("x"), CInt(5)), true},
+		{Gt(A("x"), CInt(5)), false},
+		{Ge(A("x"), CInt(5)), true},
+		{Eq(CStr("a"), CStr("a")), true},
+		{Eq(CStr("a"), CInt(1)), false}, // cross-kind equality is false, not error
+		{Ne(CStr("a"), CInt(1)), true},
+	}
+	for _, c := range cases {
+		v, err := c.expr.Eval(e)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if v.AsBool() != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, v.AsBool(), c.want)
+		}
+	}
+	// Ordered comparison across incompatible kinds errors.
+	if _, err := Lt(CStr("a"), CInt(1)).Eval(e); err == nil {
+		t.Errorf("ordered cross-kind comparison should error")
+	}
+}
+
+func TestLogical(t *testing.T) {
+	e := env(t, map[string]relation.Value{"x": relation.Int(5)})
+	tr := Eq(A("x"), CInt(5))
+	fa := Eq(A("x"), CInt(6))
+	cases := []struct {
+		expr Expr
+		want bool
+	}{
+		{And{Terms: []Expr{tr, tr}}, true},
+		{And{Terms: []Expr{tr, fa}}, false},
+		{And{}, true},
+		{Or{Terms: []Expr{fa, tr}}, true},
+		{Or{Terms: []Expr{fa, fa}}, false},
+		{Or{}, false},
+		{Not{Term: fa}, true},
+		{Not{Term: tr}, false},
+	}
+	for _, c := range cases {
+		v, err := c.expr.Eval(e)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if v.AsBool() != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, v.AsBool(), c.want)
+		}
+	}
+	// Non-boolean operands error.
+	if _, err := (And{Terms: []Expr{CInt(1)}}).Eval(e); err == nil {
+		t.Errorf("AND over int should error")
+	}
+	if _, err := (Or{Terms: []Expr{CInt(1)}}).Eval(e); err == nil {
+		t.Errorf("OR over int should error")
+	}
+	if _, err := (Not{Term: CInt(1)}).Eval(e); err == nil {
+		t.Errorf("NOT over int should error")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// A("missing") would error; short-circuiting must avoid evaluating it.
+	e := env(t, map[string]relation.Value{"x": relation.Int(5)})
+	fa := Eq(A("x"), CInt(6))
+	tr := Eq(A("x"), CInt(5))
+	bad := Eq(A("missing"), CInt(1))
+	if v, err := (And{Terms: []Expr{fa, bad}}).Eval(e); err != nil || v.AsBool() {
+		t.Errorf("AND short circuit: %v %v", v, err)
+	}
+	if v, err := (Or{Terms: []Expr{tr, bad}}).Eval(e); err != nil || !v.AsBool() {
+		t.Errorf("OR short circuit: %v %v", v, err)
+	}
+}
+
+func TestConjDisj(t *testing.T) {
+	a := Eq(A("x"), CInt(1))
+	b := Lt(A("y"), CInt(2))
+	if !IsTrue(Conj()) || !IsTrue(True()) || !IsTrue(nil) {
+		t.Errorf("IsTrue on trivials")
+	}
+	if IsTrue(a) {
+		t.Errorf("IsTrue on comparison")
+	}
+	if got := Conj(a); got.String() != a.String() {
+		t.Errorf("single Conj should unwrap: %s", got)
+	}
+	c := Conj(a, True(), Conj(b, True()))
+	if and, ok := c.(And); !ok || len(and.Terms) != 2 {
+		t.Errorf("Conj flatten: %s", c)
+	}
+	d := Disj(a, Or{Terms: []Expr{b}})
+	if or, ok := d.(Or); !ok || len(or.Terms) != 2 {
+		t.Errorf("Disj flatten: %s", d)
+	}
+	if !IsTrue(Disj(a, True())) {
+		t.Errorf("Disj with true is true")
+	}
+	if got := Disj(b); got.String() != b.String() {
+		t.Errorf("single Disj should unwrap")
+	}
+}
+
+func TestCollectAttrs(t *testing.T) {
+	e := Conj(
+		Eq(A("r1"), A("s1")),
+		Lt(Add(A("r2"), CInt(1)), Mul(A("s2"), A("s2"))),
+		Not{Term: Gt(A("r3"), CInt(0))},
+		Or{Terms: []Expr{Eq(A("u"), CStr("x"))}},
+	)
+	got := Attrs(e)
+	want := []string{"r1", "r2", "r3", "s1", "s2", "u"}
+	if len(got) != len(want) {
+		t.Fatalf("attrs = %v", got)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing attr %s", w)
+		}
+	}
+	if len(Attrs(nil)) != 0 {
+		t.Errorf("Attrs(nil) should be empty")
+	}
+}
+
+func TestEvalPred(t *testing.T) {
+	s := relation.MustSchema("R", []relation.Attribute{{Name: "a", Type: relation.KindInt}})
+	ok, err := EvalPred(nil, s, relation.T(1))
+	if err != nil || !ok {
+		t.Errorf("nil predicate is true")
+	}
+	ok, err = EvalPred(Gt(A("a"), CInt(0)), s, relation.T(1))
+	if err != nil || !ok {
+		t.Errorf("predicate eval: %v %v", ok, err)
+	}
+	if _, err := EvalPred(CInt(3), s, relation.T(1)); err == nil {
+		t.Errorf("non-boolean predicate should error")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := Conj(Eq(A("x"), CInt(1)), Lt(A("y"), CStr("z")))
+	s := e.String()
+	for _, want := range []string{"x = 1", `y < "z"`, "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if (And{}).String() != "TRUE" || (Or{}).String() != "FALSE" {
+		t.Errorf("trivial strings")
+	}
+	if !strings.Contains((Not{Term: e}).String(), "NOT") {
+		t.Errorf("not string")
+	}
+	if got := Add(A("a"), CInt(1)).String(); got != "(a + 1)" {
+		t.Errorf("arith string: %s", got)
+	}
+	for op, want := range map[CmpOp]string{OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="} {
+		if op.String() != want {
+			t.Errorf("op string %v", op)
+		}
+	}
+}

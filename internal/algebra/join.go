@@ -1,0 +1,282 @@
+package algebra
+
+import (
+	"fmt"
+
+	"squirrel/internal/relation"
+)
+
+// equiPair is an equality conjunct leftAttr = rightAttr extracted from a
+// join condition, expressed as attribute positions in the two inputs.
+type equiPair struct {
+	lpos, rpos int
+}
+
+// splitJoinCondition decomposes cond (a conjunction) into hash-joinable
+// equality pairs between the two schemas plus a residual predicate to be
+// evaluated over the concatenated tuple. Conjuncts that are not of the
+// simple attr = attr cross-schema form land in the residual.
+func splitJoinCondition(cond Expr, ls, rs *relation.Schema) (pairs []equiPair, residual Expr) {
+	var resid []Expr
+	var visit func(e Expr)
+	visit = func(e Expr) {
+		if IsTrue(e) {
+			return
+		}
+		if a, ok := e.(And); ok {
+			for _, t := range a.Terms {
+				visit(t)
+			}
+			return
+		}
+		if c, ok := e.(Cmp); ok && c.Op == OpEq {
+			la, lok := c.L.(Attr)
+			ra, rok := c.R.(Attr)
+			if lok && rok {
+				if lp, ok1 := ls.AttrIndex(la.Name); ok1 {
+					if rp, ok2 := rs.AttrIndex(ra.Name); ok2 {
+						pairs = append(pairs, equiPair{lp, rp})
+						return
+					}
+				}
+				if lp, ok1 := ls.AttrIndex(ra.Name); ok1 {
+					if rp, ok2 := rs.AttrIndex(la.Name); ok2 {
+						pairs = append(pairs, equiPair{lp, rp})
+						return
+					}
+				}
+			}
+		}
+		resid = append(resid, e)
+	}
+	visit(cond)
+	return pairs, Conj(resid...)
+}
+
+// EvalJoin joins two materialized relations under cond, producing a bag
+// over the concatenated schema named outName. Equality conjuncts between
+// the sides are executed with a hash join; any residual condition is
+// applied to each candidate pair. A nil or true cond yields the cross
+// product.
+func EvalJoin(l, r *relation.Relation, cond Expr, outName string) (*relation.Relation, error) {
+	outSchema, err := l.Schema().Concat(outName, r.Schema())
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewBag(outSchema)
+	pairs, residual := splitJoinCondition(cond, l.Schema(), r.Schema())
+
+	emit := func(lt relation.Tuple, ln int, rt relation.Tuple, rn int) error {
+		joined := lt.Concat(rt)
+		ok, err := EvalPred(residual, outSchema, joined)
+		if err != nil {
+			return err
+		}
+		if ok {
+			out.Add(joined, ln*rn)
+		}
+		return nil
+	}
+
+	if len(pairs) == 0 {
+		// Nested-loop cross product with residual filter.
+		var evalErr error
+		l.Each(func(lt relation.Tuple, ln int) bool {
+			r.Each(func(rt relation.Tuple, rn int) bool {
+				if err := emit(lt, ln, rt, rn); err != nil {
+					evalErr = err
+					return false
+				}
+				return true
+			})
+			return evalErr == nil
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return out, nil
+	}
+
+	// Hash join: build on the smaller side — unless one side already has a
+	// persistent index over exactly the join attributes (§5.3's suggestion
+	// that indexed joins avoid the expensive path), in which case probe it
+	// directly and skip the build phase.
+	build, probe := r, l
+	buildPos := make([]int, len(pairs))
+	probePos := make([]int, len(pairs))
+	for i, p := range pairs {
+		buildPos[i], probePos[i] = p.rpos, p.lpos
+	}
+	swapped := false
+	swap := func() {
+		build, probe = l, r
+		for i, p := range pairs {
+			buildPos[i], probePos[i] = p.lpos, p.rpos
+		}
+		swapped = true
+	}
+	attrNamesAt := func(rel *relation.Relation, positions []int) []string {
+		names := make([]string, len(positions))
+		all := rel.Schema().AttrNames()
+		for i, p := range positions {
+			names[i] = all[p]
+		}
+		return names
+	}
+	rIndexed := r.HasIndex(attrNamesAt(r, buildPos)...)
+	lNames := make([]string, len(pairs))
+	for i, p := range pairs {
+		lNames[i] = l.Schema().AttrNames()[p.lpos]
+	}
+	lIndexed := l.HasIndex(lNames...)
+	switch {
+	case rIndexed:
+		// keep r as build side, probe its index
+	case lIndexed:
+		swap()
+	case l.Len() < r.Len():
+		swap()
+	}
+	useIndex := (swapped && lIndexed) || (!swapped && rIndexed)
+
+	var evalErr error
+	if useIndex {
+		buildNames := attrNamesAt(build, buildPos)
+		probe.Each(func(pt relation.Tuple, pn int) bool {
+			vals := make([]relation.Value, len(probePos))
+			for i, p := range probePos {
+				vals[i] = pt[p]
+			}
+			rows, err := build.Probe(buildNames, vals)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			for _, brw := range rows {
+				var err error
+				if swapped {
+					err = emit(brw.Tuple, brw.Count, pt, pn)
+				} else {
+					err = emit(pt, pn, brw.Tuple, brw.Count)
+				}
+				if err != nil {
+					evalErr = err
+					return false
+				}
+			}
+			return true
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return out, nil
+	}
+
+	table := make(map[string][]relation.Row, build.Len())
+	build.Each(func(t relation.Tuple, n int) bool {
+		k := t.KeyOn(buildPos)
+		table[k] = append(table[k], relation.Row{Tuple: t, Count: n})
+		return true
+	})
+	probe.Each(func(pt relation.Tuple, pn int) bool {
+		for _, brw := range table[pt.KeyOn(probePos)] {
+			var err error
+			if swapped {
+				// build side is l, probe side is r
+				err = emit(brw.Tuple, brw.Count, pt, pn)
+			} else {
+				err = emit(pt, pn, brw.Tuple, brw.Count)
+			}
+			if err != nil {
+				evalErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// JoinChain evaluates an n-way theta join of the given relations under a
+// single condition evaluated over the full concatenated schema, folding
+// left. Used by the VDP SPJ evaluator.
+func JoinChain(rels []*relation.Relation, cond Expr, outName string) (*relation.Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("algebra: empty join chain")
+	}
+	if len(rels) == 1 {
+		// Apply the condition as a selection.
+		out := relation.NewBag(rels[0].Schema().Rename(outName))
+		var evalErr error
+		rels[0].Each(func(t relation.Tuple, n int) bool {
+			ok, err := EvalPred(cond, rels[0].Schema(), t)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				out.Add(t, n)
+			}
+			return true
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return out, nil
+	}
+	// Fold left. Push down only the conjuncts that are fully evaluable at
+	// each intermediate stage; remaining conjuncts apply at the end.
+	acc := rels[0]
+	for i := 1; i < len(rels); i++ {
+		name := outName
+		var stageCond Expr
+		if i == len(rels)-1 {
+			stageCond = cond
+		} else {
+			stageCond, cond = splitEvaluable(cond, func(attrs map[string]bool) bool {
+				// Evaluable if every attribute is in acc or rels[i].
+				for a := range attrs {
+					if !acc.Schema().HasAttr(a) && !rels[i].Schema().HasAttr(a) {
+						return false
+					}
+				}
+				return true
+			})
+			name = fmt.Sprintf("%s#%d", outName, i)
+		}
+		next, err := EvalJoin(acc, rels[i], stageCond, name)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// splitEvaluable partitions a conjunction into the conjuncts for which
+// canEval reports true (returned first) and the remainder.
+func splitEvaluable(cond Expr, canEval func(attrs map[string]bool) bool) (now, later Expr) {
+	var nowTerms, laterTerms []Expr
+	var visit func(e Expr)
+	visit = func(e Expr) {
+		if IsTrue(e) {
+			return
+		}
+		if a, ok := e.(And); ok {
+			for _, t := range a.Terms {
+				visit(t)
+			}
+			return
+		}
+		if canEval(Attrs(e)) {
+			nowTerms = append(nowTerms, e)
+		} else {
+			laterTerms = append(laterTerms, e)
+		}
+	}
+	visit(cond)
+	return Conj(nowTerms...), Conj(laterTerms...)
+}

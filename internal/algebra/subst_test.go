@@ -1,0 +1,98 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubstAttrs(t *testing.T) {
+	e := Conj(
+		Eq(A("a"), A("b")),
+		Lt(Add(A("a"), CInt(1)), Mul(A("c"), A("c"))),
+		Or{Terms: []Expr{Not{Term: Ge(A("b"), CStr("x"))}}},
+	)
+	m := map[string]string{"a": "x1", "b": "x2"}
+	got := SubstAttrs(e, m).String()
+	for _, want := range []string{"x1 = x2", "(x1 + 1)", "x2 >="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+	if strings.Contains(strings.ReplaceAll(strings.ReplaceAll(got, "x1", ""), "x2", ""), "a =") {
+		t.Errorf("unsubstituted attrs remain: %q", got)
+	}
+	// c is not in the mapping: unchanged.
+	if !strings.Contains(got, "(c * c)") {
+		t.Errorf("unmapped attr must survive: %q", got)
+	}
+	if SubstAttrs(nil, m) != nil {
+		t.Errorf("nil stays nil")
+	}
+	// Constants pass through.
+	if SubstAttrs(CInt(5), m).String() != "5" {
+		t.Errorf("const subst")
+	}
+}
+
+func TestConjunctsOver(t *testing.T) {
+	e := Conj(
+		Eq(A("a"), CInt(1)),
+		Lt(A("b"), CInt(2)),
+		Gt(Add(A("a"), A("c")), CInt(0)),
+	)
+	push, rest := ConjunctsOver(e, map[string]bool{"a": true, "b": true})
+	ps, rs := push.String(), rest.String()
+	if !strings.Contains(ps, "a = 1") || !strings.Contains(ps, "b < 2") {
+		t.Errorf("pushable = %q", ps)
+	}
+	if !strings.Contains(rs, "c") {
+		t.Errorf("residual = %q", rs)
+	}
+	// All pushable.
+	push2, rest2 := ConjunctsOver(Eq(A("a"), CInt(1)), map[string]bool{"a": true})
+	if IsTrue(push2) || !IsTrue(rest2) {
+		t.Errorf("all-pushable: %q / %q", push2, rest2)
+	}
+	// True input: both empty.
+	p3, r3 := ConjunctsOver(True(), nil)
+	if !IsTrue(p3) || !IsTrue(r3) {
+		t.Errorf("true input")
+	}
+}
+
+func TestBaseRelationsAllNodeTypes(t *testing.T) {
+	e := Union{
+		L: Diff{
+			L: DistinctOf{Input: Scan{Rel: "A"}},
+			R: Project{Input: Scan{Rel: "B"}, Cols: []string{"x"}},
+		},
+		R: Select{Input: Join{L: Scan{Rel: "C"}, R: Scan{Rel: "D"}}, Pred: True()},
+	}
+	got := BaseRelationsOf(e)
+	if strings.Join(got, ",") != "A,B,C,D" {
+		t.Errorf("base relations = %v", got)
+	}
+}
+
+func TestCollectAttrsConstAndArith(t *testing.T) {
+	set := map[string]bool{}
+	CInt(1).CollectAttrs(set)
+	if len(set) != 0 {
+		t.Errorf("const collects nothing")
+	}
+	Add(A("p"), Div(A("q"), CInt(2))).CollectAttrs(set)
+	if !set["p"] || !set["q"] {
+		t.Errorf("arith attrs: %v", set)
+	}
+}
+
+func TestArithOpStrings(t *testing.T) {
+	for op, want := range map[ArithOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/"} {
+		if op.String() != want {
+			t.Errorf("%v != %s", op, want)
+		}
+	}
+	if ArithOp(99).String() != "?" || CmpOp(99).String() != "?" {
+		t.Errorf("unknown op strings")
+	}
+}

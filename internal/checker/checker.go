@@ -1,0 +1,223 @@
+// Package checker verifies the formal correctness notions of §3 against
+// recorded mediator traces: consistency (validity, chronology, order
+// preservation via the constructed ref function), guaranteed freshness
+// within a bound vector f̄ (Theorem 7.2), and — for small explicit
+// scenarios like Figure 2 — exact pseudo-consistency and consistency
+// decision by search over candidate reflect functions (Remark 3.1).
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// Environment binds a recorded trace to the integration environment that
+// produced it: the VDP (ν) and the source databases (whose commit logs
+// replay any historical state).
+type Environment struct {
+	VDP     *vdp.VDP
+	Sources map[string]*source.DB
+	Trace   *trace.Recorder
+}
+
+// CheckConsistency verifies the §3 consistency definition on the recorded
+// query transactions:
+//
+//	(a) validity — each answer equals π σ of ν(state(DB, ref(t)));
+//	(b) chronology — ref(t) ≤ t;
+//	(c) order preservation — ref is monotone across transactions.
+//
+// It returns nil if every recorded transaction satisfies all three.
+func (e Environment) CheckConsistency() error {
+	queries := e.Trace.Queries()
+	sort.Slice(queries, func(i, j int) bool { return queries[i].Committed < queries[j].Committed })
+
+	for i, q := range queries {
+		// (b) chronology.
+		if !q.Reflect.AllAtOrBefore(q.Committed) {
+			return fmt.Errorf("checker: query at t=%d forecasts the future: ref=%v", q.Committed, q.Reflect)
+		}
+		// (a) validity.
+		var answer *relation.Relation
+		if q.Multi != nil {
+			states, err := e.evalAllAt(q.Reflect)
+			if err != nil {
+				return err
+			}
+			answer, err = q.Multi.Eval(algebra.MapCatalog(states))
+			if err != nil {
+				return err
+			}
+		} else {
+			want, err := e.evalViewAt(q.Reflect, q.Export)
+			if err != nil {
+				return err
+			}
+			answer, err = projectSelect(want, q.Export, q.Attrs, q)
+			if err != nil {
+				return err
+			}
+		}
+		if !q.Answer.Equal(answer) {
+			return fmt.Errorf("checker: validity violated at t=%d (export %s, ref=%v):\ngot\n%swant\n%s",
+				q.Committed, q.Export, q.Reflect, q.Answer, answer)
+		}
+		// (c) order preservation against the previous transaction.
+		if i > 0 {
+			prev := queries[i-1].Reflect
+			for src, pt := range prev {
+				if ct, ok := q.Reflect[src]; ok && ct < pt {
+					return fmt.Errorf("checker: order preservation violated: source %s went from %d back to %d",
+						src, pt, ct)
+				}
+			}
+		}
+	}
+	// ref′ of update transactions must be monotone too.
+	updates := e.Trace.Updates()
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Committed < updates[j].Committed })
+	for i := 1; i < len(updates); i++ {
+		for src, pt := range updates[i-1].Reflect {
+			if ct, ok := updates[i].Reflect[src]; ok && ct < pt {
+				return fmt.Errorf("checker: update ref′ regressed for source %s: %d -> %d", src, pt, ct)
+			}
+		}
+	}
+	return nil
+}
+
+// evalAllAt evaluates ν over the source states at the given time vector,
+// returning every node's state.
+func (e Environment) evalAllAt(ref clock.Vector) (map[string]*relation.Relation, error) {
+	leaves := make(map[string]*relation.Relation)
+	for _, leaf := range e.VDP.Leaves() {
+		src := e.VDP.Node(leaf).Source
+		db, ok := e.Sources[src]
+		if !ok {
+			return nil, fmt.Errorf("checker: no source database %q", src)
+		}
+		t, ok := ref[src]
+		if !ok {
+			return nil, fmt.Errorf("checker: ref vector missing source %q", src)
+		}
+		st, err := db.StateAt(leaf, t)
+		if err != nil {
+			return nil, err
+		}
+		leaves[leaf] = st
+	}
+	return e.VDP.EvalAll(vdp.ResolverFromCatalog(leaves))
+}
+
+// evalViewAt evaluates ν over the source states at the given time vector
+// and returns the named export relation.
+func (e Environment) evalViewAt(ref clock.Vector, export string) (*relation.Relation, error) {
+	states, err := e.evalAllAt(ref)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := states[export]
+	if !ok {
+		return nil, fmt.Errorf("checker: unknown export %q", export)
+	}
+	return out, nil
+}
+
+func projectSelect(rel *relation.Relation, name string, attrs []string, q trace.QueryTxn) (*relation.Relation, error) {
+	if attrs == nil {
+		attrs = rel.Schema().AttrNames()
+	}
+	schema, err := rel.Schema().Project(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	positions, err := rel.Schema().Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewBag(schema)
+	var evalErr error
+	rel.Each(func(t relation.Tuple, c int) bool {
+		ok, err := evalCond(q, rel.Schema(), t)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if ok {
+			out.Add(t.Project(positions), c)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+func evalCond(q trace.QueryTxn, schema *relation.Schema, t relation.Tuple) (bool, error) {
+	if q.Cond == nil {
+		return true, nil
+	}
+	v, err := q.Cond.Eval(condEnv{schema: schema, tuple: t})
+	if err != nil {
+		return false, err
+	}
+	if v.Kind() != relation.KindBool {
+		return false, fmt.Errorf("checker: non-boolean condition")
+	}
+	return v.AsBool(), nil
+}
+
+type condEnv struct {
+	schema *relation.Schema
+	tuple  relation.Tuple
+}
+
+func (e condEnv) Lookup(name string) (relation.Value, bool) {
+	i, ok := e.schema.AttrIndex(name)
+	if !ok {
+		return relation.Null(), false
+	}
+	return e.tuple[i], true
+}
+
+// CheckFreshness verifies Theorem 7.2's guarantee. The staleness of a
+// query at time t with respect to source i is the age of the oldest
+// source commit NOT reflected by the answer: t − min{c : ref(t)_i < c ≤ t,
+// c a commit time of DB_i}, or zero when everything committed by t is
+// reflected. (The raw t − ref_i overstates staleness when a source is
+// idle: the state is unchanged on (ref_i, t], so the answer reflects the
+// current state; the theorem bounds how long committed data can remain
+// unreflected.) Staleness must stay within bounds_i for every source with
+// a bound. Returns the worst observed staleness per source.
+func (e Environment) CheckFreshness(bounds clock.Vector) (worst clock.Vector, err error) {
+	worst = make(clock.Vector)
+	for _, q := range e.Trace.Queries() {
+		for src, rt := range q.Reflect {
+			db, ok := e.Sources[src]
+			if !ok {
+				return worst, fmt.Errorf("checker: no source database %q", src)
+			}
+			first, ok := db.FirstCommitAfter(rt)
+			if !ok || first > q.Committed {
+				continue // nothing unreflected: perfectly fresh
+			}
+			stale := q.Committed - first
+			if stale > worst[src] {
+				worst[src] = stale
+			}
+			if b, ok := bounds[src]; ok && stale > b {
+				return worst, fmt.Errorf("checker: freshness violated for %s at t=%d: staleness %d > bound %d",
+					src, q.Committed, stale, b)
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,262 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// tinyEnv builds a one-source, one-view environment: V = σ_{a>0} A.
+func tinyEnv(t *testing.T) (Environment, *source.DB, *clock.Logical) {
+	t.Helper()
+	clk := &clock.Logical{}
+	aSchema := relation.MustSchema("A", []relation.Attribute{
+		{Name: "a", Type: relation.KindInt}, {Name: "b", Type: relation.KindInt}}, "a")
+	vSchema := relation.MustSchema("V", []relation.Attribute{
+		{Name: "a", Type: relation.KindInt}, {Name: "b", Type: relation.KindInt}}, "a")
+	v, err := vdp.New(
+		&vdp.Node{Name: "A", Schema: aSchema, Source: "db"},
+		&vdp.Node{Name: "V", Schema: vSchema, Export: true, Ann: vdp.AllMaterialized(vSchema),
+			Def: vdp.SPJ{Inputs: []vdp.SPJInput{{Rel: "A"}},
+				Where: algebra.Gt(algebra.A("a"), algebra.CInt(0)),
+				Proj:  []string{"a", "b"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := source.NewDB("db", clk)
+	a := relation.NewSet(aSchema)
+	a.Insert(relation.T(1, 10))
+	a.Insert(relation.T(-1, 20))
+	if err := db.LoadRelation(a); err != nil {
+		t.Fatal(err)
+	}
+	return Environment{
+		VDP:     v,
+		Sources: map[string]*source.DB{"db": db},
+		Trace:   trace.NewRecorder(),
+	}, db, clk
+}
+
+func vRel(t *testing.T, rows ...[2]int64) *relation.Relation {
+	t.Helper()
+	s := relation.MustSchema("V", []relation.Attribute{
+		{Name: "a", Type: relation.KindInt}, {Name: "b", Type: relation.KindInt}}, "a")
+	r := relation.NewBag(s)
+	for _, row := range rows {
+		r.Insert(relation.T(row[0], row[1]))
+	}
+	return r
+}
+
+func TestCheckConsistencyAccepts(t *testing.T) {
+	env, db, clk := tinyEnv(t)
+	t0 := db.LastCommit() // == Born
+	// A valid query: answer = ν at t0.
+	env.Trace.RecordQuery(trace.QueryTxn{
+		Committed: clk.Now(),
+		Reflect:   clock.Vector{"db": t0},
+		Export:    "V",
+		Answer:    vRel(t, [2]int64{1, 10}),
+	})
+	// Commit an update, then a query reflecting it.
+	d := delta.New()
+	d.Insert("A", relation.T(2, 30))
+	tc := db.MustApply(d)
+	env.Trace.RecordQuery(trace.QueryTxn{
+		Committed: clk.Now(),
+		Reflect:   clock.Vector{"db": tc},
+		Export:    "V",
+		Answer:    vRel(t, [2]int64{1, 10}, [2]int64{2, 30}),
+	})
+	if err := env.CheckConsistency(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestCheckConsistencyRejectsWrongAnswer(t *testing.T) {
+	env, db, clk := tinyEnv(t)
+	env.Trace.RecordQuery(trace.QueryTxn{
+		Committed: clk.Now(),
+		Reflect:   clock.Vector{"db": db.LastCommit()},
+		Export:    "V",
+		Answer:    vRel(t, [2]int64{7, 7}), // bogus
+	})
+	if err := env.CheckConsistency(); err == nil || !strings.Contains(err.Error(), "validity") {
+		t.Fatalf("expected validity violation, got %v", err)
+	}
+}
+
+func TestCheckConsistencyRejectsFutureReflect(t *testing.T) {
+	env, db, clk := tinyEnv(t)
+	now := clk.Now()
+	_ = db
+	env.Trace.RecordQuery(trace.QueryTxn{
+		Committed: now,
+		Reflect:   clock.Vector{"db": now + 100},
+		Export:    "V",
+		Answer:    vRel(t, [2]int64{1, 10}),
+	})
+	if err := env.CheckConsistency(); err == nil || !strings.Contains(err.Error(), "future") {
+		t.Fatalf("expected chronology violation, got %v", err)
+	}
+}
+
+func TestCheckConsistencyRejectsRegression(t *testing.T) {
+	env, db, clk := tinyEnv(t)
+	t0 := db.LastCommit()
+	d := delta.New()
+	d.Insert("A", relation.T(2, 30))
+	tc := db.MustApply(d)
+	env.Trace.RecordQuery(trace.QueryTxn{
+		Committed: clk.Now(), Reflect: clock.Vector{"db": tc}, Export: "V",
+		Answer: vRel(t, [2]int64{1, 10}, [2]int64{2, 30}),
+	})
+	env.Trace.RecordQuery(trace.QueryTxn{
+		Committed: clk.Now(), Reflect: clock.Vector{"db": t0}, Export: "V",
+		Answer: vRel(t, [2]int64{1, 10}),
+	})
+	if err := env.CheckConsistency(); err == nil || !strings.Contains(err.Error(), "order") {
+		t.Fatalf("expected order violation, got %v", err)
+	}
+}
+
+func TestCheckConsistencyProjectionAndCondition(t *testing.T) {
+	env, db, clk := tinyEnv(t)
+	env.Trace.RecordQuery(trace.QueryTxn{
+		Committed: clk.Now(),
+		Reflect:   clock.Vector{"db": db.LastCommit()},
+		Export:    "V",
+		Attrs:     []string{"b"},
+		Cond:      algebra.Gt(algebra.A("b"), algebra.CInt(5)),
+		Answer: func() *relation.Relation {
+			s := relation.MustSchema("V", []relation.Attribute{{Name: "b", Type: relation.KindInt}})
+			r := relation.NewBag(s)
+			r.Insert(relation.T(10))
+			return r
+		}(),
+	})
+	if err := env.CheckConsistency(); err != nil {
+		t.Fatalf("projected query rejected: %v", err)
+	}
+}
+
+func TestUpdateReflectMonotonicity(t *testing.T) {
+	env, _, clk := tinyEnv(t)
+	env.Trace.RecordUpdate(trace.UpdateTxn{Committed: clk.Now(), Reflect: clock.Vector{"db": 5}})
+	env.Trace.RecordUpdate(trace.UpdateTxn{Committed: clk.Now(), Reflect: clock.Vector{"db": 3}})
+	if err := env.CheckConsistency(); err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("expected ref′ regression, got %v", err)
+	}
+}
+
+func TestCheckFreshness(t *testing.T) {
+	env, db, _ := tinyEnv(t)
+	t0 := db.LastCommit()
+	// Commit at a known time: data not reflected by the query below.
+	d := delta.New()
+	d.Insert("A", relation.T(5, 50))
+	tc := db.MustApply(d)
+
+	env.Trace.RecordQuery(trace.QueryTxn{
+		Committed: tc + 10, Reflect: clock.Vector{"db": t0}, Export: "V", Answer: vRel(t),
+	})
+	worst, err := env.CheckFreshness(clock.Vector{"db": 15})
+	if err != nil {
+		t.Fatalf("within bound: %v", err)
+	}
+	// Staleness = committed − first unreflected commit = 10.
+	if worst["db"] != 10 {
+		t.Errorf("worst staleness = %d, want 10", worst["db"])
+	}
+	if _, err := env.CheckFreshness(clock.Vector{"db": 5}); err == nil {
+		t.Errorf("bound 5 must be violated")
+	}
+	// Sources without bounds are unconstrained.
+	if _, err := env.CheckFreshness(clock.Vector{}); err != nil {
+		t.Errorf("no bounds: %v", err)
+	}
+
+	// An idle source is perfectly fresh no matter how old the recorded
+	// reflect component is.
+	env2, _, _ := tinyEnv(t)
+	env2.Trace.RecordQuery(trace.QueryTxn{
+		Committed: 10000, Reflect: clock.Vector{"db": 1}, Export: "V", Answer: vRel(t),
+	})
+	worst2, err := env2.CheckFreshness(clock.Vector{"db": 1})
+	if err != nil || worst2["db"] != 0 {
+		t.Errorf("idle source must be fresh: worst=%v err=%v", worst2, err)
+	}
+	// Unknown sources in the reflect vector are an error.
+	env3, _, _ := tinyEnv(t)
+	env3.Trace.RecordQuery(trace.QueryTxn{
+		Committed: 10, Reflect: clock.Vector{"ghost": 1}, Export: "V", Answer: vRel(t),
+	})
+	if _, err := env3.CheckFreshness(nil); err == nil {
+		t.Errorf("unknown source must error")
+	}
+}
+
+func TestFigure2PseudoButNotConsistent(t *testing.T) {
+	sc, table := Figure2Scenario()
+	pseudo, err := sc.PseudoConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pseudo {
+		t.Fatalf("Figure 2 scenario must be pseudo-consistent\n%s", table)
+	}
+	consistent, err := sc.Consistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consistent {
+		t.Fatalf("Figure 2 scenario must NOT be consistent\n%s", table)
+	}
+	if !strings.Contains(table, "t3    {R(c,a)}    {S(b)}") {
+		t.Errorf("rendered table mismatch:\n%s", table)
+	}
+}
+
+func TestScenarioConsistentPositive(t *testing.T) {
+	// A well-behaved scenario (view tracks the source exactly) is both
+	// pseudo-consistent and consistent.
+	sc, _ := Figure2Scenario()
+	wellBehaved := sc
+	wellBehaved.ViewAt = func(t clock.Time) *relation.Relation {
+		states := map[string]*relation.Relation{"DB": sc.SourceAt("DB", t)}
+		v, _ := sc.Nu(states)
+		return v
+	}
+	pseudo, err := wellBehaved.PseudoConsistent()
+	if err != nil || !pseudo {
+		t.Fatalf("pseudo: %v %v", pseudo, err)
+	}
+	consistent, err := wellBehaved.Consistent()
+	if err != nil || !consistent {
+		t.Fatalf("consistent: %v %v", consistent, err)
+	}
+}
+
+func TestScenarioInvalidView(t *testing.T) {
+	// A view state matching NO source state fails both properties.
+	sc, _ := Figure2Scenario()
+	bad := sc
+	bogus := relation.NewSet(relation.MustSchema("S", []relation.Attribute{
+		{Name: "a2", Type: relation.KindString}}))
+	bogus.Insert(relation.T("zzz"))
+	bad.ViewAt = func(t clock.Time) *relation.Relation { return bogus }
+	if ok, _ := bad.PseudoConsistent(); ok {
+		t.Errorf("bogus view cannot be pseudo-consistent")
+	}
+	if ok, _ := bad.Consistent(); ok {
+		t.Errorf("bogus view cannot be consistent")
+	}
+}

@@ -1,0 +1,197 @@
+package checker
+
+import (
+	"fmt"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+)
+
+// Scenario is an explicit small integration environment — a table of
+// source states and view states over a handful of instants — used to
+// decide pseudo-consistency and consistency exactly, by search over
+// candidate reflect functions. This is the machinery behind the Figure 2 /
+// Remark 3.1 reproduction: the paper's six-step scenario is
+// pseudo-consistent but NOT consistent.
+type Scenario struct {
+	// Times are the observation instants, strictly increasing.
+	Times []clock.Time
+	// Sources lists the source database names (defines vector order).
+	Sources []string
+	// Candidates are the candidate state times per source (typically its
+	// commit instants).
+	Candidates map[string][]clock.Time
+	// SourceAt returns state(DB_src, t).
+	SourceAt func(src string, t clock.Time) *relation.Relation
+	// Nu is the view definition ν applied to a source-state vector.
+	Nu func(states map[string]*relation.Relation) (*relation.Relation, error)
+	// ViewAt returns the observed state(V, t).
+	ViewAt func(t clock.Time) *relation.Relation
+}
+
+// candidateVectors returns every candidate time vector whose ν-image
+// equals the observed view state at time t. If chronological is set, only
+// vectors with every component ≤ t qualify (the consistency definition's
+// chronology condition; pseudo-consistency omits it).
+func (s Scenario) candidateVectors(t clock.Time, chronological bool) ([]clock.Vector, error) {
+	want := s.ViewAt(t)
+	var out []clock.Vector
+	vec := make(clock.Vector, len(s.Sources))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(s.Sources) {
+			states := make(map[string]*relation.Relation, len(s.Sources))
+			for _, src := range s.Sources {
+				states[src] = s.SourceAt(src, vec[src])
+			}
+			got, err := s.Nu(states)
+			if err != nil {
+				return err
+			}
+			if got.Equal(want) {
+				out = append(out, vec.Clone())
+			}
+			return nil
+		}
+		src := s.Sources[i]
+		for _, ct := range s.Candidates[src] {
+			if chronological && ct > t {
+				continue
+			}
+			vec[src] = ct
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PseudoConsistent decides the Remark 3.1 property: for every pair
+// t1 ≤ t2 of observation instants there exist candidate vectors
+// t̄1′ ≤ t̄2′ whose ν-images match the observed view states.
+func (s Scenario) PseudoConsistent() (bool, error) {
+	cands := make([][]clock.Vector, len(s.Times))
+	for i, t := range s.Times {
+		cs, err := s.candidateVectors(t, false)
+		if err != nil {
+			return false, err
+		}
+		if len(cs) == 0 {
+			return false, nil // validity fails outright at t
+		}
+		cands[i] = cs
+	}
+	for i := range s.Times {
+		for j := i; j < len(s.Times); j++ {
+			ok := false
+		pair:
+			for _, c1 := range cands[i] {
+				for _, c2 := range cands[j] {
+					if c1.LessEq(c2) {
+						ok = true
+						break pair
+					}
+				}
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Consistent decides the §3 consistency definition restricted to the
+// observation instants: does a single chronological, order-preserving
+// reflect selection exist? (States are piecewise constant between
+// observation instants, so this is exact for scenario tables.)
+func (s Scenario) Consistent() (bool, error) {
+	// feasible[i] ⊆ candidates(t_i): vectors extendable from t_1..t_i.
+	var feasible []clock.Vector
+	for i, t := range s.Times {
+		cs, err := s.candidateVectors(t, true)
+		if err != nil {
+			return false, err
+		}
+		var next []clock.Vector
+		for _, c := range cs {
+			if i == 0 {
+				next = append(next, c)
+				continue
+			}
+			for _, prev := range feasible {
+				if prev.LessEq(c) {
+					next = append(next, c)
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false, nil
+		}
+		feasible = next
+	}
+	return true, nil
+}
+
+// Figure2Scenario builds the paper's exact Figure 2 table: one source
+// database holding binary relation R, view S = π₂(R), six instants.
+// It returns the scenario plus a rendering of the table for display.
+func Figure2Scenario() (Scenario, string) {
+	rSchema := relation.MustSchema("R", []relation.Attribute{
+		{Name: "a1", Type: relation.KindString}, {Name: "a2", Type: relation.KindString}})
+	sSchema := relation.MustSchema("S", []relation.Attribute{
+		{Name: "a2", Type: relation.KindString}})
+	mkR := func(x, y string) *relation.Relation {
+		r := relation.NewSet(rSchema)
+		r.Insert(relation.T(x, y))
+		return r
+	}
+	mkS := func(vals ...string) *relation.Relation {
+		r := relation.NewSet(sSchema)
+		for _, v := range vals {
+			r.Insert(relation.T(v))
+		}
+		return r
+	}
+	rStates := map[clock.Time]*relation.Relation{
+		1: mkR("a", "a"), 2: mkR("b", "b"), 3: mkR("c", "a"),
+		4: mkR("d", "a"), 5: mkR("e", "a"), 6: mkR("f", "a"),
+	}
+	vStates := map[clock.Time]*relation.Relation{
+		1: mkS("a"), 2: mkS("a"), 3: mkS("b"),
+		4: mkS("a"), 5: mkS("b"), 6: mkS("a"),
+	}
+	sc := Scenario{
+		Times:      []clock.Time{1, 2, 3, 4, 5, 6},
+		Sources:    []string{"DB"},
+		Candidates: map[string][]clock.Time{"DB": {1, 2, 3, 4, 5, 6}},
+		SourceAt:   func(_ string, t clock.Time) *relation.Relation { return rStates[t] },
+		Nu: func(states map[string]*relation.Relation) (*relation.Relation, error) {
+			r := states["DB"]
+			out := relation.NewSet(sSchema)
+			r.Each(func(t relation.Tuple, _ int) bool {
+				out.Insert(relation.Tuple{t[1]})
+				return true
+			})
+			return out, nil
+		},
+		ViewAt: func(t clock.Time) *relation.Relation { return vStates[t] },
+	}
+	table := "time  state(DB)   state(V)\n"
+	for _, t := range sc.Times {
+		rRow := rStates[t].Rows()[0].Tuple
+		var vVals string
+		for _, row := range vStates[t].Rows() {
+			vVals += row.Tuple[0].AsString()
+		}
+		table += fmt.Sprintf("t%d    {R(%s,%s)}    {S(%s)}\n",
+			t, rRow[0].AsString(), rRow[1].AsString(), vVals)
+	}
+	return sc, table
+}

@@ -1,0 +1,77 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLogicalStrictlyIncreasing(t *testing.T) {
+	c := &Logical{}
+	prev := Time(-1)
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if now <= prev {
+			t.Fatalf("clock regressed: %d after %d", now, prev)
+		}
+		prev = now
+	}
+	if c.Peek() != prev {
+		t.Errorf("Peek = %d, want %d", c.Peek(), prev)
+	}
+}
+
+func TestLogicalConcurrentUnique(t *testing.T) {
+	c := &Logical{}
+	const goroutines, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[Time]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Time, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, c.Now())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate timestamp %d", ts)
+				}
+				seen[ts] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*per {
+		t.Errorf("got %d unique timestamps", len(seen))
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{"a": 1, "b": 2}
+	c := v.Clone()
+	c["a"] = 99
+	if v["a"] != 1 {
+		t.Errorf("clone aliases original")
+	}
+	if !(Vector{"a": 1, "b": 2}).LessEq(Vector{"a": 1, "b": 3}) {
+		t.Errorf("LessEq pointwise")
+	}
+	if (Vector{"a": 2}).LessEq(Vector{"a": 1}) {
+		t.Errorf("LessEq should fail")
+	}
+	// Missing component in the left side reads as Never (≤ anything).
+	if !(Vector{}).LessEq(Vector{"a": 0}) {
+		t.Errorf("empty vector precedes everything")
+	}
+	// Left has a component the right lacks: not ≤.
+	if (Vector{"z": 5}).LessEq(Vector{"a": 9}) {
+		t.Errorf("extra later component cannot be ≤")
+	}
+	if !(Vector{"a": 3}).AllAtOrBefore(3) || (Vector{"a": 4}).AllAtOrBefore(3) {
+		t.Errorf("AllAtOrBefore")
+	}
+}

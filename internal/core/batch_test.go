@@ -1,0 +1,287 @@
+package core
+
+import (
+	"testing"
+
+	"squirrel/internal/checker"
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// batchedEnv wires the paper fixture through BatchingAnnouncers and
+// PublishedConns (the ann_delay policy with its matching snapshot reads).
+func batchedEnv(t *testing.T, annT vdp.Annotation, every int) (*testEnv, *source.BatchingAnnouncer, *source.BatchingAnnouncer) {
+	t.Helper()
+	clk := &clock.Logical{}
+	db1 := source.NewDB("db1", clk)
+	db2 := source.NewDB("db2", clk)
+	r := relation.NewSet(rSchema())
+	r.Insert(relation.T(1, 10, 5, 100))
+	r.Insert(relation.T(2, 10, 120, 100))
+	r.Insert(relation.T(3, 20, 7, 100))
+	s := relation.NewSet(sSchema())
+	s.Insert(relation.T(10, 1, 20))
+	s.Insert(relation.T(20, 2, 40))
+	if err := db1.LoadRelation(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.LoadRelation(s); err != nil {
+		t.Fatal(err)
+	}
+	ba1 := source.NewBatchingAnnouncer(db1, every)
+	ba2 := source.NewBatchingAnnouncer(db2, every)
+	plan := paperPlan(t, nil, nil, annT)
+	rec := trace.NewRecorder()
+	med, err := New(Config{
+		VDP: plan,
+		Sources: map[string]SourceConn{
+			"db1": source.PublishedConn{DB: db1, BA: ba1},
+			"db2": source.PublishedConn{DB: db2, BA: ba2},
+		},
+		Clock:    clk,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba1.Subscribe(med.OnAnnouncement)
+	ba2.Subscribe(med.OnAnnouncement)
+	if err := med.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{clk: clk, db1: db1, db2: db2, med: med, rec: rec, vdp_: plan}, ba1, ba2
+}
+
+func TestBatchedAnnouncementsMaterialized(t *testing.T) {
+	e, ba1, _ := batchedEnv(t, nil, 0) // manual flushing
+	// Three commits in one batch; two cancel each other.
+	tmp := relation.T(7, 10, 1, 100)
+	d1 := delta.New()
+	d1.Insert("R", tmp)
+	e.db1.MustApply(d1)
+	d2 := delta.New()
+	d2.Delete("R", tmp)
+	e.db1.MustApply(d2)
+	d3 := delta.New()
+	d3.Insert("R", relation.T(8, 20, 9, 100))
+	e.db1.MustApply(d3)
+	if e.med.QueueLen() != 0 {
+		t.Fatalf("nothing should arrive before the flush")
+	}
+	if ba1.Pending() != 3 {
+		t.Fatalf("pending = %d", ba1.Pending())
+	}
+	ba1.Flush()
+	if e.med.QueueLen() != 1 {
+		t.Fatalf("one batched announcement expected, queue=%d", e.med.QueueLen())
+	}
+	if _, err := e.med.RunUpdateTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	truth := e.groundTruth(t)
+	if got := e.med.StoreSnapshot("T"); !got.Equal(truth["T"]) {
+		t.Fatalf("batched propagation diverged:\n%swant\n%s", got, truth["T"])
+	}
+	// The smashed batch dropped the annihilated pair: only one atom.
+	if st := e.med.Stats(); st.AtomsPropagated != 1 {
+		t.Errorf("smash should annihilate the insert/delete pair: atoms=%d", st.AtomsPropagated)
+	}
+}
+
+func TestBatchedPublishedSnapshotECA(t *testing.T) {
+	// Hybrid T with virtual S': a poll between commit and flush must see
+	// the PUBLISHED state (pre-commit), not the live one — otherwise
+	// compensation would miss the unannounced commit.
+	e, _, ba2 := batchedEnv(t, vdp.Ann([]string{"r1", "r3", "s1"}, []string{"s2"}), 0)
+	before := e.rec // trace shared
+
+	d := delta.New()
+	d.Delete("S", relation.T(10, 1, 20))
+	d.Insert("S", relation.T(10, 77, 20))
+	e.db2.MustApply(d) // committed but NOT yet announced
+
+	res, err := e.med.QueryOpts("T", []string{"r1", "s2"}, nil, QueryOptions{KeyBased: KeyBasedOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published state still has s2=1 for s1=10.
+	if !res.Answer.Contains(relation.T(1, 1)) || res.Answer.Contains(relation.T(1, 77)) {
+		t.Fatalf("poll must see the published snapshot:\n%s", res.Answer)
+	}
+
+	// Flush + process: now the new value shows.
+	ba2.Flush()
+	if _, err := e.med.RunUpdateTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e.med.QueryOpts("T", []string{"r1", "s2"}, nil, QueryOptions{KeyBased: KeyBasedOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Answer.Contains(relation.T(1, 77)) {
+		t.Fatalf("post-flush poll must see the new value:\n%s", res2.Answer)
+	}
+	_ = before
+
+	env := checker.Environment{VDP: e.vdp_, Sources: map[string]*source.DB{"db1": e.db1, "db2": e.db2}, Trace: e.rec}
+	if err := env.CheckConsistency(); err != nil {
+		t.Fatalf("batched run inconsistent: %v", err)
+	}
+}
+
+func TestBatchedAutoFlush(t *testing.T) {
+	e, _, _ := batchedEnv(t, nil, 2) // flush every 2 commits
+	d1 := delta.New()
+	d1.Insert("R", relation.T(7, 10, 1, 100))
+	e.db1.MustApply(d1)
+	if e.med.QueueLen() != 0 {
+		t.Fatalf("first commit must buffer")
+	}
+	d2 := delta.New()
+	d2.Insert("R", relation.T(8, 20, 2, 100))
+	e.db1.MustApply(d2)
+	if e.med.QueueLen() != 1 {
+		t.Fatalf("second commit must trigger the flush, queue=%d", e.med.QueueLen())
+	}
+	if _, err := e.med.RunUpdateTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	truth := e.groundTruth(t)
+	if got := e.med.StoreSnapshot("T"); !got.Equal(truth["T"]) {
+		t.Fatalf("auto-flush propagation diverged")
+	}
+}
+
+// TestHybridDifferenceExport exercises a set node with a PARTIALLY
+// materialized annotation: the store holds a bag projection of the set,
+// and queries for the virtual part rebuild through the VAP.
+func TestHybridDifferenceExport(t *testing.T) {
+	clk := &clock.Logical{}
+	db1 := source.NewDB("db1", clk)
+	db2 := source.NewDB("db2", clk)
+	aS := relation.MustSchema("A", []relation.Attribute{
+		{Name: "x", Type: relation.KindInt}, {Name: "y", Type: relation.KindInt}}, "x", "y")
+	bS := relation.MustSchema("B", []relation.Attribute{
+		{Name: "p", Type: relation.KindInt}, {Name: "q", Type: relation.KindInt}}, "p", "q")
+	a := relation.NewSet(aS)
+	a.Insert(relation.T(1, 10))
+	a.Insert(relation.T(2, 20))
+	a.Insert(relation.T(3, 30))
+	bR := relation.NewSet(bS)
+	bR.Insert(relation.T(2, 20))
+	db1.LoadRelation(a)
+	db2.LoadRelation(bR)
+
+	ap := relation.MustSchema("A'", []relation.Attribute{
+		{Name: "x", Type: relation.KindInt}, {Name: "y", Type: relation.KindInt}})
+	bp := relation.MustSchema("B'", []relation.Attribute{
+		{Name: "p", Type: relation.KindInt}, {Name: "q", Type: relation.KindInt}})
+	gS := relation.MustSchema("G", []relation.Attribute{
+		{Name: "x", Type: relation.KindInt}, {Name: "y", Type: relation.KindInt}})
+	plan, err := vdp.New(
+		&vdp.Node{Name: "A", Schema: aS, Source: "db1"},
+		&vdp.Node{Name: "B", Schema: bS, Source: "db2"},
+		&vdp.Node{Name: "A'", Schema: ap, Ann: vdp.AllMaterialized(ap),
+			Def: vdp.SPJ{Inputs: []vdp.SPJInput{{Rel: "A"}}, Proj: []string{"x", "y"}}},
+		&vdp.Node{Name: "B'", Schema: bp, Ann: vdp.AllMaterialized(bp),
+			Def: vdp.SPJ{Inputs: []vdp.SPJInput{{Rel: "B"}}, Proj: []string{"p", "q"}}},
+		&vdp.Node{Name: "G", Schema: gS, Export: true,
+			Ann: vdp.Ann([]string{"x"}, []string{"y"}), // hybrid SET node
+			Def: vdp.DiffDef{
+				L: vdp.Branch{Rel: "A'", Proj: []string{"x", "y"}},
+				R: vdp.Branch{Rel: "B'", Proj: []string{"p", "q"}},
+			}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	med, err := New(Config{
+		VDP:      plan,
+		Sources:  map[string]SourceConn{"db1": LocalSource{DB: db1}, "db2": LocalSource{DB: db2}},
+		Clock:    clk,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ConnectLocal(med, db1)
+	ConnectLocal(med, db2)
+	if err := med.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func() {
+		t.Helper()
+		ca, _ := db1.Current("A")
+		cb, _ := db2.Current("B")
+		truth, err := plan.EvalAll(vdp.ResolverFromCatalog(map[string]*relation.Relation{"A": ca, "B": cb}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Materialized projection check.
+		want, err := projectSelectLocal(truth["G"], "G", []string{"x"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := med.StoreSnapshot("G"); !got.Equal(want) {
+			t.Fatalf("hybrid set store diverged:\n%swant\n%s", got, want)
+		}
+		// Full query (touches virtual y) through the VAP.
+		res, err := med.QueryOpts("G", nil, nil, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := projectSelectLocal(truth["G"], "G", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Answer.Equal(full) {
+			t.Fatalf("hybrid set query diverged:\n%swant\n%s", res.Answer, full)
+		}
+	}
+	check()
+
+	// Mutations on both sides, including ones that collide on the
+	// materialized projection (two A rows share x after projection).
+	muts := []*delta.Delta{}
+	d1 := delta.New()
+	d1.Insert("A", relation.T(1, 99)) // same x=1, different y
+	muts = append(muts, d1)
+	d2 := delta.New()
+	d2.Insert("B", relation.T(1, 10)) // kills (1,10) but not (1,99)
+	muts = append(muts, d2)
+	d3 := delta.New()
+	d3.Delete("A", relation.T(2, 20))
+	d3.Insert("B", relation.T(3, 30))
+	muts = append(muts, d3)
+	for i, d := range muts {
+		if _, err := func() (clock.Time, error) {
+			if d.Get("A") != nil && d.Get("B") != nil {
+				// Split across the two sources.
+				if _, err := db1.Apply(d.Filter("A")); err != nil {
+					return 0, err
+				}
+				return db2.Apply(d.Filter("B"))
+			}
+			if d.Get("A") != nil {
+				return db1.Apply(d)
+			}
+			return db2.Apply(d)
+		}(); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+		if _, err := med.RunUpdateTransaction(); err != nil {
+			t.Fatalf("mutation %d txn: %v", i, err)
+		}
+		check()
+	}
+	env := checker.Environment{VDP: plan, Sources: map[string]*source.DB{"db1": db1, "db2": db2}, Trace: rec}
+	if err := env.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

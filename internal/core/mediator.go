@@ -1,0 +1,384 @@
+// Package core implements the Squirrel integration mediator (§4, Fig. 3) —
+// the paper's primary contribution. A Mediator owns:
+//
+//   - a local store holding the materialized portion of every annotated
+//     VDP node (full relations for fully materialized nodes, attribute
+//     projections for hybrid nodes, nothing for virtual nodes);
+//   - an update queue fed by source-database announcements;
+//   - the Incremental Update Processor (IUP, §6.4): the Kernel Algorithm
+//     plus the general three-phase algorithm that materializes needed
+//     virtual data before propagating;
+//   - the Query Processor (QP) and Virtual Attribute Processor (VAP,
+//     §6.3), including Eager Compensation when polling hybrid
+//     contributors and key-based construction of temporaries
+//     (Example 2.3).
+//
+// Update and query transactions are serialized (the paper's sequential
+// transaction model); all methods are safe for concurrent use.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// ContributorKind classifies how a source database relates to the mediator
+// (§4).
+type ContributorKind uint8
+
+const (
+	// MaterializedContributor sources contribute only to materialized
+	// data; they must announce updates and are never polled.
+	MaterializedContributor ContributorKind = iota
+	// HybridContributor sources contribute to both portions; they announce
+	// updates and may be polled (with Eager Compensation).
+	HybridContributor
+	// VirtualContributor sources contribute only virtual data; they are
+	// polled and need no active capabilities (legacy systems).
+	VirtualContributor
+)
+
+// String names the kind.
+func (k ContributorKind) String() string {
+	switch k {
+	case MaterializedContributor:
+		return "materialized-contributor"
+	case HybridContributor:
+		return "hybrid-contributor"
+	case VirtualContributor:
+		return "virtual-contributor"
+	}
+	return "unknown"
+}
+
+// SourceConn is the mediator's connection to one source database: snapshot
+// queries packaged as a single transaction. The returned time is the
+// serialization instant of the read (the answer is exactly the source
+// state at that instant). Implementations must preserve FIFO ordering
+// between announcements and answers from the same source.
+type SourceConn interface {
+	Name() string
+	QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error)
+}
+
+// LocalSource adapts an in-process source.DB to SourceConn.
+type LocalSource struct {
+	DB *source.DB
+}
+
+// Name implements SourceConn.
+func (l LocalSource) Name() string { return l.DB.Name() }
+
+// QueryMulti implements SourceConn.
+func (l LocalSource) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	return l.DB.QueryMulti(specs)
+}
+
+// Stats aggregates mediator-side operation counters for the experiments.
+type Stats struct {
+	UpdateTxns      int
+	QueryTxns       int
+	AtomsPropagated int // delta atoms applied across all nodes
+	SourcePolls     int // QueryMulti round trips
+	TuplesPolled    int // tuples received from sources
+	TempsBuilt      int // temporary relations constructed
+	KeyBasedTemps   int // temporaries built via key-based construction
+	QueueHighWater  int
+}
+
+// Config assembles a Mediator.
+type Config struct {
+	// VDP is the annotated plan; required.
+	VDP *vdp.VDP
+	// Sources maps every source database named in the VDP to a connection.
+	Sources map[string]SourceConn
+	// Clock stamps mediator transactions; it must be the integration
+	// environment's global clock for the correctness checkers to apply.
+	Clock clock.Clock
+	// Recorder, if non-nil, receives the transaction trace.
+	Recorder *trace.Recorder
+}
+
+// Mediator is a Squirrel integration mediator.
+type Mediator struct {
+	v        *vdp.VDP
+	sources  map[string]SourceConn
+	clk      clock.Clock
+	recorder *trace.Recorder
+
+	// mu serializes update and query transactions and guards the store
+	// and stats. qmu guards the queue and the ref′ bookkeeping; it is the
+	// ONLY lock OnAnnouncement takes, so a source database can deliver an
+	// announcement from inside its own commit while the mediator is
+	// polling it (lock order: mu before qmu; never qmu before mu).
+	mu           sync.Mutex
+	store        map[string]*relation.Relation // materialized portions
+	contributors map[string]ContributorKind
+	leafSchemas  map[string]*relation.Schema
+	viewInit     clock.Time
+	stats        Stats
+
+	qmu            sync.Mutex
+	queue          []source.Announcement
+	lastProcessed  clock.Vector // ref′: per announcing source
+	initialized    bool
+	queueHighWater int
+}
+
+// New builds a mediator from the configuration. Call Initialize before
+// querying.
+func New(cfg Config) (*Mediator, error) {
+	if cfg.VDP == nil {
+		return nil, fmt.Errorf("core: config needs a VDP")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("core: config needs a clock")
+	}
+	m := &Mediator{
+		v:             cfg.VDP,
+		sources:       make(map[string]SourceConn),
+		clk:           cfg.Clock,
+		recorder:      cfg.Recorder,
+		store:         make(map[string]*relation.Relation),
+		lastProcessed: make(clock.Vector),
+		leafSchemas:   make(map[string]*relation.Schema),
+	}
+	for _, s := range cfg.VDP.Sources() {
+		conn, ok := cfg.Sources[s]
+		if !ok {
+			return nil, fmt.Errorf("core: no connection for source database %q", s)
+		}
+		m.sources[s] = conn
+	}
+	for _, leaf := range cfg.VDP.Leaves() {
+		m.leafSchemas[leaf] = cfg.VDP.Node(leaf).Schema
+	}
+	m.classifyContributors()
+	return m, nil
+}
+
+// classifyContributors implements the §4 taxonomy by reachability: a
+// source contributes to the materialized (virtual) portion iff some node
+// reachable from one of its leaves has a materialized (virtual) attribute.
+func (m *Mediator) classifyContributors() {
+	m.contributors = make(map[string]ContributorKind, len(m.sources))
+	for src := range m.sources {
+		mat, virt := false, false
+		reach := make(map[string]bool)
+		var walk func(name string)
+		walk = func(name string) {
+			if reach[name] {
+				return
+			}
+			reach[name] = true
+			for _, p := range m.v.Parents(name) {
+				walk(p)
+			}
+		}
+		for _, leaf := range m.v.LeavesOf(src) {
+			walk(leaf)
+		}
+		for name := range reach {
+			n := m.v.Node(name)
+			if n.IsLeaf() {
+				continue
+			}
+			for _, a := range n.Schema.AttrNames() {
+				if n.Ann.IsMaterialized(a) {
+					mat = true
+				} else {
+					virt = true
+				}
+			}
+		}
+		switch {
+		case mat && virt:
+			m.contributors[src] = HybridContributor
+		case virt:
+			m.contributors[src] = VirtualContributor
+		default:
+			m.contributors[src] = MaterializedContributor
+		}
+	}
+}
+
+// Contributor returns the classification of a source database.
+// Classification is fixed at construction, so no locking is needed.
+func (m *Mediator) Contributor(src string) ContributorKind {
+	return m.contributors[src]
+}
+
+// VDP returns the mediator's plan.
+func (m *Mediator) VDP() *vdp.VDP { return m.v }
+
+// Stats returns a copy of the operation counters.
+func (m *Mediator) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	m.qmu.Lock()
+	s.QueueHighWater = m.queueHighWater
+	m.qmu.Unlock()
+	return s
+}
+
+// ViewInit returns t_view_init (zero until Initialize).
+func (m *Mediator) ViewInit() clock.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewInit
+}
+
+// storeSchema returns the schema of a node's materialized portion.
+func storeSchema(n *vdp.Node) (*relation.Schema, error) {
+	mats := n.MaterializedAttrs()
+	if len(mats) == 0 {
+		return nil, nil
+	}
+	return n.Schema.Project(n.Name, mats)
+}
+
+// Initialize populates the materialized store by polling every source for
+// its current leaf states and evaluating the VDP bottom-up. Announcements
+// already subscribed are deduplicated against the poll times, so it is
+// safe (and required for consistency) to connect announcement feeds before
+// initializing.
+func (m *Mediator) Initialize() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.qmu.Lock()
+	inited := m.initialized
+	m.qmu.Unlock()
+	if inited {
+		return fmt.Errorf("core: mediator already initialized")
+	}
+	// Poll every source for the full contents of its leaves, one
+	// transaction per source.
+	leafStates := make(map[string]*relation.Relation)
+	for src, conn := range m.sources {
+		leaves := m.v.LeavesOf(src)
+		if len(leaves) == 0 {
+			continue
+		}
+		specs := make([]source.QuerySpec, len(leaves))
+		for i, leaf := range leaves {
+			specs[i] = source.QuerySpec{Rel: leaf}
+		}
+		answers, asOf, err := conn.QueryMulti(specs)
+		if err != nil {
+			return fmt.Errorf("core: initializing from %s: %w", src, err)
+		}
+		m.stats.SourcePolls++
+		for i, leaf := range leaves {
+			leafStates[leaf] = answers[i]
+			m.stats.TuplesPolled += answers[i].Len()
+		}
+		m.qmu.Lock()
+		m.lastProcessed[src] = asOf
+		m.qmu.Unlock()
+	}
+	states, err := m.v.EvalAll(vdp.ResolverFromCatalog(leafStates))
+	if err != nil {
+		return fmt.Errorf("core: initial evaluation: %w", err)
+	}
+	for _, name := range m.v.NonLeaves() {
+		n := m.v.Node(name)
+		schema, err := storeSchema(n)
+		if err != nil {
+			return err
+		}
+		if schema == nil {
+			continue // fully virtual: nothing stored
+		}
+		positions, err := n.Schema.Positions(schema.AttrNames())
+		if err != nil {
+			return err
+		}
+		sem := n.Semantics()
+		if n.Hybrid() {
+			// A projection of a set node can carry duplicates.
+			sem = relation.Bag
+		}
+		rel := relation.New(schema, sem)
+		states[name].Each(func(t relation.Tuple, c int) bool {
+			rel.Add(t.Project(positions), c)
+			return true
+		})
+		m.store[name] = rel
+	}
+	// Drop queued announcements already reflected in the initial poll.
+	m.qmu.Lock()
+	kept := m.queue[:0]
+	for _, a := range m.queue {
+		if a.Time > m.lastProcessed[a.Source] {
+			kept = append(kept, a)
+		}
+	}
+	m.queue = kept
+	m.initialized = true
+	m.qmu.Unlock()
+	m.viewInit = m.clk.Now()
+	return nil
+}
+
+// OnAnnouncement enqueues a source update announcement. Wire this to
+// source.DB.Subscribe (see ConnectLocal) or to a network feed. It takes
+// only the queue lock, so sources can announce while the mediator is
+// mid-transaction (even while it is polling them).
+//
+// Announcements from virtual contributors are dropped: per §4 those
+// sources need no active capabilities, nothing materialized depends on
+// them, and their polls are served (uncompensated) from their current
+// state.
+func (m *Mediator) OnAnnouncement(a source.Announcement) {
+	if m.contributors[a.Source] == VirtualContributor {
+		return
+	}
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	if m.initialized && a.Time <= m.lastProcessed[a.Source] {
+		return // already reflected by a poll
+	}
+	m.queue = append(m.queue, a)
+	if len(m.queue) > m.queueHighWater {
+		m.queueHighWater = len(m.queue)
+	}
+}
+
+// QueueLen reports the number of pending announcements.
+func (m *Mediator) QueueLen() int {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	return len(m.queue)
+}
+
+// ConnectLocal subscribes the mediator to an in-process source database
+// and registers the connection. Call before Initialize.
+func ConnectLocal(m *Mediator, db *source.DB) {
+	db.Subscribe(m.OnAnnouncement)
+}
+
+// StoreSnapshot returns a clone of a node's materialized portion (nil for
+// fully virtual nodes). Intended for inspection and tests.
+func (m *Mediator) StoreSnapshot(node string) *relation.Relation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.store[node]
+	if !ok {
+		return nil
+	}
+	return r.Clone()
+}
+
+// LastProcessed returns a copy of the ref′ vector.
+func (m *Mediator) LastProcessed() clock.Vector {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	return m.lastProcessed.Clone()
+}

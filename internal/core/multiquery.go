@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+	"squirrel/internal/sqlview"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// This file implements queries spanning several export relations — the
+// general form of §6.3, whose VAP input is a SET of (R_i, A_i, f_i)
+// triples. The QP extracts one requirement per referenced export,
+// constructs every temporary in a single VAP invocation (so each source is
+// polled at most once, as the consistency argument requires), and
+// evaluates the relational expression over the assembled catalog.
+
+// QueryExpr answers an arbitrary relational-algebra expression whose base
+// relations are export relations of the integrated view.
+func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.isInitialized() {
+		return nil, fmt.Errorf("core: mediator not initialized")
+	}
+	exports := algebra.BaseRelationsOf(expr)
+	if len(exports) == 0 {
+		return nil, fmt.Errorf("core: query references no relations")
+	}
+	var reqs []vdp.Requirement
+	for _, name := range exports {
+		n := m.v.Node(name)
+		if n == nil || !n.Export {
+			return nil, fmt.Errorf("core: %q is not an export relation", name)
+		}
+		// Conservative: fetch every attribute of each referenced export
+		// (projection pushdown into multi-export temporaries is an
+		// optimization the single-export path already demonstrates).
+		req, err := vdp.NewRequirement(m.v, name, n.Schema.AttrNames(), nil)
+		if err != nil {
+			return nil, err
+		}
+		if req.NeedsVirtual(m.v) {
+			reqs = append(reqs, req)
+		}
+	}
+
+	res := &tempResult{
+		temps:    map[string]*relation.Relation{},
+		polledAt: map[string]clock.Time{},
+	}
+	if len(reqs) > 0 {
+		plan, err := m.v.PlanTemporaries(reqs)
+		if err != nil {
+			return nil, err
+		}
+		res, err = m.buildTemporaries(plan)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Catalog: temporaries where built, stores for fully materialized
+	// exports.
+	cat := make(algebra.MapCatalog, len(exports))
+	for _, name := range exports {
+		if temp, ok := res.temps[name]; ok {
+			cat[name] = temp
+			continue
+		}
+		st, ok := m.store[name]
+		if !ok {
+			return nil, fmt.Errorf("core: no state for export %q", name)
+		}
+		cat[name] = st
+	}
+	answer, err := expr.Eval(cat)
+	if err != nil {
+		return nil, err
+	}
+
+	committed := m.clk.Now()
+	m.qmu.Lock()
+	reflect := make(clock.Vector, len(m.sources))
+	for src := range m.sources {
+		switch {
+		case m.contributors[src] != VirtualContributor:
+			reflect[src] = m.lastProcessed[src]
+		case res.polledAt[src] != 0:
+			reflect[src] = res.polledAt[src]
+		default:
+			reflect[src] = committed
+		}
+	}
+	m.qmu.Unlock()
+
+	m.stats.QueryTxns++
+	m.recorder.RecordQuery(trace.QueryTxn{
+		Committed: committed,
+		Reflect:   reflect.Clone(),
+		Multi:     expr,
+		Answer:    answer.Clone(),
+		Polled:    res.polls,
+	})
+	return &QueryResult{
+		Answer:    answer,
+		Reflect:   reflect,
+		Committed: committed,
+		Polled:    res.polls,
+	}, nil
+}
+
+// QueryExprSQL answers a multi-relation SELECT over export relations
+// (joins, UNION, EXCEPT all permitted — the relations named in FROM must
+// be exports).
+func (m *Mediator) QueryExprSQL(sql string) (*QueryResult, error) {
+	stmt, err := sqlview.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	expr, err := stmt.ToRelExpr("answer")
+	if err != nil {
+		return nil, err
+	}
+	return m.QueryExpr(expr, QueryOptions{})
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+	"squirrel/internal/sqlview"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// This file implements the Query Processor (§4, §6.3). Queries take the
+// paper's canonical form π_Attrs σ_Cond (Export). When every referenced
+// attribute is materialized the answer comes straight from the local
+// store; otherwise the VAP constructs temporary relations — either the
+// standard children-based way or by key-based construction (Example 2.3).
+
+// KeyBasedMode selects how the QP uses key-based construction.
+type KeyBasedMode uint8
+
+const (
+	// KeyBasedAuto picks whichever construction polls fewer sources.
+	KeyBasedAuto KeyBasedMode = iota
+	// KeyBasedForce always uses key-based construction when applicable.
+	KeyBasedForce
+	// KeyBasedOff disables key-based construction.
+	KeyBasedOff
+)
+
+// QueryOptions tune query processing.
+type QueryOptions struct {
+	KeyBased KeyBasedMode
+}
+
+// QueryResult is the answer to a query transaction together with its
+// consistency metadata.
+type QueryResult struct {
+	Answer *relation.Relation
+	// Reflect is the ref(t_j^q) vector: the source-state times the answer
+	// corresponds to (§6.1).
+	Reflect clock.Vector
+	// Committed is the query transaction's commit time t_j^q.
+	Committed clock.Time
+	// Polled counts source round trips; KeyBased reports the construction
+	// used.
+	Polled   int
+	KeyBased bool
+}
+
+// Query answers π_attrs σ_cond (export) with default options. attrs nil
+// means all attributes of the export relation.
+func (m *Mediator) Query(export string, attrs []string, cond algebra.Expr) (*relation.Relation, error) {
+	res, err := m.QueryOpts(export, attrs, cond, QueryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Answer, nil
+}
+
+// QuerySQL answers a query written as `SELECT cols FROM Export WHERE cond`
+// against a single export relation.
+func (m *Mediator) QuerySQL(sql string) (*relation.Relation, error) {
+	stmt, err := sqlview.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Op != "" {
+		return nil, fmt.Errorf("core: query must be a single SELECT block")
+	}
+	sel := stmt.Left
+	if len(sel.Tables) != 1 {
+		return nil, fmt.Errorf("core: queries join nothing; define a view for joins")
+	}
+	return m.Query(sel.Tables[0].Rel, sel.Cols, sel.Where)
+}
+
+// QueryOpts answers π_attrs σ_cond (export) under explicit options,
+// returning full consistency metadata.
+func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, opts QueryOptions) (*QueryResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.isInitialized() {
+		return nil, fmt.Errorf("core: mediator not initialized")
+	}
+	n := m.v.Node(export)
+	if n == nil || !n.Export {
+		return nil, fmt.Errorf("core: %q is not an export relation", export)
+	}
+	if attrs == nil {
+		attrs = n.Schema.AttrNames()
+	}
+	req, err := vdp.NewRequirement(m.v, export, attrs, cond)
+	if err != nil {
+		return nil, err
+	}
+
+	var answer *relation.Relation
+	var res *tempResult
+	usedKeyBased := false
+
+	switch {
+	case !req.NeedsVirtual(m.v):
+		// Fast path: everything materialized.
+		answer, err = projectSelectLocal(m.store[export], export, attrs, cond)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		kb, kbOK := m.v.KeyBasedPlan(req)
+		useKB := false
+		switch opts.KeyBased {
+		case KeyBasedForce:
+			useKB = kbOK
+		case KeyBasedAuto:
+			// Prefer key-based when it polls strictly fewer sources (the
+			// paper: "one more choice", not always better).
+			if kbOK {
+				std := m.v.SourcesNeeded(req)
+				kbCost := 0
+				if kb.ChildReq.NeedsVirtual(m.v) {
+					kbCost = m.v.SourcesNeeded(kb.ChildReq)
+				}
+				useKB = kbCost < std
+			}
+		}
+		if useKB {
+			answer, res, err = m.keyBasedAnswer(req, kb, attrs)
+			usedKeyBased = true
+		} else {
+			answer, res, err = m.standardAnswer(req, attrs)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble ref(t_j^q) per §6.1.
+	committed := m.clk.Now()
+	m.qmu.Lock()
+	reflect := make(clock.Vector, len(m.sources))
+	for src := range m.sources {
+		switch {
+		case m.contributors[src] != VirtualContributor:
+			reflect[src] = m.lastProcessed[src]
+		case res != nil && res.polledAt[src] != 0:
+			reflect[src] = res.polledAt[src]
+		default:
+			// Uninvolved virtual contributor: the answer trivially
+			// corresponds to its current state.
+			reflect[src] = committed
+		}
+	}
+	m.qmu.Unlock()
+
+	m.stats.QueryTxns++
+	if usedKeyBased {
+		m.stats.KeyBasedTemps++
+	}
+	polls := 0
+	if res != nil {
+		polls = res.polls
+	}
+	m.recorder.RecordQuery(trace.QueryTxn{
+		Committed: committed,
+		Reflect:   reflect.Clone(),
+		Export:    export,
+		Attrs:     append([]string(nil), attrs...),
+		Cond:      cond,
+		Answer:    answer.Clone(),
+		Polled:    polls,
+		KeyBased:  usedKeyBased,
+	})
+	return &QueryResult{
+		Answer:    answer,
+		Reflect:   reflect,
+		Committed: committed,
+		Polled:    polls,
+		KeyBased:  usedKeyBased,
+	}, nil
+}
+
+// standardAnswer runs the two-phase VAP (§6.3) and evaluates the query
+// over the constructed temporaries. attrs is the caller's projection —
+// req.Attrs may be wider (closed over condition attributes).
+func (m *Mediator) standardAnswer(req vdp.Requirement, attrs []string) (*relation.Relation, *tempResult, error) {
+	plan, err := m.v.PlanTemporaries([]vdp.Requirement{req})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.buildTemporaries(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	top, ok := res.temps[req.Rel]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: VAP did not construct a temporary for %q", req.Rel)
+	}
+	// The temporary may be a superset (merged conditions and closure
+	// attributes); re-apply the condition and project to the caller's list.
+	answer, err := projectSelectLocal(top, req.Rel, attrs, req.Cond)
+	if err != nil {
+		return nil, nil, err
+	}
+	return answer, res, nil
+}
+
+// keyBasedAnswer implements the key-based construction of Example 2.3:
+// join the export's materialized store projection with a single child
+// fetch keyed by the child's key.
+func (m *Mediator) keyBasedAnswer(req vdp.Requirement, kb *vdp.KeyBased, attrs []string) (*relation.Relation, *tempResult, error) {
+	// Fetch the child portion (recursively through the VAP if the child
+	// itself is virtual).
+	var childRel *relation.Relation
+	res := &tempResult{temps: map[string]*relation.Relation{}, polledAt: map[string]clock.Time{}}
+	if kb.ChildReq.NeedsVirtual(m.v) {
+		plan, err := m.v.PlanTemporaries([]vdp.Requirement{kb.ChildReq})
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err = m.buildTemporaries(plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		childRel = res.temps[kb.ChildReq.Rel]
+		if childRel == nil {
+			return nil, nil, fmt.Errorf("core: VAP did not construct the key-based child %q", kb.ChildReq.Rel)
+		}
+	} else {
+		var err error
+		childRel, err = projectSelectLocal(m.store[kb.ChildReq.Rel], kb.ChildReq.Rel,
+			kb.ChildReq.AttrList(m.v), kb.ChildReq.Cond)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	storePart, err := projectSelectLocal(m.store[kb.Node], kb.Node, kb.StoreAttrs, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	joined, err := joinOnKey(m.v.Node(kb.Node), storePart, childRel, kb.Key)
+	if err != nil {
+		return nil, nil, err
+	}
+	answer, err := projectSelectLocal(joined, kb.Node, attrs, req.Cond)
+	if err != nil {
+		return nil, nil, err
+	}
+	return answer, res, nil
+}
+
+// joinOnKey joins the store projection with the child fetch on the child's
+// key, producing a relation over (storeAttrs ∪ child non-key attrs) in the
+// node's schema order with the store's multiplicities. The child's key
+// functionally determines its other attributes, so each store row matches
+// at most one child row.
+func joinOnKey(n *vdp.Node, storePart, childPart *relation.Relation, key []string) (*relation.Relation, error) {
+	childKeyPos, err := childPart.Schema().Positions(key)
+	if err != nil {
+		return nil, err
+	}
+	storeKeyPos, err := storePart.Schema().Positions(key)
+	if err != nil {
+		return nil, err
+	}
+	// Output attributes: node order, restricted to those available.
+	avail := make(map[string]bool)
+	for _, a := range storePart.Schema().AttrNames() {
+		avail[a] = true
+	}
+	keySet := make(map[string]bool, len(key))
+	for _, k := range key {
+		keySet[k] = true
+	}
+	var childExtra []string
+	for _, a := range childPart.Schema().AttrNames() {
+		if !keySet[a] {
+			avail[a] = true
+			childExtra = append(childExtra, a)
+		}
+	}
+	var outAttrs []relation.Attribute
+	for _, a := range n.Schema.Attrs() {
+		if avail[a.Name] {
+			outAttrs = append(outAttrs, a)
+		}
+	}
+	schema, err := relation.NewSchema(n.Name, outAttrs)
+	if err != nil {
+		return nil, err
+	}
+	// Index the child by key.
+	childByKey := make(map[string]relation.Tuple, childPart.Len())
+	childPart.Each(func(t relation.Tuple, _ int) bool {
+		childByKey[t.KeyOn(childKeyPos)] = t
+		return true
+	})
+	childExtraPos, err := childPart.Schema().Positions(childExtra)
+	if err != nil {
+		return nil, err
+	}
+	// Assemble output tuples in schema order.
+	out := relation.NewBag(schema)
+	storeAttrIdx := make(map[string]int)
+	for i, a := range storePart.Schema().AttrNames() {
+		storeAttrIdx[a] = i
+	}
+	childExtraIdx := make(map[string]int)
+	for i, a := range childExtra {
+		childExtraIdx[a] = i
+	}
+	storePart.Each(func(st relation.Tuple, c int) bool {
+		ct, ok := childByKey[st.KeyOn(storeKeyPos)]
+		if !ok {
+			return true // child fetch filtered this row out
+		}
+		extras := ct.Project(childExtraPos)
+		tuple := make(relation.Tuple, len(outAttrs))
+		for i, a := range outAttrs {
+			if p, ok := storeAttrIdx[a.Name]; ok {
+				tuple[i] = st[p]
+			} else {
+				tuple[i] = extras[childExtraIdx[a.Name]]
+			}
+		}
+		out.Add(tuple, c)
+		return true
+	})
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runtime drives a mediator's update transactions on a wall-clock period —
+// the u_hold_delay policy of §7 as a deployable component. Queries go
+// straight to the mediator (its transactions are internally serialized);
+// the runtime only owns the flush loop.
+type Runtime struct {
+	med    *Mediator
+	period time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	lastErr error
+	flushes int
+}
+
+// NewRuntime wraps a mediator with a periodic flush loop; call Start.
+func NewRuntime(med *Mediator, period time.Duration) (*Runtime, error) {
+	if med == nil {
+		return nil, fmt.Errorf("core: runtime needs a mediator")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("core: runtime period must be positive")
+	}
+	return &Runtime{med: med, period: period}, nil
+}
+
+// Start launches the flush loop. It is an error to start a running
+// runtime.
+func (r *Runtime) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return fmt.Errorf("core: runtime already started")
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.loop(r.stop, r.done)
+	return nil
+}
+
+func (r *Runtime) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(r.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			// Final drain so Stop leaves nothing queued.
+			r.flushAll()
+			return
+		case <-ticker.C:
+			r.flushAll()
+		}
+	}
+}
+
+func (r *Runtime) flushAll() {
+	for {
+		ran, err := r.med.RunUpdateTransaction()
+		if err != nil {
+			r.mu.Lock()
+			r.lastErr = err
+			r.mu.Unlock()
+			return
+		}
+		if !ran {
+			return
+		}
+		r.mu.Lock()
+		r.flushes++
+		r.mu.Unlock()
+	}
+}
+
+// Flush runs update transactions until the queue is empty, synchronously
+// (useful before a query that must observe everything announced so far).
+func (r *Runtime) Flush() error {
+	for {
+		ran, err := r.med.RunUpdateTransaction()
+		if err != nil {
+			return err
+		}
+		if !ran {
+			return nil
+		}
+	}
+}
+
+// Stop terminates the loop after a final drain and reports any error the
+// loop hit. Stopping a never-started or already-stopped runtime is a
+// no-op returning the last error.
+func (r *Runtime) Stop() error {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// Flushes reports how many update transactions the loop has committed.
+func (r *Runtime) Flushes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushes
+}
+
+// Err reports the most recent loop error (nil if none). A loop error
+// stops further automatic flushing until the next tick retries.
+func (r *Runtime) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}

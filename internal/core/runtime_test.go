@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+)
+
+func TestRuntimeFlushesPeriodically(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	rt, err := NewRuntime(e.med, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := delta.New()
+	d.Insert("R", relation.T(5, 20, 11, 100))
+	e.db1.MustApply(d)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for e.med.QueueLen() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.med.QueueLen() != 0 {
+		t.Fatalf("runtime never flushed the queue")
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Flushes() == 0 {
+		t.Errorf("no flushes counted")
+	}
+	truth := e.groundTruth(t)
+	if got := e.med.StoreSnapshot("T"); !got.Equal(truth["T"]) {
+		t.Errorf("store after runtime flush:\n%swant\n%s", got, truth["T"])
+	}
+}
+
+func TestRuntimeStopDrains(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	rt, err := NewRuntime(e.med, time.Hour) // tick never fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := delta.New()
+	d.Insert("R", relation.T(6, 10, 2, 100))
+	e.db1.MustApply(d)
+	if err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if e.med.QueueLen() != 0 {
+		t.Errorf("Stop must drain the queue")
+	}
+	// Stop again is a no-op.
+	if err := rt.Stop(); err != nil {
+		t.Errorf("double stop: %v", err)
+	}
+}
+
+func TestRuntimeFlushSynchronous(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	rt, err := NewRuntime(e.med, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := delta.New()
+	d.Insert("S", relation.T(40, 4, 10))
+	e.db2.MustApply(d)
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.med.QueueLen() != 0 {
+		t.Errorf("Flush must drain")
+	}
+	if rt.Err() != nil {
+		t.Errorf("unexpected error: %v", rt.Err())
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	if _, err := NewRuntime(nil, time.Second); err == nil {
+		t.Errorf("nil mediator")
+	}
+	if _, err := NewRuntime(e.med, 0); err == nil {
+		t.Errorf("zero period")
+	}
+	rt, _ := NewRuntime(e.med, time.Hour)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err == nil {
+		t.Errorf("double start")
+	}
+	rt.Stop()
+}

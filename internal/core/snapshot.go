@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+)
+
+// StateSnapshot is the mediator's durable state: the materialized store,
+// the ref′ vector it corresponds to, and the view-initialization time.
+// Serialize it with internal/persist.
+type StateSnapshot struct {
+	Store         map[string]*relation.Relation
+	LastProcessed clock.Vector
+	ViewInit      clock.Time
+}
+
+// Snapshot captures a consistent copy of the durable state. The snapshot
+// corresponds to the source states at LastProcessed, so a mediator
+// restored from it resumes exactly where this one left off — provided the
+// announcement feed replays everything committed after LastProcessed (see
+// source.DB.ReplaySince).
+func (m *Mediator) Snapshot() (*StateSnapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.isInitialized() {
+		return nil, fmt.Errorf("core: snapshot of uninitialized mediator")
+	}
+	out := &StateSnapshot{Store: make(map[string]*relation.Relation, len(m.store))}
+	for name, rel := range m.store {
+		out.Store[name] = rel.Clone()
+	}
+	m.qmu.Lock()
+	out.LastProcessed = m.lastProcessed.Clone()
+	m.qmu.Unlock()
+	out.ViewInit = m.viewInit
+	return out, nil
+}
+
+// Restore installs a snapshot in lieu of Initialize. The snapshot must
+// come from a mediator with the same annotated VDP: every expected
+// materialized node must be present with a matching schema shape.
+// Announcements already queued that the snapshot covers are discarded.
+func (m *Mediator) Restore(snap *StateSnapshot) error {
+	if snap == nil {
+		return fmt.Errorf("core: nil snapshot")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.isInitialized() {
+		return fmt.Errorf("core: mediator already initialized")
+	}
+	// Validate coverage before touching anything.
+	for _, name := range m.v.NonLeaves() {
+		n := m.v.Node(name)
+		schema, err := storeSchema(n)
+		if err != nil {
+			return err
+		}
+		if schema == nil {
+			if _, extra := snap.Store[name]; extra {
+				return fmt.Errorf("core: snapshot has a store for fully virtual node %q", name)
+			}
+			continue
+		}
+		rel, ok := snap.Store[name]
+		if !ok {
+			return fmt.Errorf("core: snapshot missing store for node %q", name)
+		}
+		if !rel.Schema().SameShape(schema) {
+			return fmt.Errorf("core: snapshot store for %q has shape %s, want %s",
+				name, rel.Schema(), schema)
+		}
+	}
+	for name := range snap.Store {
+		n := m.v.Node(name)
+		if n == nil || n.IsLeaf() {
+			return fmt.Errorf("core: snapshot has a store for unknown or leaf node %q", name)
+		}
+	}
+	for name, rel := range snap.Store {
+		m.store[name] = rel.Clone()
+	}
+	m.qmu.Lock()
+	m.lastProcessed = snap.LastProcessed.Clone()
+	kept := m.queue[:0]
+	for _, a := range m.queue {
+		if a.Time > m.lastProcessed[a.Source] {
+			kept = append(kept, a)
+		}
+	}
+	m.queue = kept
+	m.initialized = true
+	m.qmu.Unlock()
+	m.viewInit = snap.ViewInit
+	return nil
+}

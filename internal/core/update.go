@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// This file implements the Incremental Update Processor (§6.4): the
+// three-phase general algorithm — (a) determine needed temporaries by
+// simulating the kernel (vdp.KernelRequirements), (b) populate them with
+// the VAP (to the pre-transaction state ref′(t_{i-1}), via Eager
+// Compensation), (c) run the Kernel Algorithm, processing nodes in
+// topological order with the sibling-state discipline that avoids the
+// Example 6.1 anomaly.
+
+// RunUpdateTransaction drains the update queue (the snapshot present when
+// the transaction starts) and propagates the combined delta through the
+// VDP. It reports whether a transaction ran (false when the queue was
+// empty).
+func (m *Mediator) RunUpdateTransaction() (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.isInitialized() {
+		return false, fmt.Errorf("core: mediator not initialized")
+	}
+
+	// Snapshot the queue: this transaction covers exactly this prefix
+	// (empty_queue time); later arrivals wait for the next transaction.
+	m.qmu.Lock()
+	snapshot := append([]source.Announcement(nil), m.queue...)
+	m.qmu.Unlock()
+	if len(snapshot) == 0 {
+		return false, nil
+	}
+
+	// Combine the announcements into one delta per VDP leaf, tracking the
+	// latest announcement time per source (the new ref′ components).
+	combined := delta.New()
+	newRef := make(clock.Vector)
+	for _, a := range snapshot {
+		for _, relName := range a.Delta.Relations() {
+			leaf := m.v.Node(relName)
+			if leaf == nil || !leaf.IsLeaf() || leaf.Source != a.Source {
+				continue // irrelevant to this mediator
+			}
+			combined.Rel(relName).Smash(a.Delta.Get(relName))
+		}
+		if a.Time > newRef[a.Source] {
+			newRef[a.Source] = a.Time
+		}
+	}
+
+	var dirty []string
+	for _, relName := range combined.Relations() {
+		dirty = append(dirty, relName)
+	}
+
+	var temps *tempResult
+	polled := 0
+	if len(dirty) > 0 {
+		// Phase (a): which node states will the rules read?
+		reqs, err := m.v.KernelRequirements(dirty)
+		if err != nil {
+			return false, err
+		}
+		var needed []vdp.Requirement
+		for _, r := range reqs {
+			if r.NeedsVirtual(m.v) {
+				needed = append(needed, r)
+			}
+		}
+		// Phase (b): populate them (the VAP compensates polls back to the
+		// pre-transaction state ref′(t_{i-1})).
+		if len(needed) > 0 {
+			plan, err := m.v.PlanTemporaries(needed)
+			if err != nil {
+				return false, err
+			}
+			res, err := m.buildTemporaries(plan)
+			if err != nil {
+				return false, err
+			}
+			temps = res
+			polled = res.polls
+		}
+		// Phase (c): the Kernel Algorithm.
+		if err := m.kernel(combined, temps); err != nil {
+			return false, err
+		}
+	}
+
+	// Commit: remove the processed prefix and advance ref′.
+	m.qmu.Lock()
+	m.queue = m.queue[len(snapshot):]
+	for src, t := range newRef {
+		if t > m.lastProcessed[src] {
+			m.lastProcessed[src] = t
+		}
+	}
+	reflect := m.lastProcessed.Clone()
+	m.qmu.Unlock()
+
+	m.stats.UpdateTxns++
+	m.stats.AtomsPropagated += combined.Card()
+	m.recorder.RecordUpdate(trace.UpdateTxn{
+		Committed: m.clk.Now(),
+		Reflect:   reflect,
+		Atoms:     combined.Card(),
+		Polled:    polled,
+	})
+	return true, nil
+}
+
+// kernel runs the IUP Kernel Algorithm (§6.4) over the combined leaf delta
+// with the given temporaries standing in for virtual/hybrid node states.
+func (m *Mediator) kernel(combined *delta.Delta, temps *tempResult) error {
+	var tempRels map[string]*relation.Relation
+	if temps != nil {
+		tempRels = temps.temps
+	}
+	resolve := m.resolver(tempRels)
+	pending := make(map[string]*delta.RelDelta)
+	for _, name := range m.v.Order() {
+		n := m.v.Node(name)
+		var dn *delta.RelDelta
+		if n.IsLeaf() {
+			dn = combined.Get(name)
+		} else {
+			dn = pending[name]
+		}
+		if dn == nil || dn.IsEmpty() {
+			continue
+		}
+		// Fire the rules of the in-edges: propagate Δ(name) to parents —
+		// but only along paths that reach materialized data; virtual-only
+		// subgraphs are the VAP's job.
+		for _, parent := range m.v.Parents(name) {
+			if !m.v.MaterializationRelevant(parent) {
+				continue
+			}
+			contrib, err := m.v.Propagate(parent, name, dn, resolve)
+			if err != nil {
+				return fmt.Errorf("core: rule (%s, %s): %w", parent, name, err)
+			}
+			if acc, ok := pending[parent]; ok {
+				acc.Smash(contrib)
+			} else {
+				pending[parent] = contrib
+			}
+		}
+		if n.IsLeaf() {
+			continue // leaves hold no mediator state
+		}
+		// Process the node: apply Δ to its temporary (if any) and to the
+		// materialized portion of its store. A temporary holds
+		// π_B σ_cond of the node, so the delta passes through the same
+		// selection before the projection (both commute with apply, §6.2).
+		if temp, ok := tempRels[name]; ok {
+			toApply := dn
+			if cond := temps.conds[name]; !algebra.IsTrue(cond) {
+				filtered, err := dn.Select(func(t relation.Tuple) (bool, error) {
+					return algebra.EvalPred(cond, n.Schema, t)
+				})
+				if err != nil {
+					return err
+				}
+				toApply = filtered
+			}
+			narrowed, err := projectRelDelta(toApply, n.Schema, temp.Schema())
+			if err != nil {
+				return err
+			}
+			if err := narrowed.ApplyTo(temp, true); err != nil {
+				return fmt.Errorf("core: applying Δ%s to temporary: %w", name, err)
+			}
+		}
+		if st, ok := m.store[name]; ok {
+			narrowed, err := projectRelDelta(dn, n.Schema, st.Schema())
+			if err != nil {
+				return err
+			}
+			if err := narrowed.ApplyTo(st, true); err != nil {
+				return fmt.Errorf("core: applying Δ%s to store: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// projectRelDelta narrows a full-width node delta onto the attributes of a
+// narrower target (a temporary or a hybrid store projection).
+func projectRelDelta(d *delta.RelDelta, full *relation.Schema, target *relation.Schema) (*delta.RelDelta, error) {
+	if full.Arity() == target.Arity() {
+		return d, nil
+	}
+	positions, err := full.Positions(target.AttrNames())
+	if err != nil {
+		return nil, err
+	}
+	return d.Project(d.Rel(), positions), nil
+}
+
+func (m *Mediator) isInitialized() bool {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	return m.initialized
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/vdp"
+)
+
+// This file implements the Virtual Attribute Processor (§6.3): given a
+// planned set of temporary-relation requirements (children-first), it
+// polls source databases for the leaf-parent temporaries — with Eager
+// Compensation for announcing (materialized/hybrid-contributor) sources so
+// the answers correspond to ref′, and single-transaction packaging for
+// virtual contributors — and evaluates the higher temporaries bottom-up.
+
+// tempResult carries constructed temporaries and poll bookkeeping.
+type tempResult struct {
+	temps map[string]*relation.Relation
+	// conds records each temporary's selection condition (the
+	// requirement's Cond): a temp holds π_B σ_cond of its node, so any
+	// delta applied to it during the kernel run must pass through the
+	// same selection.
+	conds map[string]algebra.Expr
+	// polledAt records, per virtual-contributor source polled, the
+	// serialization instant of the read (these become the ref components
+	// of the ongoing query transaction).
+	polledAt map[string]clock.Time
+	polls    int
+	tuples   int
+}
+
+// resolver resolves node states to temporaries first, then to the local
+// store.
+func (m *Mediator) resolver(temps map[string]*relation.Relation) vdp.Resolver {
+	return func(name string) (*relation.Relation, error) {
+		if temps != nil {
+			if r, ok := temps[name]; ok {
+				return r, nil
+			}
+		}
+		if r, ok := m.store[name]; ok {
+			return r, nil
+		}
+		return nil, fmt.Errorf("core: no temporary or materialized state for %q", name)
+	}
+}
+
+// buildTemporaries executes phase two of the VAP for an already-expanded
+// plan (from vdp.PlanTemporaries). Must be called with m.mu held.
+func (m *Mediator) buildTemporaries(plan []vdp.Requirement) (*tempResult, error) {
+	res := &tempResult{
+		temps:    make(map[string]*relation.Relation),
+		conds:    make(map[string]algebra.Expr),
+		polledAt: make(map[string]clock.Time),
+	}
+	// Split the plan: leaf-parent requirements are satisfied by polling;
+	// the rest bottom-up. Plan order is already children-first.
+	type pollItem struct {
+		req  vdp.Requirement
+		spec vdp.PollSpec
+	}
+	bySource := make(map[string][]pollItem)
+	var upper []vdp.Requirement
+	for _, req := range plan {
+		if !req.NeedsVirtual(m.v) {
+			continue // served directly from the store
+		}
+		if m.v.IsLeafParent(req.Rel) {
+			spec, err := m.v.LeafParentPollSpec(req)
+			if err != nil {
+				return nil, err
+			}
+			bySource[spec.Source] = append(bySource[spec.Source], pollItem{req: req, spec: spec})
+			continue
+		}
+		upper = append(upper, req)
+	}
+
+	// Poll each source once, packaging all its reads into a single
+	// transaction (§6.3's requirement for virtual contributors; harmless
+	// and efficient for hybrid contributors too).
+	sources := make([]string, 0, len(bySource))
+	for s := range bySource {
+		sources = append(sources, s)
+	}
+	sort.Strings(sources)
+	for _, src := range sources {
+		items := bySource[src]
+		conn, ok := m.sources[src]
+		if !ok {
+			return nil, fmt.Errorf("core: no connection for source %q", src)
+		}
+		specs := make([]source.QuerySpec, len(items))
+		for i, it := range items {
+			specs[i] = source.QuerySpec{Rel: it.spec.Leaf, Attrs: it.spec.Attrs, Cond: it.spec.Cond}
+		}
+		answers, asOf, err := conn.QueryMulti(specs)
+		if err != nil {
+			return nil, fmt.Errorf("core: polling %s: %w", src, err)
+		}
+		res.polls++
+		m.stats.SourcePolls++
+		announcing := m.contributors[src] != VirtualContributor
+		if !announcing {
+			res.polledAt[src] = asOf
+		}
+		for i, it := range items {
+			ans := answers[i]
+			res.tuples += ans.Len()
+			m.stats.TuplesPolled += ans.Len()
+			if announcing {
+				// Eager Compensation: roll the answer back to ref′(src) by
+				// undoing every queued (announced but unprocessed) update
+				// from this source that the answer already reflects.
+				if err := m.compensate(ans, src, it.spec, asOf); err != nil {
+					return nil, err
+				}
+			}
+			temp, err := leafParentTemp(m.v, it.req, it.spec, ans)
+			if err != nil {
+				return nil, err
+			}
+			res.temps[it.req.Rel] = temp
+			res.conds[it.req.Rel] = it.req.Cond
+			m.stats.TempsBuilt++
+		}
+	}
+
+	// Build the remaining temporaries bottom-up.
+	resolve := m.resolver(res.temps)
+	for _, req := range upper {
+		n := m.v.Node(req.Rel)
+		temp, err := vdp.EvalRestricted(n, req.AttrList(m.v), req.Cond, resolve)
+		if err != nil {
+			return nil, fmt.Errorf("core: constructing temporary for %s: %w", req.Rel, err)
+		}
+		res.temps[req.Rel] = temp
+		res.conds[req.Rel] = req.Cond
+		m.stats.TempsBuilt++
+	}
+	return res, nil
+}
+
+// compensate applies the inverse smash of the queued updates from src
+// (those at or before the poll instant) to the poll answer, pushed through
+// the poll's selection and projection — the Eager Compensation Algorithm
+// generalization of §6.3.
+func (m *Mediator) compensate(answer *relation.Relation, src string, spec vdp.PollSpec, asOf clock.Time) error {
+	m.qmu.Lock()
+	pending := delta.NewRel(spec.Leaf)
+	for _, a := range m.queue {
+		if a.Source != src || a.Time > asOf {
+			continue
+		}
+		if rd := a.Delta.Get(spec.Leaf); rd != nil {
+			pending.Smash(rd)
+		}
+	}
+	m.qmu.Unlock()
+	if pending.IsEmpty() {
+		return nil
+	}
+	leafSchema, ok := m.leafSchemas[spec.Leaf]
+	if !ok {
+		return fmt.Errorf("core: unknown leaf %q", spec.Leaf)
+	}
+	// Selection and projection commute with apply (§6.2), so transform the
+	// pending delta exactly as the source transformed the data.
+	selected, err := pending.Select(func(t relation.Tuple) (bool, error) {
+		return algebra.EvalPred(spec.Cond, leafSchema, t)
+	})
+	if err != nil {
+		return err
+	}
+	attrs := spec.Attrs
+	if attrs == nil {
+		attrs = leafSchema.AttrNames()
+	}
+	positions, err := leafSchema.Positions(attrs)
+	if err != nil {
+		return err
+	}
+	projected := selected.Project(spec.Leaf, positions)
+	if err := projected.Inverse().ApplyTo(answer, true); err != nil {
+		return fmt.Errorf("core: eager compensation for %s/%s: %w", src, spec.Leaf, err)
+	}
+	return nil
+}
+
+// leafParentTemp converts a compensated poll answer (over the poll's leaf
+// attributes) into the temporary relation for the leaf-parent node:
+// project to the requirement's attributes, in the node's attribute order.
+func leafParentTemp(v *vdp.VDP, req vdp.Requirement, spec vdp.PollSpec, answer *relation.Relation) (*relation.Relation, error) {
+	n := v.Node(req.Rel)
+	attrs := req.AttrList(v)
+	schema, err := n.Schema.Project(n.Name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	positions, err := answer.Schema().Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewBag(schema)
+	answer.Each(func(t relation.Tuple, c int) bool {
+		out.Add(t.Project(positions), c)
+		return true
+	})
+	return out, nil
+}
+
+// projectSelectLocal computes π_attrs σ_cond over a materialized relation
+// (used by the QP fast path and for final answers over temporaries).
+func projectSelectLocal(rel *relation.Relation, name string, attrs []string, cond algebra.Expr) (*relation.Relation, error) {
+	if attrs == nil {
+		attrs = rel.Schema().AttrNames()
+	}
+	schema, err := rel.Schema().Project(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	positions, err := rel.Schema().Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewBag(schema)
+	var evalErr error
+	rel.Each(func(t relation.Tuple, c int) bool {
+		ok, err := algebra.EvalPred(cond, rel.Schema(), t)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if ok {
+			out.Add(t.Project(positions), c)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}

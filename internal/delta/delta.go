@@ -1,0 +1,294 @@
+// Package delta implements the Heraclitus-style delta machinery of §6.2 of
+// the paper: deltas as first-class values describing the difference between
+// database states, with the apply, smash (!), and inverse operators, plus
+// the bag generalization [DHR95] required for VDP nodes that involve
+// projection or union.
+//
+// A RelDelta is a signed multiset over tuples of a single relation: a
+// positive count n means n insertion atoms +R(t), a negative count means
+// deletion atoms -R(t). The consistency condition of the paper — that a
+// delta cannot contain both +R(t) and -R(t) — is structural here: each
+// tuple has a single signed count.
+//
+// A Delta groups RelDeltas for several relations, matching the paper's
+// deltas that "simultaneously contain atoms that refer to more than one
+// relation".
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"squirrel/internal/relation"
+)
+
+// RelDelta is an incremental update to a single relation, represented as a
+// signed multiset of tuples.
+type RelDelta struct {
+	rel     string
+	entries map[string]*entry
+}
+
+type entry struct {
+	tuple relation.Tuple
+	n     int
+}
+
+// NewRel creates an empty delta for the named relation.
+func NewRel(rel string) *RelDelta {
+	return &RelDelta{rel: rel, entries: make(map[string]*entry)}
+}
+
+// Rel returns the name of the relation this delta applies to.
+func (d *RelDelta) Rel() string { return d.rel }
+
+// Add adjusts the signed count of t by n. Counts that reach zero are
+// removed (an insertion and a deletion of the same tuple annihilate, which
+// is exactly additive smash at the tuple level).
+func (d *RelDelta) Add(t relation.Tuple, n int) {
+	if n == 0 {
+		return
+	}
+	key := t.Key()
+	e := d.entries[key]
+	if e == nil {
+		d.entries[key] = &entry{tuple: t.Clone(), n: n}
+		return
+	}
+	e.n += n
+	if e.n == 0 {
+		delete(d.entries, key)
+	}
+}
+
+// Insert records one insertion atom +R(t).
+func (d *RelDelta) Insert(t relation.Tuple) { d.Add(t, 1) }
+
+// Delete records one deletion atom -R(t).
+func (d *RelDelta) Delete(t relation.Tuple) { d.Add(t, -1) }
+
+// Count returns the signed count of t in the delta.
+func (d *RelDelta) Count(t relation.Tuple) int {
+	if e, ok := d.entries[t.Key()]; ok {
+		return e.n
+	}
+	return 0
+}
+
+// IsEmpty reports whether the delta contains no atoms.
+func (d *RelDelta) IsEmpty() bool { return len(d.entries) == 0 }
+
+// Len returns the number of distinct tuples mentioned.
+func (d *RelDelta) Len() int { return len(d.entries) }
+
+// Card returns the total number of atoms (sum of absolute counts).
+func (d *RelDelta) Card() int {
+	total := 0
+	for _, e := range d.entries {
+		if e.n < 0 {
+			total -= e.n
+		} else {
+			total += e.n
+		}
+	}
+	return total
+}
+
+// Each iterates over the entries (tuple, signed count); return false to
+// stop. Iteration order is unspecified.
+func (d *RelDelta) Each(fn func(t relation.Tuple, n int) bool) {
+	for _, e := range d.entries {
+		if !fn(e.tuple, e.n) {
+			return
+		}
+	}
+}
+
+// Rows returns the entries in deterministic (sorted) order with signed
+// counts.
+func (d *RelDelta) Rows() []relation.Row {
+	out := make([]relation.Row, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, relation.Row{Tuple: e.tuple, Count: e.n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// Insertions returns the tuples with positive counts (the Δ⁺ of the
+// paper's difference rules), with their counts.
+func (d *RelDelta) Insertions() []relation.Row { return d.signed(1) }
+
+// Deletions returns the tuples with negative counts (Δ⁻), with counts
+// reported as positive magnitudes.
+func (d *RelDelta) Deletions() []relation.Row { return d.signed(-1) }
+
+func (d *RelDelta) signed(sign int) []relation.Row {
+	var out []relation.Row
+	for _, e := range d.entries {
+		if sign > 0 && e.n > 0 {
+			out = append(out, relation.Row{Tuple: e.tuple, Count: e.n})
+		}
+		if sign < 0 && e.n < 0 {
+			out = append(out, relation.Row{Tuple: e.tuple, Count: -e.n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// Clone returns a deep copy.
+func (d *RelDelta) Clone() *RelDelta {
+	c := NewRel(d.rel)
+	for key, e := range d.entries {
+		c.entries[key] = &entry{tuple: e.tuple.Clone(), n: e.n}
+	}
+	return c
+}
+
+// Equal reports whether two deltas contain identical atoms.
+func (d *RelDelta) Equal(o *RelDelta) bool {
+	if len(d.entries) != len(o.entries) {
+		return false
+	}
+	for key, e := range d.entries {
+		oe, ok := o.entries[key]
+		if !ok || oe.n != e.n {
+			return false
+		}
+	}
+	return true
+}
+
+// Inverse returns the delta with all atom signs reversed (the ⁻¹ operator).
+// For non-redundant deltas, apply(apply(db, Δ), Δ⁻¹) = db.
+func (d *RelDelta) Inverse() *RelDelta {
+	c := NewRel(d.rel)
+	for key, e := range d.entries {
+		c.entries[key] = &entry{tuple: e.tuple.Clone(), n: -e.n}
+	}
+	return c
+}
+
+// Smash combines o into d additively: apply(db, d ! o) =
+// apply(apply(db, d), o). This is the bag smash; for set-semantics deltas
+// satisfying the paper's non-redundancy assumption it agrees with the
+// override smash of [HJ91] under apply (see SmashSet).
+func (d *RelDelta) Smash(o *RelDelta) {
+	for _, e := range o.entries {
+		d.Add(e.tuple, e.n)
+	}
+}
+
+// SmashSet combines o into d using the override semantics of [HJ91]: the
+// result is the union of the two atom sets with any atom of d that
+// conflicts with an atom of o removed (o wins). Counts are clamped to ±1.
+func (d *RelDelta) SmashSet(o *RelDelta) {
+	for key, oe := range o.entries {
+		sign := 1
+		if oe.n < 0 {
+			sign = -1
+		}
+		d.entries[key] = &entry{tuple: oe.tuple.Clone(), n: sign}
+	}
+}
+
+// ApplyTo applies the delta to rel. In strict mode it returns an error on
+// any redundant atom (inserting a tuple already at its maximum multiplicity
+// in a set relation, or deleting more occurrences than exist); otherwise
+// effects are clamped. The relation name is not checked so that deltas can
+// be applied to renamed copies.
+func (d *RelDelta) ApplyTo(rel *relation.Relation, strict bool) error {
+	for _, e := range d.entries {
+		applied, _ := rel.Add(e.tuple, e.n)
+		if strict && applied != e.n {
+			return fmt.Errorf("delta: redundant atom for %s: tuple %s count %+d applied %+d",
+				d.rel, e.tuple, e.n, applied)
+		}
+	}
+	return nil
+}
+
+// Project returns a new delta for relation newRel whose tuples are the
+// projections of d's tuples onto the given positions, counts preserved
+// (bag projection). Projection commutes with apply, as the paper notes.
+func (d *RelDelta) Project(newRel string, positions []int) *RelDelta {
+	out := NewRel(newRel)
+	for _, e := range d.entries {
+		out.Add(e.tuple.Project(positions), e.n)
+	}
+	return out
+}
+
+// Select returns a new delta containing only the atoms whose tuples
+// satisfy pred. Selection commutes with apply.
+func (d *RelDelta) Select(pred func(relation.Tuple) (bool, error)) (*RelDelta, error) {
+	out := NewRel(d.rel)
+	for _, e := range d.entries {
+		ok, err := pred(e.tuple)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Add(e.tuple, e.n)
+		}
+	}
+	return out, nil
+}
+
+// Renamed returns a copy of the delta targeting a different relation name.
+func (d *RelDelta) Renamed(rel string) *RelDelta {
+	c := d.Clone()
+	c.rel = rel
+	return c
+}
+
+// Distinct converts a bag-level delta into the set-level ("distinct")
+// delta it induces, given the relation state old that d is about to be
+// applied to: a tuple contributes +1 if its multiplicity transitions
+// 0 -> positive and -1 if it transitions positive -> 0. This is how bag
+// nodes feed set nodes (difference nodes) in a VDP.
+func (d *RelDelta) Distinct(old *relation.Relation) *RelDelta {
+	out := NewRel(d.rel)
+	for _, e := range d.entries {
+		before := old.Count(e.tuple)
+		after := before + e.n
+		if after < 0 {
+			after = 0
+		}
+		switch {
+		case before == 0 && after > 0:
+			out.Add(e.tuple, 1)
+		case before > 0 && after == 0:
+			out.Add(e.tuple, -1)
+		}
+	}
+	return out
+}
+
+// String renders the delta deterministically: one atom group per line with
+// explicit signs.
+func (d *RelDelta) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Δ%s [%d atoms]\n", d.rel, d.Card())
+	for _, r := range d.Rows() {
+		fmt.Fprintf(&b, "  %+d %s\n", r.Count, r.Tuple)
+	}
+	return b.String()
+}
+
+// Diff computes the delta that transforms relation a into relation b
+// (tuple counts in b minus counts in a). Both must share a schema shape.
+func Diff(rel string, a, b *relation.Relation) *RelDelta {
+	out := NewRel(rel)
+	a.Each(func(t relation.Tuple, n int) bool {
+		out.Add(t, -n)
+		return true
+	})
+	b.Each(func(t relation.Tuple, n int) bool {
+		out.Add(t, n)
+		return true
+	})
+	return out
+}

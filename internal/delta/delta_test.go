@@ -1,0 +1,431 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"squirrel/internal/relation"
+)
+
+func schemaR(t testing.TB) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema("R",
+		[]relation.Attribute{{Name: "a", Type: relation.KindInt}, {Name: "b", Type: relation.KindInt}}, "a")
+}
+
+func randDelta(rng *rand.Rand, rel string, n int) *RelDelta {
+	d := NewRel(rel)
+	for i := 0; i < n; i++ {
+		d.Add(relation.T(rng.Intn(12), rng.Intn(5)), rng.Intn(7)-3)
+	}
+	return d
+}
+
+func randBag(rng *rand.Rand, s *relation.Schema, n int) *relation.Relation {
+	r := relation.NewBag(s)
+	for i := 0; i < n; i++ {
+		r.Add(relation.T(rng.Intn(12), rng.Intn(5)), rng.Intn(3)+1)
+	}
+	return r
+}
+
+func TestInsertDeleteAnnihilate(t *testing.T) {
+	d := NewRel("R")
+	tp := relation.T(1, 2)
+	d.Insert(tp)
+	d.Delete(tp)
+	if !d.IsEmpty() {
+		t.Fatalf("insert+delete should annihilate: %s", d)
+	}
+}
+
+func TestCountAndCard(t *testing.T) {
+	d := NewRel("R")
+	d.Add(relation.T(1, 1), 3)
+	d.Add(relation.T(2, 2), -2)
+	if d.Count(relation.T(1, 1)) != 3 || d.Count(relation.T(2, 2)) != -2 || d.Count(relation.T(9, 9)) != 0 {
+		t.Errorf("counts wrong")
+	}
+	if d.Card() != 5 || d.Len() != 2 {
+		t.Errorf("card=%d len=%d", d.Card(), d.Len())
+	}
+}
+
+func TestInsertionsDeletions(t *testing.T) {
+	d := NewRel("R")
+	d.Add(relation.T(1, 1), 2)
+	d.Add(relation.T(2, 2), -1)
+	ins, del := d.Insertions(), d.Deletions()
+	if len(ins) != 1 || ins[0].Count != 2 {
+		t.Errorf("insertions: %v", ins)
+	}
+	if len(del) != 1 || del[0].Count != 1 {
+		t.Errorf("deletions: %v", del)
+	}
+}
+
+// apply(db, Δ1 ! Δ2) == apply(apply(db, Δ1), Δ2)  — the defining smash law.
+func TestSmashLawProperty(t *testing.T) {
+	s := schemaR(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randBag(rng, s, 10)
+		d1 := randDelta(rng, "R", 8)
+		d2 := randDelta(rng, "R", 8)
+
+		// Left side: smash then apply (clamped, since random deltas may underflow).
+		left := db.Clone()
+		sm := d1.Clone()
+		sm.Smash(d2)
+		// Right side: apply sequentially.
+		right := db.Clone()
+		d1.ApplyTo(right, false)
+		d2.ApplyTo(right, false)
+
+		sm.ApplyTo(left, false)
+		// NOTE: with clamping, smash law can differ when intermediate
+		// underflow occurs; restrict to non-underflowing runs.
+		chk := db.Clone()
+		if err := d1.ApplyTo(chk, true); err != nil {
+			return true // skip: d1 underflows, law not required
+		}
+		if err := d2.ApplyTo(chk, true); err != nil {
+			return true
+		}
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// apply(apply(db, Δ), Δ⁻¹) == db for deltas that are non-redundant on db.
+func TestInverseLawProperty(t *testing.T) {
+	s := schemaR(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randBag(rng, s, 10)
+		d := randDelta(rng, "R", 8)
+		work := db.Clone()
+		if err := d.ApplyTo(work, true); err != nil {
+			return true // redundant on db; law not required
+		}
+		if err := d.Inverse().ApplyTo(work, true); err != nil {
+			return false
+		}
+		return work.Equal(db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// (Δ1!Δ2)⁻¹ == Δ2⁻¹!Δ1⁻¹
+func TestInverseOfSmash(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		d1 := randDelta(rng, "R", 6)
+		d2 := randDelta(rng, "R", 6)
+		left := d1.Clone()
+		left.Smash(d2)
+		left = left.Inverse()
+		right := d2.Inverse()
+		right.Smash(d1.Inverse())
+		if !left.Equal(right) {
+			t.Fatalf("inverse of smash law failed:\n%s\nvs\n%s", left, right)
+		}
+	}
+}
+
+// Selection and projection commute with apply:
+// π/σ(apply(R,Δ)) == apply(π/σ(R), π/σ(Δ))
+func TestSelectProjectCommuteWithApply(t *testing.T) {
+	s := schemaR(t)
+	pred := func(tp relation.Tuple) (bool, error) { return tp[1].AsInt() < 3, nil }
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		db := randBag(rng, s, 10)
+		d := randDelta(rng, "R", 8)
+
+		// Left: apply then transform.
+		applied := db.Clone()
+		d.ApplyTo(applied, false)
+		leftSel := relation.NewBag(s)
+		applied.Each(func(tp relation.Tuple, n int) bool {
+			if ok, _ := pred(tp); ok {
+				leftSel.Add(tp, n)
+			}
+			return true
+		})
+
+		// Right: transform both then apply. Must use clamp-free runs.
+		chk := db.Clone()
+		if err := d.ApplyTo(chk, true); err != nil {
+			continue
+		}
+		rightSel := relation.NewBag(s)
+		db.Each(func(tp relation.Tuple, n int) bool {
+			if ok, _ := pred(tp); ok {
+				rightSel.Add(tp, n)
+			}
+			return true
+		})
+		ds, err := d.Select(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.ApplyTo(rightSel, false)
+		if !leftSel.Equal(rightSel) {
+			t.Fatalf("select does not commute with apply (iter %d)", i)
+		}
+
+		// Projection onto position 0 (bag projection).
+		proj := []int{0}
+		pSchema := relation.MustSchema("P", []relation.Attribute{{Name: "a", Type: relation.KindInt}})
+		leftP := relation.NewBag(pSchema)
+		applied.Each(func(tp relation.Tuple, n int) bool {
+			leftP.Add(tp.Project(proj), n)
+			return true
+		})
+		rightP := relation.NewBag(pSchema)
+		db.Each(func(tp relation.Tuple, n int) bool {
+			rightP.Add(tp.Project(proj), n)
+			return true
+		})
+		d.Project("P", proj).ApplyTo(rightP, false)
+		if !leftP.Equal(rightP) {
+			t.Fatalf("project does not commute with apply (iter %d)", i)
+		}
+	}
+}
+
+func TestApplyStrictDetectsRedundancy(t *testing.T) {
+	s := schemaR(t)
+	set := relation.NewSet(s)
+	set.Insert(relation.T(1, 1))
+	d := NewRel("R")
+	d.Insert(relation.T(1, 1)) // redundant insertion
+	if err := d.ApplyTo(set, true); err == nil {
+		t.Errorf("strict apply must reject redundant insertion into set")
+	}
+	bag := relation.NewBag(s)
+	d2 := NewRel("R")
+	d2.Delete(relation.T(5, 5)) // deleting absent tuple
+	if err := d2.ApplyTo(bag, true); err == nil {
+		t.Errorf("strict apply must reject underflow deletion")
+	}
+	if err := d2.ApplyTo(bag, false); err != nil {
+		t.Errorf("clamped apply should not error: %v", err)
+	}
+}
+
+func TestSmashSetOverride(t *testing.T) {
+	// Paper/HJ91: Δ1 ! Δ2 = union with conflicting atoms of Δ1 removed.
+	d1 := NewRel("R")
+	d1.Insert(relation.T(1, 1))
+	d2 := NewRel("R")
+	d2.Delete(relation.T(1, 1))
+	d1.SmashSet(d2)
+	if d1.Count(relation.T(1, 1)) != -1 {
+		t.Errorf("override smash: later delete must win, got %d", d1.Count(relation.T(1, 1)))
+	}
+	// Additive smash annihilates instead; both agree under apply for
+	// non-redundant sequences (insert then delete of a tuple absent in db).
+	db := relation.NewSet(schemaR(t))
+	a := db.Clone()
+	add := NewRel("R")
+	add.Insert(relation.T(1, 1))
+	add.Smash(func() *RelDelta { x := NewRel("R"); x.Delete(relation.T(1, 1)); return x }())
+	add.ApplyTo(a, false)
+	b := db.Clone()
+	d1.ApplyTo(b, false)
+	if !a.Equal(b) {
+		t.Errorf("additive and override smash disagree under apply")
+	}
+}
+
+func TestDistinctDelta(t *testing.T) {
+	s := schemaR(t)
+	old := relation.NewBag(s)
+	old.Add(relation.T(1, 1), 2) // stays positive after -1 => no set-level change
+	old.Add(relation.T(2, 2), 1) // drops to 0 => set-level delete
+	d := NewRel("R")
+	d.Add(relation.T(1, 1), -1)
+	d.Add(relation.T(2, 2), -1)
+	d.Add(relation.T(3, 3), 2) // appears => set-level insert
+	dd := d.Distinct(old)
+	if dd.Count(relation.T(1, 1)) != 0 {
+		t.Errorf("no transition for (1,1)")
+	}
+	if dd.Count(relation.T(2, 2)) != -1 {
+		t.Errorf("expected -1 for (2,2), got %d", dd.Count(relation.T(2, 2)))
+	}
+	if dd.Count(relation.T(3, 3)) != 1 {
+		t.Errorf("expected +1 for (3,3), got %d", dd.Count(relation.T(3, 3)))
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := schemaR(t)
+	a := relation.NewBag(s)
+	a.Add(relation.T(1, 1), 2)
+	a.Add(relation.T(2, 2), 1)
+	b := relation.NewBag(s)
+	b.Add(relation.T(1, 1), 1)
+	b.Add(relation.T(3, 3), 1)
+	d := Diff("R", a, b)
+	got := a.Clone()
+	if err := d.ApplyTo(got, true); err != nil {
+		t.Fatalf("diff must be exact: %v", err)
+	}
+	if !got.Equal(b) {
+		t.Fatalf("apply(a, Diff(a,b)) != b")
+	}
+}
+
+func TestDiffProperty(t *testing.T) {
+	s := schemaR(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBag(rng, s, 12)
+		b := randBag(rng, s, 12)
+		d := Diff("R", a, b)
+		got := a.Clone()
+		if err := d.ApplyTo(got, true); err != nil {
+			return false
+		}
+		return got.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiDelta(t *testing.T) {
+	d := New()
+	d.Insert("R", relation.T(1, 1))
+	d.Delete("S", relation.T(2, 2))
+	if got := d.Relations(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Fatalf("Relations = %v", got)
+	}
+	if d.IsEmpty() || d.Card() != 2 {
+		t.Errorf("card = %d", d.Card())
+	}
+	c := d.Clone()
+	if !c.Equal(d) {
+		t.Errorf("clone differs")
+	}
+	inv := d.Inverse()
+	if inv.Rel("R").Count(relation.T(1, 1)) != -1 || inv.Rel("S").Count(relation.T(2, 2)) != 1 {
+		t.Errorf("inverse wrong: %s", inv)
+	}
+	f := d.Filter("R")
+	if len(f.Relations()) != 1 || f.Relations()[0] != "R" {
+		t.Errorf("filter wrong: %v", f.Relations())
+	}
+}
+
+func TestMultiDeltaApplyToCatalog(t *testing.T) {
+	s := schemaR(t)
+	r := relation.NewBag(s)
+	d := New()
+	d.Insert("R", relation.T(1, 1))
+	d.Insert("MISSING", relation.T(2, 2)) // skipped: not in catalog
+	if err := d.ApplyTo(map[string]*relation.Relation{"R": r}, true); err != nil {
+		t.Fatal(err)
+	}
+	if r.Card() != 1 {
+		t.Errorf("catalog apply failed")
+	}
+}
+
+func TestMultiSmashAndSmashed(t *testing.T) {
+	d1 := New()
+	d1.Insert("R", relation.T(1, 1))
+	d2 := New()
+	d2.Delete("R", relation.T(1, 1))
+	d2.Insert("S", relation.T(9, 9))
+	out := Smashed(d1, d2, nil)
+	if out.Get("R") != nil {
+		t.Errorf("R atoms should annihilate")
+	}
+	if out.Rel("S").Count(relation.T(9, 9)) != 1 {
+		t.Errorf("S atom missing")
+	}
+	// arguments untouched
+	if d1.IsEmpty() {
+		t.Errorf("Smashed must not mutate inputs")
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	d := New()
+	if d.Get("R") != nil {
+		t.Errorf("Get on empty must be nil")
+	}
+	rd := NewRel("R")
+	rd.Insert(relation.T(1, 1))
+	d.Put(rd)
+	if d.Get("R") == nil {
+		t.Errorf("Put then Get")
+	}
+	d.Put(NewRel("R")) // empty replaces => removed
+	if d.Get("R") != nil {
+		t.Errorf("Put empty should remove")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := NewRel("R")
+	d.Add(relation.T(1, 1), 2)
+	if err := d.Validate(false); err != nil {
+		t.Errorf("bag validate: %v", err)
+	}
+	if err := d.Validate(true); err == nil {
+		t.Errorf("set validate must reject count 2")
+	}
+}
+
+func TestRenamedAndFromRows(t *testing.T) {
+	d := FromRows("R", relation.Row{Tuple: relation.T(1, 1), Count: 2})
+	r := d.Renamed("R2")
+	if r.Rel() != "R2" || r.Count(relation.T(1, 1)) != 2 {
+		t.Errorf("renamed wrong")
+	}
+	if d.Rel() != "R" {
+		t.Errorf("original mutated")
+	}
+}
+
+func TestRelDeltaString(t *testing.T) {
+	d := NewRel("R")
+	d.Insert(relation.T(1, 2))
+	s := d.String()
+	if s == "" || d.Rows()[0].Count != 1 {
+		t.Errorf("string/rows: %q", s)
+	}
+	md := New()
+	if md.String() != "Δ∅\n" {
+		t.Errorf("empty multi delta string: %q", md.String())
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	d := NewRel("R")
+	d.Insert(relation.T(1, 1))
+	d.Insert(relation.T(2, 2))
+	seen := 0
+	d.Each(func(relation.Tuple, int) bool {
+		seen++
+		return false
+	})
+	if seen != 1 {
+		t.Errorf("Each must stop early: %d", seen)
+	}
+	md := New()
+	md.Add("R", relation.T(3, 3), 2)
+	if md.Rel("R").Count(relation.T(3, 3)) != 2 {
+		t.Errorf("multi Add")
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"squirrel/internal/core"
+	"squirrel/internal/vdp"
+)
+
+// E14AdvisorEvaluation closes the loop on §5.3: the advisor turns the
+// paper's heuristics into annotations; this experiment runs the same
+// workload under all-materialized, all-virtual, and advisor-chosen
+// annotations, measuring the costs the heuristics trade off (propagation
+// work, query polls, resident bytes, wall time). The advisor should land
+// near the per-metric winners without being handed the answer.
+func E14AdvisorEvaluation(w io.Writer) error {
+	t := &Table{
+		Title:  "E14 — §5.3 advisor: heuristic annotations vs the extremes",
+		Header: []string{"config", "total time", "polls", "tuplesPolled", "atoms", "resident bytes", "ok"},
+		Notes: []string{
+			"workload: 60 txns (90% ΔR) interleaved with 120 queries (90% hot π_{r1,s1})",
+			"advisor profile: access{r1:.9,s1:.9,r3:.05,s2:.05}, updates{db1:.9,db2:.1}",
+		},
+	}
+
+	profile := vdp.WorkloadProfile{
+		AccessFreq:  map[string]float64{"r1": 0.9, "s1": 0.9, "r3": 0.05, "s2": 0.05},
+		UpdateShare: map[string]float64{"db1": 0.9, "db2": 0.1},
+	}
+
+	run := func(name string, ann annotations) error {
+		e, err := newEnv(60, 3000, 1500, ann)
+		if err != nil {
+			return err
+		}
+		base := e.med.Stats()
+		rng := newRng(13)
+		start := time.Now()
+		for i := 0; i < 60; i++ {
+			if rng.Float64() < 0.9 {
+				if err := e.commitR(4); err != nil {
+					return err
+				}
+			} else if err := e.commitS(4); err != nil {
+				return err
+			}
+			if _, err := e.med.RunUpdateTransaction(); err != nil {
+				return err
+			}
+			for q := 0; q < 2; q++ {
+				attrs := []string{"r1", "s1"}
+				if rng.Intn(10) == 0 {
+					attrs = []string{"r3", "s1"}
+				}
+				if _, err := e.med.QueryOpts("T", attrs, nil, core.QueryOptions{}); err != nil {
+					return err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		st := e.med.Stats()
+		resident := 0
+		for _, node := range e.plan.NonLeaves() {
+			if snap := e.med.StoreSnapshot(node); snap != nil {
+				resident += snap.MemoryFootprint()
+			}
+		}
+		truth, err := e.groundTruthT()
+		if err != nil {
+			return err
+		}
+		ok := true
+		if snap := e.med.StoreSnapshot("T"); snap != nil {
+			n := e.plan.Node("T")
+			want, err := projectTruth(truth, n.MaterializedAttrs(), nil)
+			if err != nil {
+				return err
+			}
+			ok = snap.Equal(want)
+		}
+		t.Add(name, elapsed, st.SourcePolls-base.SourcePolls,
+			st.TuplesPolled-base.TuplesPolled, st.AtomsPropagated-base.AtomsPropagated,
+			resident, ok)
+		if !ok {
+			return fmt.Errorf("E14: %s diverged", name)
+		}
+		return nil
+	}
+
+	if err := run("all-materialized", annVariants()["materialized"]); err != nil {
+		return err
+	}
+	if err := run("all-virtual", annVariants()["virtual"]); err != nil {
+		return err
+	}
+
+	// The advisor needs the plan's shape, so build a throwaway plan first.
+	probe, err := newEnv(60, 10, 10, annVariants()["materialized"])
+	if err != nil {
+		return err
+	}
+	advice := probe.plan.Advise(profile)
+	advised := annotations{
+		rp: advice.Annotations["R'"],
+		sp: advice.Annotations["S'"],
+		t:  advice.Annotations["T"],
+	}
+	if err := run("advisor (§5.3)", advised); err != nil {
+		return err
+	}
+	for _, r := range advice.Reasons {
+		t.Notes = append(t.Notes, "advisor: "+r)
+	}
+	t.Print(w)
+	return nil
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"squirrel/internal/core"
+)
+
+// E1MaterializedMaintenance reproduces Example 2.1 / Figure 1 as a
+// measured table: a fully materialized VDP maintained by incremental
+// update propagation, against the from-scratch recomputation baseline.
+// Expected shape: incremental cost is roughly flat in |R|+|S| while
+// recomputation grows with it; no source polls ever happen.
+func E1MaterializedMaintenance(w io.Writer) error {
+	t := &Table{
+		Title:  "E1 — Example 2.1 / Figure 1: fully materialized support",
+		Header: []string{"|R|", "|S|", "txns", "atoms", "incr/txn", "recompute", "speedup", "polls"},
+		Notes: []string{
+			"incr/txn: mean wall time of one update transaction (batch of 8 source ops)",
+			"recompute: wall time of one from-scratch evaluation of the whole VDP",
+			"polls: source round trips after initialization (0 = fully materialized support)",
+		},
+	}
+	for _, n := range []int{1000, 4000, 16000} {
+		e, err := newEnv(42, n, n/2, annVariants()["materialized"])
+		if err != nil {
+			return err
+		}
+		pollsBefore := e.med.Stats().SourcePolls
+		const txns = 40
+		start := time.Now()
+		for i := 0; i < txns; i++ {
+			if i%2 == 0 {
+				if err := e.commitR(8); err != nil {
+					return err
+				}
+			} else {
+				if err := e.commitS(8); err != nil {
+					return err
+				}
+			}
+			if _, err := e.med.RunUpdateTransaction(); err != nil {
+				return err
+			}
+		}
+		incr := time.Since(start) / txns
+
+		rs := time.Now()
+		truth, err := e.groundTruthT()
+		if err != nil {
+			return err
+		}
+		recompute := time.Since(rs)
+		if st := e.med.StoreSnapshot("T"); !st.Equal(truth) {
+			return fmt.Errorf("E1: incremental state diverged from recompute at n=%d", n)
+		}
+		st := e.med.Stats()
+		speedup := float64(recompute) / float64(incr)
+		t.Add(n, n/2, txns, st.AtomsPropagated, incr, recompute, speedup, st.SourcePolls-pollsBefore)
+	}
+	t.Print(w)
+	return nil
+}
+
+// E2VirtualAuxiliary reproduces Example 2.2: the auxiliary R' kept
+// virtual. Sweeping the share of transactions that touch R (the paper's
+// premise: R changes frequently, S rarely), the table shows ΔR
+// transactions cost no polls while ΔS transactions each poll db1 —
+// so keeping R' virtual is nearly free when P(ΔR) is high.
+func E2VirtualAuxiliary(w io.Writer) error {
+	t := &Table{
+		Title:  "E2 — Example 2.2: virtual auxiliary relation R'",
+		Header: []string{"config", "P(ΔR)", "txns", "polls", "polls/ΔS-txn", "tuplesPolled", "T==recompute"},
+		Notes: []string{
+			"with R' virtual, rule #1 (ΔT = ΔR'⋈S') needs no polling; rule #2 (ΔT = R'⋈ΔS') polls db1",
+			"the fully materialized config never polls, at the cost of maintaining R' locally",
+		},
+	}
+	for _, cfg := range []string{"materialized", "virtual-aux"} {
+		ann := annVariants()[cfg]
+		if cfg == "virtual-aux" {
+			// Example 2.2 keeps S' materialized; only R' virtual.
+			ann.sp = nil
+		}
+		for _, pR := range []float64{0.50, 0.90, 0.99} {
+			e, err := newEnv(43, 4000, 2000, ann)
+			if err != nil {
+				return err
+			}
+			pollsBefore := e.med.Stats().SourcePolls
+			const txns = 100
+			sTxns := 0
+			rng := newRng(7)
+			for i := 0; i < txns; i++ {
+				if rng.Float64() < pR {
+					if err := e.commitR(4); err != nil {
+						return err
+					}
+				} else {
+					sTxns++
+					if err := e.commitS(4); err != nil {
+						return err
+					}
+				}
+				if _, err := e.med.RunUpdateTransaction(); err != nil {
+					return err
+				}
+			}
+			st := e.med.Stats()
+			polls := st.SourcePolls - pollsBefore
+			perS := 0.0
+			if sTxns > 0 {
+				perS = float64(polls) / float64(sTxns)
+			}
+			truth, err := e.groundTruthT()
+			if err != nil {
+				return err
+			}
+			ok := e.med.StoreSnapshot("T").Equal(truth)
+			t.Add(cfg, pR, txns, polls, perS, st.TuplesPolled, ok)
+			if !ok {
+				return fmt.Errorf("E2: divergence in config %s", cfg)
+			}
+		}
+	}
+	t.Print(w)
+	return nil
+}
+
+// E3HybridQueries reproduces Example 2.3: the hybrid export
+// T[r1^m, r3^v, s1^m, s2^v] under query mixes that rarely touch virtual
+// attributes, and the standard vs key-based construction comparison. The
+// shape to observe: hot queries are poll-free and fast regardless of the
+// cold-query machinery; cold queries pay polling; key-based construction
+// halves the sources polled for the Example 2.3 query.
+func E3HybridQueries(w io.Writer) error {
+	t := &Table{
+		Title:  "E3 — Example 2.3: hybrid export and key-based temporaries",
+		Header: []string{"mix(hot:cold)", "construction", "queries", "polls", "µs/hot-query", "µs/cold-query", "answers ok"},
+		Notes: []string{
+			"hot = π_{r1,s1}; cold = π_{r3,s1}σ_{r3<100} (touches virtual r3)",
+			"key-based: T_tmp from store(T) ⋈ R' via key r1 — one source instead of two",
+		},
+	}
+	mixes := []struct {
+		name   string
+		hot    int // hot queries per cold query
+		rounds int
+	}{{"1:1", 1, 30}, {"9:1", 9, 12}, {"99:1", 99, 3}}
+	for _, mix := range mixes {
+		for _, mode := range []struct {
+			name string
+			kb   core.KeyBasedMode
+		}{{"standard", core.KeyBasedOff}, {"key-based", core.KeyBasedForce}} {
+			e, err := newEnv(44, 4000, 2000, annVariants()["hybrid"])
+			if err != nil {
+				return err
+			}
+			pollsBefore := e.med.Stats().SourcePolls
+			truth, err := e.groundTruthT()
+			if err != nil {
+				return err
+			}
+			wantHot, err := projectTruth(truth, []string{"r1", "s1"}, nil)
+			if err != nil {
+				return err
+			}
+			wantCold, err := projectTruth(truth, []string{"r3", "s1"}, condR3())
+			if err != nil {
+				return err
+			}
+			var hotTime, coldTime time.Duration
+			hotCount, coldCount := 0, 0
+			ok := true
+			for i := 0; i < mix.rounds; i++ {
+				for h := 0; h < mix.hot; h++ {
+					start := time.Now()
+					res, err := e.med.QueryOpts("T", []string{"r1", "s1"}, nil,
+						core.QueryOptions{KeyBased: mode.kb})
+					if err != nil {
+						return err
+					}
+					hotTime += time.Since(start)
+					hotCount++
+					ok = ok && res.Answer.Equal(wantHot)
+				}
+				start := time.Now()
+				res, err := e.med.QueryOpts("T", []string{"r3", "s1"}, condR3(),
+					core.QueryOptions{KeyBased: mode.kb})
+				if err != nil {
+					return err
+				}
+				coldTime += time.Since(start)
+				coldCount++
+				ok = ok && res.Answer.Equal(wantCold)
+			}
+			st := e.med.Stats()
+			t.Add(mix.name, mode.name, hotCount+coldCount, st.SourcePolls-pollsBefore,
+				float64(hotTime.Microseconds())/float64(hotCount),
+				float64(coldTime.Microseconds())/float64(coldCount), ok)
+			if !ok {
+				return fmt.Errorf("E3: wrong answers in mix %s mode %s", mix.name, mode.name)
+			}
+		}
+	}
+	t.Print(w)
+	return nil
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"squirrel/internal/core"
+	"squirrel/internal/relation"
+	"squirrel/internal/vdp"
+	"squirrel/internal/wire"
+)
+
+// E9Crossover measures the paper's §1 framing — "the virtual approach may
+// be better if the information sources are changing frequently, whereas
+// the materialized approach may be better if the information sources
+// change infrequently and very fast query response time is needed" — as a
+// sweep over the update:query ratio. The cost metric is total data moved
+// and touched (tuples polled + delta atoms propagated) plus the mean
+// query latency; the winner flips as the ratio crosses 1.
+func E9Crossover(w io.Writer) error {
+	t := &Table{
+		Title:  "E9 — §1: materialized vs virtual vs hybrid across the update:query spectrum",
+		Header: []string{"upd:qry", "config", "work (tuples)", "µs/query", "µs/update", "polls"},
+		Notes: []string{
+			"work = tuples polled from sources + delta atoms propagated (data movement proxy)",
+			"hybrid = T[r1^m,r3^v,s1^m,s2^v] with virtual auxiliaries; queries are 90% hot",
+		},
+	}
+	ratios := []struct {
+		name    string
+		updates int
+		queries int
+	}{
+		{"100:1", 100, 1}, {"10:1", 50, 5}, {"1:1", 30, 30}, {"1:10", 5, 50}, {"1:100", 1, 100},
+	}
+	for _, ratio := range ratios {
+		for _, cfg := range []string{"materialized", "hybrid", "virtual"} {
+			e, err := newEnv(55, 2000, 1000, annVariants()[cfg])
+			if err != nil {
+				return err
+			}
+			base := e.med.Stats()
+			var updTime, qryTime time.Duration
+			rng := newRng(3)
+			steps := ratio.updates + ratio.queries
+			updLeft, qryLeft := ratio.updates, ratio.queries
+			for i := 0; i < steps; i++ {
+				doUpdate := updLeft > 0 && (qryLeft == 0 || rng.Intn(steps) < ratio.updates)
+				if doUpdate {
+					updLeft--
+					if err := e.commitR(4); err != nil {
+						return err
+					}
+					start := time.Now()
+					if _, err := e.med.RunUpdateTransaction(); err != nil {
+						return err
+					}
+					updTime += time.Since(start)
+				} else {
+					qryLeft--
+					attrs := []string{"r1", "s1"}
+					if rng.Intn(10) == 0 {
+						attrs = []string{"r3", "s1"}
+					}
+					start := time.Now()
+					if _, err := e.med.QueryOpts("T", attrs, nil, core.QueryOptions{}); err != nil {
+						return err
+					}
+					qryTime += time.Since(start)
+				}
+			}
+			st := e.med.Stats()
+			work := (st.TuplesPolled - base.TuplesPolled) + (st.AtomsPropagated - base.AtomsPropagated)
+			perQ, perU := 0.0, 0.0
+			if ratio.queries > 0 {
+				perQ = float64(qryTime.Microseconds()) / float64(ratio.queries)
+			}
+			if ratio.updates > 0 {
+				perU = float64(updTime.Microseconds()) / float64(ratio.updates)
+			}
+			t.Add(ratio.name, cfg, work, perQ, perU, st.SourcePolls-base.SourcePolls)
+		}
+	}
+	t.Print(w)
+	return nil
+}
+
+// E10SpaceVsPerformance measures the §5.3 heuristics: sweeping the share
+// of the export relation's attributes that are materialized, trading
+// resident bytes against cold-query cost. The paper gives qualitative
+// guidance ("rarely accessed attributes are candidates to be virtual");
+// the table quantifies the trade-off on this workload.
+func E10SpaceVsPerformance(w io.Writer) error {
+	t := &Table{
+		Title:  "E10 — §5.3: space vs performance across materialization fractions",
+		Header: []string{"T annotation", "resident bytes", "polls/cold-query", "µs/hot-query", "µs/cold-query"},
+		Notes: []string{
+			"auxiliaries virtual throughout; hot = materialized attrs only, cold = all attrs",
+		},
+	}
+	tSchema := relation.MustSchema("T", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r3", Type: relation.KindInt},
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt}})
+	fractions := []struct {
+		label string
+		mats  []string
+	}{
+		{"all virtual", nil},
+		{"[r1^m]", []string{"r1"}},
+		{"[r1^m,s1^m]", []string{"r1", "s1"}},
+		{"[r1^m,r3^m,s1^m]", []string{"r1", "r3", "s1"}},
+		{"all materialized", []string{"r1", "r3", "s1", "s2"}},
+	}
+	for _, f := range fractions {
+		var virt []string
+		matSet := map[string]bool{}
+		for _, m := range f.mats {
+			matSet[m] = true
+		}
+		for _, a := range tSchema.AttrNames() {
+			if !matSet[a] {
+				virt = append(virt, a)
+			}
+		}
+		ann := annVariants()["virtual-aux"]
+		ann.t = vdp.Ann(f.mats, virt)
+		e, err := newEnv(56, 3000, 1500, ann)
+		if err != nil {
+			return err
+		}
+		resident := 0
+		if st := e.med.StoreSnapshot("T"); st != nil {
+			resident = st.MemoryFootprint()
+		}
+		base := e.med.Stats()
+		const rounds = 15
+		var hotTime, coldTime time.Duration
+		hotAttrs := f.mats
+		for i := 0; i < rounds; i++ {
+			if len(hotAttrs) > 0 {
+				start := time.Now()
+				if _, err := e.med.QueryOpts("T", hotAttrs, nil, core.QueryOptions{}); err != nil {
+					return err
+				}
+				hotTime += time.Since(start)
+			}
+			start := time.Now()
+			if _, err := e.med.QueryOpts("T", nil, nil, core.QueryOptions{KeyBased: core.KeyBasedOff}); err != nil {
+				return err
+			}
+			coldTime += time.Since(start)
+		}
+		st := e.med.Stats()
+		pollsPerCold := float64(st.SourcePolls-base.SourcePolls) / rounds
+		hotCell := "n/a"
+		if len(hotAttrs) > 0 {
+			hotCell = fmt.Sprintf("%.2f", float64(hotTime.Microseconds())/rounds)
+		}
+		t.Add(f.label, resident, pollsPerCold, hotCell,
+			float64(coldTime.Microseconds())/rounds)
+	}
+	t.Print(w)
+	return nil
+}
+
+// E11WireOverhead measures the Figure 3 deployment over real TCP
+// (loopback): mediator initialization, update round trips, and query
+// latency against in-process sources, quantifying the wire protocol's
+// overhead.
+func E11WireOverhead(w io.Writer) error {
+	t := &Table{
+		Title:  "E11 — Figure 3 over TCP: wire protocol overhead (loopback)",
+		Header: []string{"transport", "µs/query (hot)", "µs/query (cold poll)", "µs/update txn"},
+	}
+	for _, transport := range []string{"in-process", "tcp"} {
+		e, err := newEnv(57, 2000, 1000, annVariants()["hybrid-mat-aux"])
+		if err != nil {
+			return err
+		}
+		med := e.med
+		var servers []*wire.SourceServer
+		if transport == "tcp" {
+			// Rebuild the mediator against TCP-served versions of the same
+			// databases.
+			srv1 := wire.NewSourceServer(e.db1)
+			addr1, err := srv1.Start("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			srv2 := wire.NewSourceServer(e.db2)
+			addr2, err := srv2.Start("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			servers = append(servers, srv1, srv2)
+			c1, err := wire.Dial(addr1)
+			if err != nil {
+				return err
+			}
+			c2, err := wire.Dial(addr2)
+			if err != nil {
+				return err
+			}
+			med2, err := core.New(core.Config{
+				VDP:     e.plan,
+				Sources: map[string]core.SourceConn{"db1": c1, "db2": c2},
+				Clock:   e.clk,
+			})
+			if err != nil {
+				return err
+			}
+			c1.OnAnnounce(med2.OnAnnouncement)
+			c2.OnAnnounce(med2.OnAnnouncement)
+			if err := med2.Initialize(); err != nil {
+				return err
+			}
+			med = med2
+		}
+
+		const rounds = 20
+		var hot, cold, upd time.Duration
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			if _, err := med.QueryOpts("T", []string{"r1", "s1"}, nil, core.QueryOptions{}); err != nil {
+				return err
+			}
+			hot += time.Since(start)
+			start = time.Now()
+			if _, err := med.QueryOpts("T", []string{"r3", "s1"}, nil,
+				core.QueryOptions{KeyBased: core.KeyBasedOff}); err != nil {
+				return err
+			}
+			cold += time.Since(start)
+			if err := e.commitR(4); err != nil {
+				return err
+			}
+			if transport == "tcp" {
+				if err := waitQueue(med); err != nil {
+					return err
+				}
+			}
+			start = time.Now()
+			if _, err := med.RunUpdateTransaction(); err != nil {
+				return err
+			}
+			upd += time.Since(start)
+		}
+		t.Add(transport,
+			float64(hot.Microseconds())/rounds,
+			float64(cold.Microseconds())/rounds,
+			float64(upd.Microseconds())/rounds)
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	t.Print(w)
+	return nil
+}
+
+func waitQueue(med *core.Mediator) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for med.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("E11: announcement never arrived")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+// Package experiments implements the reproduction harness: one runner per
+// paper artifact (E1–E11 in DESIGN.md), each regenerating a table whose
+// SHAPE mirrors what the paper states or implies. The runners are used by
+// `cmd/squirrel bench` and by the root-level testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+	"squirrel/internal/workload"
+)
+
+// Table is a printable experiment result: a header and rows of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n## %s\n\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	dashes := make([]string, len(t.Header))
+	for i := range dashes {
+		dashes[i] = strings.Repeat("-", widths[i])
+	}
+	line(dashes)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// env is the reusable paper-fixture environment (R@db1 ⋈ S@db2 → T) with
+// parameterized sizes and annotations.
+type env struct {
+	clk    *clock.Logical
+	db1    *source.DB
+	db2    *source.DB
+	med    *core.Mediator
+	rec    *trace.Recorder
+	plan   *vdp.VDP
+	rGen   *workload.TupleGen
+	sGen   *workload.TupleGen
+	rStrm  *workload.Stream
+	sStrm  *workload.Stream
+	nextID int64
+}
+
+type annotations struct {
+	rp, sp, t vdp.Annotation
+}
+
+func paperSchemas() (*relation.Schema, *relation.Schema) {
+	r := relation.MustSchema("R", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r2", Type: relation.KindInt},
+		{Name: "r3", Type: relation.KindInt}, {Name: "r4", Type: relation.KindInt}}, "r1")
+	s := relation.MustSchema("S", []relation.Attribute{
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt},
+		{Name: "s3", Type: relation.KindInt}}, "s1")
+	return r, s
+}
+
+// annVirtualRP etc. build the standard annotation variants.
+func annVariants() map[string]annotations {
+	rp := relation.MustSchema("R'", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r2", Type: relation.KindInt},
+		{Name: "r3", Type: relation.KindInt}}, "r1")
+	sp := relation.MustSchema("S'", []relation.Attribute{
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt}}, "s1")
+	tS := relation.MustSchema("T", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r3", Type: relation.KindInt},
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt}})
+	return map[string]annotations{
+		"materialized": {},
+		"virtual-aux":  {rp: vdp.AllVirtual(rp), sp: vdp.AllVirtual(sp)},
+		"virtual": {rp: vdp.AllVirtual(rp), sp: vdp.AllVirtual(sp),
+			t: vdp.AllVirtual(tS)},
+		"hybrid": {rp: vdp.AllVirtual(rp), sp: vdp.AllVirtual(sp),
+			t: vdp.Ann([]string{"r1", "s1"}, []string{"r3", "s2"})},
+		"hybrid-mat-aux": {t: vdp.Ann([]string{"r1", "s1"}, []string{"r3", "s2"})},
+	}
+}
+
+// newEnv builds and initializes the fixture with |R| = nR, |S| = nS.
+func newEnv(seed int64, nR, nS int, ann annotations) (*env, error) {
+	rSchema, sSchema := paperSchemas()
+	rng := rand.New(rand.NewSource(seed))
+	rGen, err := workload.NewTupleGen(rSchema,
+		workload.NewSeq(1),
+		workload.IntRange{Lo: 1, Hi: int64(maxInt(nS, 1))}, // join attr r2 ~ s1 domain
+		workload.IntRange{Lo: 0, Hi: 200},
+		workload.Choice{Values: []relation.Value{relation.Int(100), relation.Int(100), relation.Int(100), relation.Int(50)}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	sGen, err := workload.NewTupleGen(sSchema,
+		workload.NewSeq(1),
+		workload.IntRange{Lo: 0, Hi: 9},
+		workload.IntRange{Lo: 0, Hi: 99}, // 50% pass s3 < 50
+	)
+	if err != nil {
+		return nil, err
+	}
+	rInit := rGen.Populate(rng, nR)
+	sInit := sGen.Populate(rng, nS)
+
+	clk := &clock.Logical{}
+	db1 := source.NewDB("db1", clk)
+	db2 := source.NewDB("db2", clk)
+	if err := db1.LoadRelation(rInit); err != nil {
+		return nil, err
+	}
+	if err := db2.LoadRelation(sInit); err != nil {
+		return nil, err
+	}
+
+	b := vdp.NewBuilder()
+	if err := b.AddSource("db1", rSchema); err != nil {
+		return nil, err
+	}
+	if err := b.AddSource("db2", sSchema); err != nil {
+		return nil, err
+	}
+	if err := b.AddViewSQL("T",
+		`SELECT r1, r3, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`); err != nil {
+		return nil, err
+	}
+	if ann.rp != nil {
+		b.Annotate("R'", ann.rp)
+	}
+	if ann.sp != nil {
+		b.Annotate("S'", ann.sp)
+	}
+	if ann.t != nil {
+		b.Annotate("T", ann.t)
+	}
+	plan, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	med, err := core.New(core.Config{
+		VDP: plan,
+		Sources: map[string]core.SourceConn{
+			"db1": core.LocalSource{DB: db1}, "db2": core.LocalSource{DB: db2}},
+		Clock:    clk,
+		Recorder: rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	core.ConnectLocal(med, db1)
+	core.ConnectLocal(med, db2)
+	if err := med.Initialize(); err != nil {
+		return nil, err
+	}
+	return &env{
+		clk: clk, db1: db1, db2: db2, med: med, rec: rec, plan: plan,
+		rGen: rGen, sGen: sGen,
+		rStrm:  workload.NewStream(rGen, seed+1, rInit),
+		sStrm:  workload.NewStream(sGen, seed+2, sInit),
+		nextID: int64(nR + nS + 10),
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// commitR / commitS apply one generated transaction of the given size.
+func (e *env) commitR(size int) error {
+	d := e.rStrm.Transaction(size)
+	if d.IsEmpty() {
+		return nil
+	}
+	_, err := e.db1.Apply(d)
+	return err
+}
+
+func (e *env) commitS(size int) error {
+	d := e.sStrm.Transaction(size)
+	if d.IsEmpty() {
+		return nil
+	}
+	_, err := e.db2.Apply(d)
+	return err
+}
+
+func (e *env) sync() error {
+	for {
+		ran, err := e.med.RunUpdateTransaction()
+		if err != nil {
+			return err
+		}
+		if !ran {
+			return nil
+		}
+	}
+}
+
+// groundTruthT recomputes T from the current source states.
+func (e *env) groundTruthT() (*relation.Relation, error) {
+	r, err := e.db1.Current("R")
+	if err != nil {
+		return nil, err
+	}
+	s, err := e.db2.Current("S")
+	if err != nil {
+		return nil, err
+	}
+	states, err := e.plan.EvalAll(vdp.ResolverFromCatalog(
+		map[string]*relation.Relation{"R": r, "S": s}))
+	if err != nil {
+		return nil, err
+	}
+	return states["T"], nil
+}
+
+// condR3 is the Example 2.3 query condition.
+func condR3() algebra.Expr { return algebra.Lt(algebra.A("r3"), algebra.CInt(100)) }
+
+// Registry maps experiment IDs to runners.
+var Registry = map[string]func(w io.Writer) error{
+	"E1":  E1MaterializedMaintenance,
+	"E2":  E2VirtualAuxiliary,
+	"E3":  E3HybridQueries,
+	"E4":  E4Figure2,
+	"E5":  E5Figure4,
+	"E6":  E6KernelVsNaive,
+	"E7":  E7ConsistencySoak,
+	"E8":  E8Freshness,
+	"E9":  E9Crossover,
+	"E10": E10SpaceVsPerformance,
+	"E11": E11WireOverhead,
+	"E12": E12BatchingAblation,
+	"E13": E13JoinStrategyAblation,
+	"E14": E14AdvisorEvaluation,
+}
+
+// IDs returns the experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Registry[id](w); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Each experiment must run to completion and self-validate (every runner
+// returns an error if its correctness column fails). These are the shape
+// checks for the reproduction tables.
+func TestExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; run without -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Registry[id](&buf); err != nil {
+				t.Fatalf("%s: %v\n%s", id, err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, id+" ") && !strings.Contains(out, id+"—") && !strings.Contains(out, id+" —") {
+				t.Errorf("%s: output lacks experiment header:\n%s", id, out)
+			}
+		})
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() incomplete: %v", ids)
+	}
+	if ids[0] != "E1" || ids[len(ids)-1] != "E14" {
+		t.Errorf("ordering: %v", ids)
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Notes:  []string{"a note"},
+	}
+	tab.Add("x", 3.14159)
+	tab.Add(42, "y")
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"## demo", "long-column", "3.14", "42", "note: a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// RunAll stops at the first failure; discard output.
+	if err := RunAll(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package match implements the object-matching part of the Squirrel
+// view-definition language that the paper defers to its companion papers
+// ([ZHKF95, ZHK95]): declaring that tuples in relations from different
+// source databases denote the same real-world object, so they can be
+// integrated into one matched relation.
+//
+// Two matching criteria are supported, following ZHKF95:
+//
+//   - key equality: the relations share a common identifier (possibly
+//     after arithmetic normalization expressed as a predicate);
+//   - lookup-table matching: a correspondence relation (itself a source
+//     relation, e.g. maintained by data stewards) translates one
+//     relation's keys into the other's.
+//
+// A Spec compiles to ordinary VDP machinery — a join node through the
+// correspondence — so matched relations inherit everything the framework
+// provides: annotations, incremental maintenance, virtual attributes, and
+// the consistency guarantees.
+package match
+
+import (
+	"fmt"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/sqlview"
+	"squirrel/internal/vdp"
+)
+
+// Pair names one attribute from each side that must agree.
+type Pair struct {
+	Left, Right string
+}
+
+// Lookup names a correspondence relation and its two key columns: a row
+// (l, r) asserts that left-object l and right-object r are the same
+// real-world entity.
+type Lookup struct {
+	// Rel is the correspondence relation (a source relation registered
+	// with the builder — matching data is source data like any other).
+	Rel string
+	// LeftKey and RightKey are the correspondence relation's columns
+	// holding the left and right identifiers.
+	LeftKey, RightKey string
+}
+
+// Spec declares how two source relations' objects are matched.
+type Spec struct {
+	// Left and Right are the source relations being integrated.
+	Left, Right string
+	// On lists direct key-equality pairs (used when the identifiers are
+	// directly comparable).
+	On []Pair
+	// Via, if set, routes the match through a lookup table instead of
+	// (or in addition to) direct equality.
+	Via *Lookup
+	// Where is an optional extra matching condition over the combined
+	// attributes (e.g. normalization arithmetic).
+	Where algebra.Expr
+}
+
+// Validate checks the spec's internal consistency (relation existence is
+// checked by the builder at compile time).
+func (s Spec) Validate() error {
+	if s.Left == "" || s.Right == "" {
+		return fmt.Errorf("match: spec needs both relations")
+	}
+	if len(s.On) == 0 && s.Via == nil {
+		return fmt.Errorf("match: spec needs key pairs or a lookup table")
+	}
+	for _, p := range s.On {
+		if p.Left == "" || p.Right == "" {
+			return fmt.Errorf("match: empty attribute in key pair")
+		}
+	}
+	if s.Via != nil {
+		if s.Via.Rel == "" || s.Via.LeftKey == "" || s.Via.RightKey == "" {
+			return fmt.Errorf("match: incomplete lookup table spec")
+		}
+		if len(s.On) != 1 {
+			return fmt.Errorf("match: lookup matching needs exactly one On pair naming the identifier columns")
+		}
+	}
+	return nil
+}
+
+// AddMatchedView compiles the spec into the builder as an export relation
+// named name projecting cols (attributes drawn from either side; lookup
+// columns may be projected too). The matched relation is maintained like
+// any other VDP node — annotate it (or its auxiliaries) before Build for
+// hybrid support.
+func AddMatchedView(b *vdp.Builder, name string, spec Spec, cols []string) error {
+	stmt, err := spec.Stmt(cols)
+	if err != nil {
+		return err
+	}
+	return b.AddView(name, stmt)
+}
+
+// Stmt compiles the matching join into a view-definition statement
+// (constructed directly, so arbitrary Where expressions are preserved
+// without round-tripping through the SQL dialect).
+func (s Spec) Stmt(cols []string) (*sqlview.Stmt, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("match: no projection columns")
+	}
+	sel := &sqlview.SelectStmt{Cols: append([]string(nil), cols...)}
+	var extra []algebra.Expr
+	if s.Via != nil {
+		// Left ⋈ Lookup ⋈ Right, with the On pair naming the identifier
+		// columns being translated.
+		sel.Tables = []sqlview.TableRef{{Rel: s.Left}, {Rel: s.Via.Rel}, {Rel: s.Right}}
+		sel.JoinConds = []algebra.Expr{
+			algebra.Eq(algebra.A(s.On[0].Left), algebra.A(s.Via.LeftKey)),
+			algebra.Eq(algebra.A(s.Via.RightKey), algebra.A(s.On[0].Right)),
+		}
+	} else {
+		sel.Tables = []sqlview.TableRef{{Rel: s.Left}, {Rel: s.Right}}
+		sel.JoinConds = []algebra.Expr{
+			algebra.Eq(algebra.A(s.On[0].Left), algebra.A(s.On[0].Right)),
+		}
+		for _, p := range s.On[1:] {
+			extra = append(extra, algebra.Eq(algebra.A(p.Left), algebra.A(p.Right)))
+		}
+	}
+	if s.Where != nil && !algebra.IsTrue(s.Where) {
+		extra = append(extra, s.Where)
+	}
+	if len(extra) > 0 {
+		sel.Where = algebra.Conj(extra...)
+	}
+	return &sqlview.Stmt{Left: sel}, nil
+}

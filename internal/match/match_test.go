@@ -1,0 +1,222 @@
+package match
+
+import (
+	"testing"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/vdp"
+)
+
+// The canonical ZHKF95 scenario: a CRM knows customers by crm_id, a
+// billing system by acct_no; a steward-maintained correspondence table
+// links them.
+func matchingEnv(t *testing.T) (map[string]*source.DB, *vdp.Builder, *clock.Logical) {
+	t.Helper()
+	clk := &clock.Logical{}
+	crm := source.NewDB("crm", clk)
+	crmSchema := relation.MustSchema("Cust", []relation.Attribute{
+		{Name: "crm_id", Type: relation.KindInt},
+		{Name: "name", Type: relation.KindString}}, "crm_id")
+	c := relation.NewSet(crmSchema)
+	c.Insert(relation.T(1, "ada"))
+	c.Insert(relation.T(2, "grace"))
+	c.Insert(relation.T(3, "linus"))
+	if err := crm.LoadRelation(c); err != nil {
+		t.Fatal(err)
+	}
+
+	billing := source.NewDB("billing", clk)
+	billSchema := relation.MustSchema("Acct", []relation.Attribute{
+		{Name: "acct_no", Type: relation.KindInt},
+		{Name: "balance", Type: relation.KindInt}}, "acct_no")
+	bRel := relation.NewSet(billSchema)
+	bRel.Insert(relation.T(901, 120))
+	bRel.Insert(relation.T(902, 250))
+	bRel.Insert(relation.T(903, 80))
+	if err := billing.LoadRelation(bRel); err != nil {
+		t.Fatal(err)
+	}
+
+	steward := source.NewDB("steward", clk)
+	mapSchema := relation.MustSchema("IdMap", []relation.Attribute{
+		{Name: "m_crm", Type: relation.KindInt},
+		{Name: "m_acct", Type: relation.KindInt}}, "m_crm")
+	m := relation.NewSet(mapSchema)
+	m.Insert(relation.T(1, 901))
+	m.Insert(relation.T(2, 902))
+	// linus (3) unmatched on purpose.
+	if err := steward.LoadRelation(m); err != nil {
+		t.Fatal(err)
+	}
+
+	b := vdp.NewBuilder()
+	for db, schema := range map[*source.DB]*relation.Schema{
+		crm: crmSchema, billing: billSchema, steward: mapSchema,
+	} {
+		if err := b.AddSource(db.Name(), schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return map[string]*source.DB{"crm": crm, "billing": billing, "steward": steward}, b, clk
+}
+
+func buildMediator(t *testing.T, dbs map[string]*source.DB, b *vdp.Builder, clk *clock.Logical) *core.Mediator {
+	t.Helper()
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := map[string]core.SourceConn{}
+	for name, db := range dbs {
+		conns[name] = core.LocalSource{DB: db}
+	}
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range dbs {
+		core.ConnectLocal(med, db)
+	}
+	if err := med.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	return med
+}
+
+func TestLookupTableMatching(t *testing.T) {
+	dbs, b, clk := matchingEnv(t)
+	spec := Spec{
+		Left: "Cust", Right: "Acct",
+		On:  []Pair{{Left: "crm_id", Right: "acct_no"}},
+		Via: &Lookup{Rel: "IdMap", LeftKey: "m_crm", RightKey: "m_acct"},
+	}
+	if err := AddMatchedView(b, "Customer360", spec, []string{"crm_id", "name", "balance"}); err != nil {
+		t.Fatal(err)
+	}
+	med := buildMediator(t, dbs, b, clk)
+
+	ans, err := med.Query("Customer360", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Card() != 2 || !ans.Contains(relation.T(1, "ada", 120)) || !ans.Contains(relation.T(2, "grace", 250)) {
+		t.Fatalf("matched view: %s", ans)
+	}
+
+	// A new correspondence row matches linus incrementally.
+	d := delta.New()
+	d.Insert("IdMap", relation.T(3, 903))
+	dbs["steward"].MustApply(d)
+	if _, err := med.RunUpdateTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	ans, _ = med.Query("Customer360", nil, nil)
+	if ans.Card() != 3 || !ans.Contains(relation.T(3, "linus", 80)) {
+		t.Fatalf("after steward update: %s", ans)
+	}
+
+	// A billing update flows through too.
+	d2 := delta.New()
+	d2.Delete("Acct", relation.T(901, 120))
+	d2.Insert("Acct", relation.T(901, 99))
+	dbs["billing"].MustApply(d2)
+	if _, err := med.RunUpdateTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	ans, _ = med.Query("Customer360", nil, nil)
+	if !ans.Contains(relation.T(1, "ada", 99)) {
+		t.Fatalf("after billing update: %s", ans)
+	}
+}
+
+func TestDirectKeyMatching(t *testing.T) {
+	// Direct key-equality matching, with an extra Where condition.
+	clk2 := &clock.Logical{}
+	left := source.NewDB("l", clk2)
+	ls := relation.MustSchema("L", []relation.Attribute{
+		{Name: "lid", Type: relation.KindInt}, {Name: "lv", Type: relation.KindInt}}, "lid")
+	lr := relation.NewSet(ls)
+	lr.Insert(relation.T(1, 10))
+	lr.Insert(relation.T(2, 20))
+	left.LoadRelation(lr)
+	right := source.NewDB("r", clk2)
+	rs := relation.MustSchema("R", []relation.Attribute{
+		{Name: "rid", Type: relation.KindInt}, {Name: "rv", Type: relation.KindInt}}, "rid")
+	rr := relation.NewSet(rs)
+	rr.Insert(relation.T(1, 100))
+	rr.Insert(relation.T(3, 300))
+	right.LoadRelation(rr)
+	b2 := vdp.NewBuilder()
+	b2.AddSource("l", ls)
+	b2.AddSource("r", rs)
+	if err := AddMatchedView(b2, "M", Spec{
+		Left: "L", Right: "R",
+		On:    []Pair{{Left: "lid", Right: "rid"}},
+		Where: algebra.Gt(algebra.A("rv"), algebra.CInt(0)),
+	}, []string{"lid", "lv", "rv"}); err != nil {
+		t.Fatal(err)
+	}
+	med := buildMediator(t, map[string]*source.DB{"l": left, "r": right}, b2, clk2)
+	ans, err := med.Query("M", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Card() != 1 || !ans.Contains(relation.T(1, 10, 100)) {
+		t.Fatalf("direct match: %s", ans)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Left: "A"},
+		{Left: "A", Right: "B"},
+		{Left: "A", Right: "B", On: []Pair{{Left: "", Right: "x"}}},
+		{Left: "A", Right: "B", Via: &Lookup{Rel: "M"}},
+		{Left: "A", Right: "B", Via: &Lookup{Rel: "M", LeftKey: "l", RightKey: "r"}}, // no On pair
+		{Left: "A", Right: "B", On: []Pair{{Left: "a", Right: "b"}, {Left: "c", Right: "d"}},
+			Via: &Lookup{Rel: "M", LeftKey: "l", RightKey: "r"}}, // too many pairs
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should fail validation", i)
+		}
+	}
+	good := Spec{Left: "A", Right: "B", On: []Pair{{Left: "a", Right: "b"}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if _, err := good.Stmt(nil); err == nil {
+		t.Errorf("empty projection must fail")
+	}
+}
+
+func TestHybridMatchedView(t *testing.T) {
+	// Matched views compose with annotations: balance virtual, polled on
+	// demand with compensation.
+	dbs, b, clk := matchingEnv(t)
+	spec := Spec{
+		Left: "Cust", Right: "Acct",
+		On:  []Pair{{Left: "crm_id", Right: "acct_no"}},
+		Via: &Lookup{Rel: "IdMap", LeftKey: "m_crm", RightKey: "m_acct"},
+	}
+	if err := AddMatchedView(b, "Customer360", spec, []string{"crm_id", "name", "balance"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Annotate("Customer360", vdp.Ann([]string{"crm_id", "name"}, []string{"balance"}))
+	b.Annotate("Acct'", vdp.Ann(nil, []string{"acct_no", "balance"}))
+	med := buildMediator(t, dbs, b, clk)
+
+	res, err := med.QueryOpts("Customer360", []string{"crm_id", "balance"}, nil, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Card() != 2 || res.Polled == 0 {
+		t.Fatalf("hybrid matched view: polled=%d\n%s", res.Polled, res.Answer)
+	}
+}

@@ -1,0 +1,83 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/relation"
+)
+
+func sampleSnapshot(t *testing.T) *core.StateSnapshot {
+	t.Helper()
+	schema := relation.MustSchema("T", []relation.Attribute{
+		{Name: "a", Type: relation.KindInt}, {Name: "b", Type: relation.KindString}})
+	rel := relation.NewBag(schema)
+	rel.Add(relation.T(1, "x"), 2)
+	rel.Add(relation.T(2, "y"), 1)
+	set := relation.NewSet(schema.Rename("G"))
+	set.Insert(relation.T(3, "z"))
+	return &core.StateSnapshot{
+		Store:         map[string]*relation.Relation{"T": rel, "G": set},
+		LastProcessed: clock.Vector{"db1": 17, "db2": 23},
+		ViewInit:      5,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	snap := sampleSnapshot(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ViewInit != snap.ViewInit {
+		t.Errorf("viewInit = %d", got.ViewInit)
+	}
+	if got.LastProcessed["db1"] != 17 || got.LastProcessed["db2"] != 23 {
+		t.Errorf("lastProcessed = %v", got.LastProcessed)
+	}
+	if len(got.Store) != 2 {
+		t.Fatalf("stores = %d", len(got.Store))
+	}
+	if !got.Store["T"].Equal(snap.Store["T"]) {
+		t.Errorf("T:\n%svs\n%s", got.Store["T"], snap.Store["T"])
+	}
+	if got.Store["G"].Semantics() != relation.Set {
+		t.Errorf("set semantics lost")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Errorf("garbage must fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Errorf("bad version must fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 1, "store": {"T": {"schema": {"name":"T","attrs":[{"name":"a","type":"zzz"}]}, "sem":"bag"}}}`)); err == nil {
+		t.Errorf("bad attr type must fail")
+	}
+	if err := Save(&bytes.Buffer{}, nil); err == nil {
+		t.Errorf("nil snapshot must fail")
+	}
+}
+
+func TestEmptyVectorDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, &core.StateSnapshot{Store: map[string]*relation.Relation{}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastProcessed == nil {
+		t.Errorf("lastProcessed must default to an empty vector")
+	}
+}

@@ -1,0 +1,354 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Semantics selects set or bag (multiset) storage for a relation.
+// Difference nodes in a VDP are set nodes; nodes involving projection or
+// union are stored as bags so incremental maintenance stays correct (§5.1).
+type Semantics uint8
+
+const (
+	// Set semantics: every tuple has multiplicity 0 or 1.
+	Set Semantics = iota
+	// Bag semantics: tuples carry arbitrary non-negative multiplicities.
+	Bag
+)
+
+// String returns "set" or "bag".
+func (s Semantics) String() string {
+	if s == Set {
+		return "set"
+	}
+	return "bag"
+}
+
+type row struct {
+	tuple Tuple
+	count int
+}
+
+// Relation is an in-memory relation instance with set or bag semantics and
+// optional hash indexes on attribute subsets.
+type Relation struct {
+	schema  *Schema
+	sem     Semantics
+	rows    map[string]*row
+	indexes map[string]*index
+	card    int // total multiplicity
+}
+
+type index struct {
+	positions []int
+	buckets   map[string]map[string]struct{} // value key -> set of tuple keys
+}
+
+// New creates an empty relation over the given schema with the given
+// semantics.
+func New(schema *Schema, sem Semantics) *Relation {
+	return &Relation{
+		schema:  schema,
+		sem:     sem,
+		rows:    make(map[string]*row),
+		indexes: make(map[string]*index),
+	}
+}
+
+// NewSet creates an empty set-semantics relation.
+func NewSet(schema *Schema) *Relation { return New(schema, Set) }
+
+// NewBag creates an empty bag-semantics relation.
+func NewBag(schema *Schema) *Relation { return New(schema, Bag) }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Semantics returns the relation's storage semantics.
+func (r *Relation) Semantics() Semantics { return r.sem }
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Card returns the total cardinality including multiplicities (equal to
+// Len for set relations).
+func (r *Relation) Card() int { return r.card }
+
+// Count returns the multiplicity of t (0 if absent).
+func (r *Relation) Count(t Tuple) int {
+	if rw, ok := r.rows[t.Key()]; ok {
+		return rw.count
+	}
+	return 0
+}
+
+// Contains reports whether t occurs at least once.
+func (r *Relation) Contains(t Tuple) bool { return r.Count(t) > 0 }
+
+// Insert adds one occurrence of t. For set relations, inserting an existing
+// tuple is a no-op and returns false; otherwise it returns true.
+func (r *Relation) Insert(t Tuple) bool {
+	n, _ := r.Add(t, 1)
+	return n > 0
+}
+
+// Delete removes one occurrence of t, reporting whether anything was
+// removed.
+func (r *Relation) Delete(t Tuple) bool {
+	n, _ := r.Add(t, -1)
+	return n < 0
+}
+
+// Add adjusts the multiplicity of t by n (which may be negative), clamping
+// the result at zero for sets at one. It returns the actual applied change
+// and the new multiplicity.
+func (r *Relation) Add(t Tuple, n int) (applied, newCount int) {
+	if len(t) != r.schema.Arity() {
+		panic(fmt.Sprintf("relation: arity mismatch inserting into %s: tuple %s", r.schema.Name(), t))
+	}
+	key := t.Key()
+	rw := r.rows[key]
+	old := 0
+	if rw != nil {
+		old = rw.count
+	}
+	target := old + n
+	if target < 0 {
+		target = 0
+	}
+	if r.sem == Set && target > 1 {
+		target = 1
+	}
+	applied = target - old
+	if applied == 0 {
+		return 0, old
+	}
+	r.card += applied
+	if target == 0 {
+		delete(r.rows, key)
+		r.unindex(key, rw.tuple)
+		return applied, 0
+	}
+	if rw == nil {
+		rw = &row{tuple: t.Clone()}
+		r.rows[key] = rw
+		r.indexTuple(key, rw.tuple)
+	}
+	rw.count = target
+	return applied, target
+}
+
+// SetCount forces the multiplicity of t to n (>= 0).
+func (r *Relation) SetCount(t Tuple, n int) {
+	cur := r.Count(t)
+	r.Add(t, n-cur)
+}
+
+// Each iterates over distinct rows; fn receives each tuple and its
+// multiplicity, returning false to stop early. The iteration order is
+// unspecified. The callback must not mutate the relation.
+func (r *Relation) Each(fn func(t Tuple, count int) bool) {
+	for _, rw := range r.rows {
+		if !fn(rw.tuple, rw.count) {
+			return
+		}
+	}
+}
+
+// Rows returns all distinct rows in deterministic (sorted) order.
+func (r *Relation) Rows() []Row {
+	out := make([]Row, 0, len(r.rows))
+	for _, rw := range r.rows {
+		out = append(out, Row{Tuple: rw.tuple, Count: rw.count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// Tuples returns all tuples expanded by multiplicity in deterministic order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, r.card)
+	for _, rw := range r.Rows() {
+		for i := 0; i < rw.Count; i++ {
+			out = append(out, rw.Tuple)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation (indexes are rebuilt lazily).
+func (r *Relation) Clone() *Relation {
+	c := New(r.schema, r.sem)
+	for key, rw := range r.rows {
+		c.rows[key] = &row{tuple: rw.tuple.Clone(), count: rw.count}
+	}
+	c.card = r.card
+	return c
+}
+
+// Clear removes all tuples, keeping schema and index definitions.
+func (r *Relation) Clear() {
+	r.rows = make(map[string]*row)
+	r.card = 0
+	for _, ix := range r.indexes {
+		ix.buckets = make(map[string]map[string]struct{})
+	}
+}
+
+// Equal reports whether two relations have identical contents (same tuples
+// with the same multiplicities). Schemas are compared by shape only.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Len() != o.Len() || r.Card() != o.Card() {
+		return false
+	}
+	for key, rw := range r.rows {
+		orw, ok := o.rows[key]
+		if !ok || orw.count != rw.count {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualAsSet reports whether two relations contain the same distinct
+// tuples, ignoring multiplicities.
+func (r *Relation) EqualAsSet(o *Relation) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	for key := range r.rows {
+		if _, ok := o.rows[key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildIndex creates (or rebuilds) a hash index over the named attributes.
+// Probe can then be used for constant-time lookups. Indexes are maintained
+// incrementally by Insert/Delete/Add.
+func (r *Relation) BuildIndex(attrs ...string) error {
+	positions, err := r.schema.Positions(attrs)
+	if err != nil {
+		return err
+	}
+	name := strings.Join(attrs, ",")
+	ix := &index{positions: positions, buckets: make(map[string]map[string]struct{})}
+	for key, rw := range r.rows {
+		ix.add(key, rw.tuple)
+	}
+	r.indexes[name] = ix
+	return nil
+}
+
+// HasIndex reports whether an index exists over exactly the named
+// attributes.
+func (r *Relation) HasIndex(attrs ...string) bool {
+	_, ok := r.indexes[strings.Join(attrs, ",")]
+	return ok
+}
+
+// Probe returns the rows whose named attributes equal the given values,
+// using an index if one exists over exactly those attributes and scanning
+// otherwise.
+func (r *Relation) Probe(attrs []string, vals []Value) ([]Row, error) {
+	positions, err := r.schema.Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	want := Tuple(vals).Key()
+	if ix, ok := r.indexes[strings.Join(attrs, ",")]; ok {
+		var out []Row
+		for key := range ix.buckets[want] {
+			rw := r.rows[key]
+			out = append(out, Row{Tuple: rw.tuple, Count: rw.count})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+		return out, nil
+	}
+	var out []Row
+	for _, rw := range r.rows {
+		if rw.tuple.KeyOn(positions) == want {
+			out = append(out, Row{Tuple: rw.tuple, Count: rw.count})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out, nil
+}
+
+func (ix *index) add(key string, t Tuple) {
+	vk := t.KeyOn(ix.positions)
+	b := ix.buckets[vk]
+	if b == nil {
+		b = make(map[string]struct{})
+		ix.buckets[vk] = b
+	}
+	b[key] = struct{}{}
+}
+
+func (ix *index) remove(key string, t Tuple) {
+	vk := t.KeyOn(ix.positions)
+	if b := ix.buckets[vk]; b != nil {
+		delete(b, key)
+		if len(b) == 0 {
+			delete(ix.buckets, vk)
+		}
+	}
+}
+
+func (r *Relation) indexTuple(key string, t Tuple) {
+	for _, ix := range r.indexes {
+		ix.add(key, t)
+	}
+}
+
+func (r *Relation) unindex(key string, t Tuple) {
+	for _, ix := range r.indexes {
+		ix.remove(key, t)
+	}
+}
+
+// String renders the relation contents deterministically, one row per line.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s, %d distinct / %d total]\n", r.schema.String(), r.sem, r.Len(), r.Card())
+	for _, rw := range r.Rows() {
+		b.WriteString("  ")
+		b.WriteString(rw.Tuple.String())
+		if rw.Count != 1 {
+			fmt.Fprintf(&b, " x%d", rw.Count)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MemoryFootprint estimates the resident bytes of the relation's tuple
+// data. Used by the §5.3 space-vs-performance experiments; it is an
+// estimate of payload size, not Go heap overhead.
+func (r *Relation) MemoryFootprint() int {
+	total := 0
+	for key, rw := range r.rows {
+		total += len(key) + 16 // key string + row header estimate
+		for _, v := range rw.tuple {
+			total += 24
+			if v.Kind() == KindString {
+				total += len(v.AsString())
+			}
+		}
+	}
+	return total
+}
+
+// Distinct returns a new set-semantics relation with the distinct tuples
+// of r.
+func (r *Relation) Distinct() *Relation {
+	out := NewSet(r.schema)
+	for key, rw := range r.rows {
+		out.rows[key] = &row{tuple: rw.tuple.Clone(), count: 1}
+		out.card++
+	}
+	return out
+}

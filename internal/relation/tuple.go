@@ -1,0 +1,137 @@
+package relation
+
+import "strings"
+
+// Tuple is an ordered list of values matching a schema's attributes.
+type Tuple []Value
+
+// Row pairs a tuple with its multiplicity in a bag relation (always 1 in a
+// set relation).
+type Row struct {
+	Tuple Tuple
+	Count int
+}
+
+// Key returns a canonical string encoding of the tuple, usable as a map
+// key. Numerically equal tuples (e.g. Int(2) vs Float(2)) share a key.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		b = v.appendKey(b)
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+// KeyOn returns the canonical encoding of the tuple restricted to the given
+// attribute positions, in order.
+func (t Tuple) KeyOn(positions []int) string {
+	b := make([]byte, 0, 16*len(positions))
+	for _, p := range positions {
+		b = t[p].appendKey(b)
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+// Project returns a new tuple containing the values at the given positions.
+func (t Tuple) Project(positions []int) Tuple {
+	out := make(Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// Concat returns the concatenation of t and o as a new tuple.
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	return append(out, o...)
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports value-wise equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically. Tuples of different lengths
+// order by length first. Incomparable values order by kind.
+func (t Tuple) Compare(o Tuple) int {
+	if len(t) != len(o) {
+		if len(t) < len(o) {
+			return -1
+		}
+		return 1
+	}
+	for i := range t {
+		c, err := t[i].Compare(o[i])
+		if err != nil {
+			a, b := t[i].Kind(), o[i].Kind()
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			continue
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// T builds a tuple from a mixed list of Go values. Supported types:
+// int, int64, float64, string, bool, Value, and nil (null).
+// It panics on any other type; intended for tests and examples.
+func T(vals ...any) Tuple {
+	out := make(Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			out[i] = Null()
+		case int:
+			out[i] = Int(int64(x))
+		case int64:
+			out[i] = Int(x)
+		case float64:
+			out[i] = Float(x)
+		case string:
+			out[i] = Str(x)
+		case bool:
+			out[i] = Bool(x)
+		case Value:
+			out[i] = x
+		default:
+			panic("relation: T: unsupported value type")
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Bool(true), KindBool},
+		{Int(7), KindInt},
+		{Float(2.5), KindFloat},
+		{Str("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Errorf("IsNull misbehaves")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 {
+		t.Errorf("AsInt")
+	}
+	if Float(1.5).AsFloat() != 1.5 {
+		t.Errorf("AsFloat")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Errorf("AsFloat should coerce ints")
+	}
+	if Str("hi").AsString() != "hi" {
+		t.Errorf("AsString")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Errorf("AsBool")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AsInt on string", func() { Str("x").AsInt() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsBool on float", func() { Float(1).AsBool() })
+	mustPanic("AsFloat on bool", func() { Bool(true).AsFloat() })
+}
+
+func TestValueCompareNumericCoercion(t *testing.T) {
+	c, err := Int(2).Compare(Float(2.0))
+	if err != nil || c != 0 {
+		t.Errorf("Int(2) vs Float(2.0): c=%d err=%v", c, err)
+	}
+	c, err = Int(2).Compare(Float(2.5))
+	if err != nil || c >= 0 {
+		t.Errorf("Int(2) vs Float(2.5): c=%d err=%v", c, err)
+	}
+	if !Int(2).Equal(Float(2.0)) {
+		t.Errorf("numeric Equal coercion failed")
+	}
+}
+
+func TestValueCompareErrors(t *testing.T) {
+	if _, err := Int(1).Compare(Str("1")); err == nil {
+		t.Errorf("expected error comparing int with string")
+	}
+	if _, err := Bool(true).Compare(Str("true")); err == nil {
+		t.Errorf("expected error comparing bool with string")
+	}
+	if Int(1).Equal(Str("1")) {
+		t.Errorf("cross-kind Equal must be false")
+	}
+}
+
+func TestNullOrdering(t *testing.T) {
+	c, err := Null().Compare(Int(-100))
+	if err != nil || c != -1 {
+		t.Errorf("null should sort first: c=%d err=%v", c, err)
+	}
+	c, err = Int(0).Compare(Null())
+	if err != nil || c != 1 {
+		t.Errorf("null should sort first: c=%d err=%v", c, err)
+	}
+	if !Null().Equal(Null()) {
+		t.Errorf("null equals null")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":   Null(),
+		"true":   Bool(true),
+		"42":     Int(42),
+		"2.5":    Float(2.5),
+		`"hi"`:   Str("hi"),
+		`"a\"b"`: Str(`a"b`),
+		"-7":     Int(-7),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestKeyEncodingDistinguishes(t *testing.T) {
+	// Values that must NOT collide.
+	distinct := []Value{
+		Str("1"), Int(1), Bool(true), Null(), Str(""), Str("n"), Str("T"),
+		Float(1.5), Int(2), Str("2"),
+	}
+	seen := make(map[string]Value)
+	for _, v := range distinct {
+		k := string(v.appendKey(nil))
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision: %v and %v both encode to %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+	// Numerically equal values MUST collide (Equal implies same key).
+	if a, b := string(Int(2).appendKey(nil)), string(Float(2).appendKey(nil)); a != b {
+		t.Errorf("Int(2) and Float(2.0) should share a key: %q vs %q", a, b)
+	}
+}
+
+func TestKeyEquivalenceProperty(t *testing.T) {
+	// Property: for int values, equal values <=> equal keys.
+	f := func(a, b int64) bool {
+		ka := string(Int(a).appendKey(nil))
+		kb := string(Int(b).appendKey(nil))
+		return (a == b) == (ka == kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Property: string values, equal <=> equal keys.
+	g := func(a, b string) bool {
+		ka := string(Str(a).appendKey(nil))
+		kb := string(Str(b).appendKey(nil))
+		return (a == b) == (ka == kb)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeyUnambiguous(t *testing.T) {
+	// Adjacent string boundaries must not be confusable.
+	a := T("ab", "c")
+	b := T("a", "bc")
+	if a.Key() == b.Key() {
+		t.Errorf("tuple key ambiguity: %v vs %v", a, b)
+	}
+}

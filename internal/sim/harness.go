@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+
+	"squirrel/internal/checker"
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// Delays parameterizes the integration environment with the delay
+// vocabulary of Theorem 7.2 (all in virtual ticks).
+type Delays struct {
+	// Ann is the per-source announcement delay (ann_delay_i): the lag
+	// between a commit and its publication. Sources also answer mediator
+	// queries from their published snapshot, preserving the in-order
+	// message assumption of §4.
+	Ann map[string]clock.Time
+	// Comm is the per-source one-way communication delay (comm_delay_i).
+	Comm map[string]clock.Time
+	// QProcSource is the per-source query processing delay (q_proc_delay_i).
+	QProcSource map[string]clock.Time
+	// UHold is the mediator's queue-flush period (u_hold_delay_med).
+	UHold clock.Time
+	// UProc is the update-transaction processing time excluding source
+	// queries (u_proc_delay_med).
+	UProc clock.Time
+	// QProcMed is the mediator-side query processing time (q_proc_delay_med).
+	QProcMed clock.Time
+}
+
+// Bounds computes the freshness vector f̄ of Theorem 7.2 for the given
+// environment. For an announcing (materialized/hybrid-contributor) source
+// DB_i, data can age by the announcement and transfer lag, wait out a full
+// hold period, and survive through two transaction processing windows
+// (the one that misses it plus the one that incorporates it, including
+// any polling round trips); a query then adds its own processing time:
+//
+//	f_i = ann_i + comm_i + 2·(u_hold + u_proc + Σ_k(2·comm_k + q_proc_k))
+//	      + q_proc_med + Σ_k(2·comm_k + q_proc_k)
+//
+// For a virtual contributor DB_j the answer is at most one query round
+// trip old: f_j = Σ_k(q_proc_k + 2·comm_k) + q_proc_med.
+func (d Delays) Bounds(med *core.Mediator, sources []string) clock.Vector {
+	pollRTT := clock.Time(0)
+	for _, k := range sources {
+		pollRTT += 2*d.Comm[k] + d.QProcSource[k]
+	}
+	out := make(clock.Vector, len(sources))
+	for _, s := range sources {
+		if med.Contributor(s) == core.VirtualContributor {
+			out[s] = pollRTT + d.QProcMed
+			continue
+		}
+		out[s] = d.Ann[s] + d.Comm[s] + 2*(d.UHold+d.UProc+pollRTT) + d.QProcMed + pollRTT
+	}
+	return out
+}
+
+// Harness wires source databases, the delay model, and a mediator on a
+// shared simulator.
+type Harness struct {
+	Sim   *Sim
+	DBs   map[string]*source.DB
+	Med   *core.Mediator
+	Rec   *trace.Recorder
+	Plan  *vdp.VDP
+	Delay Delays
+
+	busy bool // a mediator transaction is in progress (serial execution)
+}
+
+// delayedConn models the network path between the mediator and one
+// source: requests and answers each take Comm ticks, the source takes
+// QProcSource ticks to answer, and announcing sources answer from their
+// published snapshot (commits older than Ann), preserving FIFO ordering
+// between announcements and answers.
+type delayedConn struct {
+	h   *Harness
+	db  *source.DB
+	src string
+}
+
+func (c delayedConn) Name() string { return c.src }
+
+func (c delayedConn) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	d := c.h.Delay
+	c.h.Sim.AdvanceBy(d.Comm[c.src]) // request travels
+	var answers []*relation.Relation
+	var asOf clock.Time
+	var err error
+	if c.h.Med != nil && c.h.Med.Contributor(c.src) != core.VirtualContributor {
+		// Published snapshot: the latest commit whose announcement has
+		// been sent by the time the request arrives.
+		cutoff := c.db.LastCommitAtOrBefore(c.h.Sim.Time() - d.Ann[c.src])
+		answers, asOf, err = c.db.QueryMultiAt(specs, cutoff)
+	} else {
+		answers, asOf, err = c.db.QueryMulti(specs)
+	}
+	c.h.Sim.AdvanceBy(d.QProcSource[c.src] + d.Comm[c.src]) // processing + answer travels
+	return answers, asOf, err
+}
+
+// NewHarness builds the simulated integration environment: one source DB
+// per VDP source loaded with the given initial relations, a mediator with
+// the given plan, announcement feeds with the configured delays, and a
+// periodic update-transaction loop with period UHold.
+func NewHarness(plan *vdp.VDP, initial map[string]map[string]*relation.Relation, d Delays) (*Harness, error) {
+	s := New()
+	h := &Harness{Sim: s, DBs: map[string]*source.DB{}, Rec: trace.NewRecorder(), Plan: plan, Delay: d}
+	conns := map[string]core.SourceConn{}
+	for _, src := range plan.Sources() {
+		db := source.NewDB(src, s)
+		for _, rel := range initialOrEmpty(plan, src, initial) {
+			if err := db.LoadRelation(rel); err != nil {
+				return nil, err
+			}
+		}
+		h.DBs[src] = db
+		conns[src] = delayedConn{h: h, db: db, src: src}
+	}
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s, Recorder: h.Rec})
+	if err != nil {
+		return nil, err
+	}
+	h.Med = med
+	for src, db := range h.DBs {
+		src := src
+		db.Subscribe(func(a source.Announcement) {
+			delay := d.Ann[src] + d.Comm[src]
+			s.After(delay, func() { med.OnAnnouncement(a) })
+		})
+	}
+	if err := med.Initialize(); err != nil {
+		return nil, err
+	}
+	// Periodic update transactions (the u_hold policy).
+	if d.UHold > 0 {
+		s.Every(d.UHold, d.UHold, func() {
+			h.withTransaction(func() {
+				s.AdvanceBy(d.UProc)
+				if _, err := med.RunUpdateTransaction(); err != nil {
+					panic(fmt.Sprintf("sim: update transaction: %v", err))
+				}
+			})
+		})
+	}
+	return h, nil
+}
+
+func initialOrEmpty(plan *vdp.VDP, src string, initial map[string]map[string]*relation.Relation) []*relation.Relation {
+	var out []*relation.Relation
+	for _, leaf := range plan.LeavesOf(src) {
+		if m := initial[src]; m != nil {
+			if r, ok := m[leaf]; ok {
+				out = append(out, r)
+				continue
+			}
+		}
+		out = append(out, relation.NewSet(plan.Node(leaf).Schema))
+	}
+	return out
+}
+
+// withTransaction runs fn unless a mediator transaction is already in
+// progress (transactions are serial; an event landing mid-transaction is
+// deferred by a tick).
+func (h *Harness) withTransaction(fn func()) {
+	if h.busy {
+		h.Sim.After(1, func() { h.withTransaction(fn) })
+		return
+	}
+	h.busy = true
+	fn()
+	h.busy = false
+}
+
+// ScheduleCommit schedules a source transaction at virtual time t. The
+// build callback runs at commit time (so it can consult current state);
+// returning nil skips the commit.
+func (h *Harness) ScheduleCommit(t clock.Time, src string, build func() *delta.Delta) {
+	h.Sim.At(t, func() {
+		d := build()
+		if d == nil || d.IsEmpty() {
+			return
+		}
+		if _, err := h.DBs[src].Apply(d); err != nil {
+			panic(fmt.Sprintf("sim: commit to %s: %v", src, err))
+		}
+	})
+}
+
+// ScheduleQuery schedules a mediator query at virtual time t; the answer
+// lands in the trace. The mediator-side processing delay is modeled
+// before the query transaction commits.
+func (h *Harness) ScheduleQuery(t clock.Time, export string, attrs []string) {
+	h.Sim.At(t, func() {
+		h.withTransaction(func() {
+			h.Sim.AdvanceBy(h.Delay.QProcMed)
+			if _, err := h.Med.QueryOpts(export, attrs, nil, core.QueryOptions{}); err != nil {
+				panic(fmt.Sprintf("sim: query: %v", err))
+			}
+		})
+	})
+}
+
+// Environment exposes the run for the correctness checkers.
+func (h *Harness) Environment() checker.Environment {
+	return checker.Environment{VDP: h.Plan, Sources: h.DBs, Trace: h.Rec}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"squirrel/internal/clock"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Time() != 30 {
+		t.Errorf("final time = %d", s.Time())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(10, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNowUniqueAndIncreasing(t *testing.T) {
+	s := New()
+	var stamps []clock.Time
+	s.At(5, func() {
+		stamps = append(stamps, s.Now(), s.Now(), s.Now())
+	})
+	s.At(6, func() { stamps = append(stamps, s.Now()) })
+	s.Run()
+	prev := clock.Time(-1)
+	for _, ts := range stamps {
+		if ts <= prev {
+			t.Fatalf("timestamps not strictly increasing: %v", stamps)
+		}
+		prev = ts
+	}
+	if stamps[0] < 5 {
+		t.Errorf("first stamp %d before event time", stamps[0])
+	}
+}
+
+func TestAfterAndEvery(t *testing.T) {
+	s := New()
+	s.Horizon = 100
+	count := 0
+	s.Every(10, 10, func() { count++ })
+	s.At(35, func() { s.After(5, func() { count += 100 }) })
+	s.Run()
+	// Every 10 ticks within [10,100]: 10 firings; plus the one-shot.
+	if count != 110 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestAdvanceByInterleavesEvents(t *testing.T) {
+	s := New()
+	var log []string
+	s.At(10, func() {
+		log = append(log, "outer-start")
+		s.AdvanceBy(20) // "processing" until t=30; the t=15 event must run
+		log = append(log, "outer-end")
+	})
+	s.At(15, func() { log = append(log, "interleaved") })
+	s.Run()
+	want := []string{"outer-start", "interleaved", "outer-end"}
+	for i, w := range want {
+		if i >= len(log) || log[i] != w {
+			t.Fatalf("log = %v", log)
+		}
+	}
+	if s.Time() != 30 {
+		t.Errorf("time after advance = %d", s.Time())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(10, func() { ran++ })
+	s.At(50, func() { ran++ })
+	s.RunUntil(20)
+	if ran != 1 || s.Time() != 20 {
+		t.Fatalf("ran=%d time=%d", ran, s.Time())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if ran != 2 {
+		t.Errorf("final ran = %d", ran)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	s := New()
+	order := []int{}
+	s.At(10, func() {
+		s.At(3, func() { order = append(order, 1) }) // in the past: clamps to now
+		order = append(order, 0)
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,121 @@
+package source
+
+import (
+	"sync"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+)
+
+// BatchingAnnouncer implements the source-side announcement policy behind
+// the paper's ann_delay (§7): instead of announcing every commit
+// immediately, the source accumulates commits and periodically publishes
+// ONE message holding their smash — still "all the updates that reflect
+// the difference between two database states in a single undividable
+// message" (§4), stamped with the latest covered commit time, delivered in
+// order.
+//
+// Wire it between a DB and its consumers:
+//
+//	ba := source.NewBatchingAnnouncer(db, 10) // flush every 10 commits
+//	ba.Subscribe(mediator.OnAnnouncement)
+//
+// Flush publishes whatever is pending (call it on a timer for time-based
+// policies).
+type BatchingAnnouncer struct {
+	db    *DB
+	every int
+
+	mu        sync.Mutex
+	pending   *delta.Delta
+	count     int
+	last      clock.Time
+	published clock.Time
+	handlers  []Handler
+}
+
+// NewBatchingAnnouncer subscribes to db and batches its announcements,
+// flushing automatically after every `every` commits (0 means manual
+// flushing only).
+func NewBatchingAnnouncer(db *DB, every int) *BatchingAnnouncer {
+	ba := &BatchingAnnouncer{db: db, every: every, pending: delta.New(), published: db.Born()}
+	db.Subscribe(ba.onCommit)
+	return ba
+}
+
+// Subscribe registers a downstream handler for the batched announcements.
+func (ba *BatchingAnnouncer) Subscribe(h Handler) {
+	ba.mu.Lock()
+	defer ba.mu.Unlock()
+	ba.handlers = append(ba.handlers, h)
+}
+
+func (ba *BatchingAnnouncer) onCommit(a Announcement) {
+	ba.mu.Lock()
+	ba.pending.Smash(a.Delta)
+	ba.count++
+	ba.last = a.Time
+	flush := ba.every > 0 && ba.count >= ba.every
+	ba.mu.Unlock()
+	if flush {
+		ba.Flush()
+	}
+}
+
+// Flush publishes the pending batch (no-op when nothing is pending).
+// Smash may have annihilated everything (a row inserted and deleted within
+// the batch); an empty batch still advances the announced time so the
+// mediator's ref′ moves forward.
+func (ba *BatchingAnnouncer) Flush() {
+	ba.mu.Lock()
+	if ba.count == 0 {
+		ba.mu.Unlock()
+		return
+	}
+	out := Announcement{Source: ba.db.Name(), Time: ba.last, Delta: ba.pending}
+	ba.pending = delta.New()
+	ba.count = 0
+	ba.published = ba.last
+	handlers := append([]Handler(nil), ba.handlers...)
+	ba.mu.Unlock()
+	for _, h := range handlers {
+		h(out)
+	}
+}
+
+// Pending reports how many commits await flushing.
+func (ba *BatchingAnnouncer) Pending() int {
+	ba.mu.Lock()
+	defer ba.mu.Unlock()
+	return ba.count
+}
+
+// Published returns the commit time of the last flushed batch (the
+// database's birth time before any flush): the state the source has made
+// visible downstream.
+func (ba *BatchingAnnouncer) Published() clock.Time {
+	ba.mu.Lock()
+	defer ba.mu.Unlock()
+	return ba.published
+}
+
+// PublishedConn answers mediator queries from the source's PUBLISHED
+// state — the last flushed batch — rather than its live state. This is
+// required for correctness when announcements are batched: Eager
+// Compensation assumes every commit reflected in a poll answer has already
+// been announced (the in-order message assumption of §4), which live reads
+// would violate for commits still sitting in the batch buffer.
+// PublishedConn satisfies core.SourceConn.
+type PublishedConn struct {
+	DB *DB
+	BA *BatchingAnnouncer
+}
+
+// Name implements the connection interface.
+func (c PublishedConn) Name() string { return c.DB.Name() }
+
+// QueryMulti answers from the published snapshot.
+func (c PublishedConn) QueryMulti(specs []QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	return c.DB.QueryMultiAt(specs, c.BA.Published())
+}

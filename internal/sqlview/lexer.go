@@ -1,0 +1,150 @@
+// Package sqlview parses a small SQL dialect into relational-algebra
+// expressions. It covers exactly the view-definition language of §5 of the
+// paper: select/project/join blocks, optionally combined by a single UNION
+// or EXCEPT (difference):
+//
+//	SELECT r1, s1, s2
+//	FROM R JOIN S ON r2 = s1
+//	WHERE r4 = 100 AND s3 < 50
+//
+// Predicates support arithmetic (+ - * /), comparisons
+// (= <> != < <= > >=), AND/OR/NOT, parentheses, integer, float and string
+// literals.
+package sqlview
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // = <> != < <= > >= + - * / ,  ( ) .
+	tokError
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "JOIN": true, "ON": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "UNION": true, "EXCEPT": true,
+	"AS": true, "TRUE": true, "FALSE": true, "CROSS": true,
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) token {
+	return token{kind: tokError, pos: pos, text: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() token {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		text := l.input[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}
+		}
+		return token{kind: tokIdent, text: text, pos: start}
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.input) {
+			ch := l.input[l.pos]
+			if ch == '.' {
+				if seenDot {
+					break
+				}
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.input) {
+			ch := l.input[l.pos]
+			if ch == '\'' {
+				// Doubled quote escapes a quote, SQL style.
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return l.errf(start, "unterminated string literal")
+	}
+	// Operators.
+	two := ""
+	if l.pos+1 < len(l.input) {
+		two = l.input[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "!=", "<=", ">=":
+		l.pos += 2
+		return token{kind: tokOp, text: two, pos: start}
+	}
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', ',', '(', ')', '.':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}
+	}
+	return l.errf(start, "unexpected character %q", string(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	var out []token
+	for {
+		t := l.next()
+		if t.kind == tokError {
+			return nil, fmt.Errorf("sqlview: position %d: %s", t.pos, t.text)
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

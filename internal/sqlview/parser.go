@@ -1,0 +1,421 @@
+package sqlview
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"squirrel/internal/algebra"
+)
+
+// SelectStmt is the parsed form of one SELECT block.
+type SelectStmt struct {
+	// Cols are the projected attribute names; nil means SELECT *.
+	Cols []string
+	// Tables are the FROM/JOIN operands in order.
+	Tables []TableRef
+	// JoinConds holds the ON condition following each joined table
+	// (JoinConds[i] belongs to Tables[i+1]); entries may be nil for
+	// CROSS JOIN.
+	JoinConds []algebra.Expr
+	// Where is the WHERE condition, or nil.
+	Where algebra.Expr
+}
+
+// TableRef names a base relation, optionally renamed by AS.
+type TableRef struct {
+	Rel string
+	As  string
+}
+
+// Name returns the effective name of the operand.
+func (t TableRef) Name() string {
+	if t.As != "" {
+		return t.As
+	}
+	return t.Rel
+}
+
+// Stmt is a full view definition: one SELECT block, or two combined with
+// UNION or EXCEPT — exactly the def shapes permitted by §5.1(4).
+type Stmt struct {
+	Left  *SelectStmt
+	Op    string // "", "UNION", or "EXCEPT"
+	Right *SelectStmt
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.advance()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sqlview: position %d: expected %s, got %q", t.pos, kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.advance()
+	if t.kind != tokOp || t.text != op {
+		return fmt.Errorf("sqlview: position %d: expected %q, got %q", t.pos, op, t.text)
+	}
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) atOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.text == op
+}
+
+// Parse parses a view definition.
+func Parse(input string) (*Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{Left: left}
+	if p.atKeyword("UNION") || p.atKeyword("EXCEPT") {
+		stmt.Op = p.advance().text
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Right = right
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlview: position %d: unexpected trailing input %q", t.pos, t.text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{}
+	if p.atOp("*") {
+		p.advance()
+	} else {
+		for {
+			t := p.advance()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("sqlview: position %d: expected column name, got %q", t.pos, t.text)
+			}
+			st.Cols = append(st.Cols, t.text)
+			if !p.atOp(",") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	st.Tables = append(st.Tables, tr)
+	for p.atKeyword("JOIN") || p.atKeyword("CROSS") {
+		cross := p.atKeyword("CROSS")
+		p.advance()
+		if cross {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		st.Tables = append(st.Tables, tr)
+		var cond algebra.Expr
+		if !cross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.JoinConds = append(st.JoinConds, cond)
+	}
+	if p.atKeyword("WHERE") {
+		p.advance()
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return TableRef{}, fmt.Errorf("sqlview: position %d: expected table name, got %q", t.pos, t.text)
+	}
+	tr := TableRef{Rel: t.text}
+	if p.atKeyword("AS") {
+		p.advance()
+		a := p.advance()
+		if a.kind != tokIdent {
+			return TableRef{}, fmt.Errorf("sqlview: position %d: expected alias after AS, got %q", a.pos, a.text)
+		}
+		tr.As = a.text
+	}
+	return tr, nil
+}
+
+// Expression grammar: or > and > not > comparison > additive > multiplicative > unary.
+
+func (p *parser) parseExpr() (algebra.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (algebra.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []algebra.Expr{left}
+	for p.atKeyword("OR") {
+		p.advance()
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return algebra.Or{Terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (algebra.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	terms := []algebra.Expr{left}
+	for p.atKeyword("AND") {
+		p.advance()
+		t, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return algebra.And{Terms: terms}, nil
+}
+
+func (p *parser) parseNot() (algebra.Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not{Term: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]algebra.CmpOp{
+	"=": algebra.OpEq, "<>": algebra.OpNe, "!=": algebra.OpNe,
+	"<": algebra.OpLt, "<=": algebra.OpLe, ">": algebra.OpGt, ">=": algebra.OpGe,
+}
+
+func (p *parser) parseComparison() (algebra.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return algebra.Cmp{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (algebra.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.advance().text
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			left = algebra.Add(left, right)
+		} else {
+			left = algebra.Sub(left, right)
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (algebra.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") {
+		op := p.advance().text
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if op == "*" {
+			left = algebra.Mul(left, right)
+		} else {
+			left = algebra.Div(left, right)
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (algebra.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokOp && t.text == "-":
+		p.advance()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Sub(algebra.CInt(0), inner), nil
+	case t.kind == tokOp && t.text == "(":
+		p.advance()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlview: position %d: bad number %q", t.pos, t.text)
+			}
+			return algebra.CFloat(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlview: position %d: bad number %q", t.pos, t.text)
+		}
+		return algebra.CInt(n), nil
+	case t.kind == tokString:
+		p.advance()
+		return algebra.CStr(t.text), nil
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.advance()
+		if t.text == "TRUE" {
+			return algebra.True(), nil
+		}
+		return algebra.Or{}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		return algebra.A(t.text), nil
+	}
+	return nil, fmt.Errorf("sqlview: position %d: unexpected token %q", t.pos, t.text)
+}
+
+// ToRelExpr compiles a parsed statement into a relational-algebra
+// expression named outName.
+func (s *Stmt) ToRelExpr(outName string) (algebra.RelExpr, error) {
+	left, err := s.Left.toRelExpr(outName)
+	if err != nil {
+		return nil, err
+	}
+	if s.Op == "" {
+		return left, nil
+	}
+	right, err := s.Right.toRelExpr(outName + "_rhs")
+	if err != nil {
+		return nil, err
+	}
+	switch s.Op {
+	case "UNION":
+		return algebra.Union{L: left, R: right}, nil
+	case "EXCEPT":
+		return algebra.Diff{L: left, R: right}, nil
+	}
+	return nil, fmt.Errorf("sqlview: unknown set operator %q", s.Op)
+}
+
+func (st *SelectStmt) toRelExpr(outName string) (algebra.RelExpr, error) {
+	if len(st.Tables) == 0 {
+		return nil, fmt.Errorf("sqlview: SELECT with no FROM tables")
+	}
+	var acc algebra.RelExpr = algebra.Scan{Rel: st.Tables[0].Rel}
+	for i := 1; i < len(st.Tables); i++ {
+		acc = algebra.Join{L: acc, R: algebra.Scan{Rel: st.Tables[i].Rel}, On: st.JoinConds[i-1]}
+	}
+	if st.Where != nil {
+		acc = algebra.Select{Input: acc, Pred: st.Where}
+	}
+	if st.Cols != nil {
+		acc = algebra.Project{Input: acc, Cols: st.Cols, As: outName}
+	}
+	return acc, nil
+}
+
+// ParseExpr parses a standalone predicate/scalar expression (used for query
+// conditions posed against the integrated view).
+func ParseExpr(input string) (algebra.Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlview: position %d: unexpected trailing input %q", t.pos, t.text)
+	}
+	return e, nil
+}

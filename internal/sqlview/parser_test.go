@@ -1,0 +1,280 @@
+package sqlview
+
+import (
+	"strings"
+	"testing"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/relation"
+)
+
+func TestParsePaperView(t *testing.T) {
+	stmt, err := Parse(`SELECT r1, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Op != "" || stmt.Right != nil {
+		t.Fatalf("unexpected set op")
+	}
+	sel := stmt.Left
+	if len(sel.Cols) != 3 || sel.Cols[0] != "r1" {
+		t.Errorf("cols = %v", sel.Cols)
+	}
+	if len(sel.Tables) != 2 || sel.Tables[0].Rel != "R" || sel.Tables[1].Rel != "S" {
+		t.Errorf("tables = %v", sel.Tables)
+	}
+	if len(sel.JoinConds) != 1 || sel.JoinConds[0] == nil {
+		t.Fatalf("join conds = %v", sel.JoinConds)
+	}
+	if sel.Where == nil || !strings.Contains(sel.Where.String(), "AND") {
+		t.Errorf("where = %v", sel.Where)
+	}
+}
+
+func TestParseAndEvaluate(t *testing.T) {
+	rs := relation.MustSchema("R", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r2", Type: relation.KindInt},
+		{Name: "r3", Type: relation.KindInt}, {Name: "r4", Type: relation.KindInt}}, "r1")
+	ss := relation.MustSchema("S", []relation.Attribute{
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt},
+		{Name: "s3", Type: relation.KindInt}}, "s1")
+	r := relation.NewSet(rs)
+	r.Insert(relation.T(1, 10, 5, 100))
+	r.Insert(relation.T(2, 20, 6, 50))
+	s := relation.NewSet(ss)
+	s.Insert(relation.T(10, 7, 20))
+	s.Insert(relation.T(20, 8, 90))
+	cat := algebra.MapCatalog{"R": r, "S": s}
+
+	stmt, err := Parse(`SELECT r1, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := stmt.ToRelExpr("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := expr.Eval(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 1 || !got.Contains(relation.T(1, 10, 7)) {
+		t.Fatalf("eval = %s", got)
+	}
+	if got.Schema().Name() != "T" {
+		t.Errorf("output name = %s", got.Schema().Name())
+	}
+}
+
+func TestParseUnionExcept(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM X WHERE a > 0 UNION SELECT b FROM Y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Op != "UNION" || stmt.Right == nil {
+		t.Fatalf("union not parsed: %+v", stmt)
+	}
+	stmt, err = Parse(`SELECT a FROM X EXCEPT SELECT b FROM Y WHERE b < 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Op != "EXCEPT" {
+		t.Fatalf("except not parsed")
+	}
+	expr, err := stmt.ToRelExpr("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := expr.(algebra.Diff); !ok {
+		t.Errorf("expected Diff, got %T", expr)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	stmt, err := Parse(`SELECT * FROM R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Left.Cols != nil {
+		t.Errorf("* should yield nil cols")
+	}
+	expr, err := stmt.ToRelExpr("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := expr.(algebra.Scan); !ok {
+		t.Errorf("SELECT * FROM R should compile to a scan, got %T", expr)
+	}
+}
+
+func TestParseCrossJoin(t *testing.T) {
+	stmt, err := Parse(`SELECT a, b FROM X CROSS JOIN Y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Left.Tables) != 2 || stmt.Left.JoinConds[0] != nil {
+		t.Errorf("cross join: %+v", stmt.Left)
+	}
+}
+
+func TestParseAlias(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM Orders AS o JOIN Customers AS c ON a = b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Left.Tables[0].Name() != "o" || stmt.Left.Tables[1].Name() != "c" {
+		t.Errorf("aliases: %+v", stmt.Left.Tables)
+	}
+	if stmt.Left.Tables[0].Rel != "Orders" {
+		t.Errorf("rel name: %+v", stmt.Left.Tables[0])
+	}
+	plain := TableRef{Rel: "R"}
+	if plain.Name() != "R" {
+		t.Errorf("unaliased Name")
+	}
+}
+
+func TestParseArithmeticPredicates(t *testing.T) {
+	// Example 5.1's join condition: a1*a1 + a2 < b2*b2.
+	e, err := ParseExpr(`a1*a1 + a2 < b2*b2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := relation.MustSchema("E", []relation.Attribute{
+		{Name: "a1", Type: relation.KindInt}, {Name: "a2", Type: relation.KindInt},
+		{Name: "b2", Type: relation.KindInt}})
+	ok, err := algebra.EvalPred(e, s, relation.T(2, 3, 3)) // 4+3 < 9
+	if err != nil || !ok {
+		t.Errorf("pred: %v %v", ok, err)
+	}
+	ok, _ = algebra.EvalPred(e, s, relation.T(3, 1, 3)) // 10 < 9 false
+	if ok {
+		t.Errorf("pred should be false")
+	}
+}
+
+func TestParseLiteralsAndPrecedence(t *testing.T) {
+	e, err := ParseExpr(`1 + 2 * 3 = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := relation.MustSchema("X", []relation.Attribute{{Name: "dummy", Type: relation.KindInt}})
+	ok, err := algebra.EvalPred(e, s, relation.T(0))
+	if err != nil || !ok {
+		t.Errorf("precedence: %v %v", ok, err)
+	}
+	e, err = ParseExpr(`(1 + 2) * 3 = 9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := algebra.EvalPred(e, s, relation.T(0)); !ok {
+		t.Errorf("parenthesization")
+	}
+	e, err = ParseExpr(`-2 + 3 = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := algebra.EvalPred(e, s, relation.T(0)); !ok {
+		t.Errorf("unary minus")
+	}
+	e, err = ParseExpr(`2.5 * 2 = 5.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := algebra.EvalPred(e, s, relation.T(0)); !ok {
+		t.Errorf("float literal")
+	}
+	e, err = ParseExpr(`name = 'O''Brien'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := relation.MustSchema("N", []relation.Attribute{{Name: "name", Type: relation.KindString}})
+	if ok, _ := algebra.EvalPred(e, ns, relation.T("O'Brien")); !ok {
+		t.Errorf("quoted string escape")
+	}
+}
+
+func TestParseBooleanOperators(t *testing.T) {
+	s := relation.MustSchema("X", []relation.Attribute{{Name: "a", Type: relation.KindInt}})
+	cases := []struct {
+		src  string
+		tup  int64
+		want bool
+	}{
+		{`a > 0 AND a < 10`, 5, true},
+		{`a > 0 AND a < 10`, 15, false},
+		{`a < 0 OR a > 10`, 15, true},
+		{`NOT a = 5`, 5, false},
+		{`NOT (a = 5 OR a = 6)`, 7, true},
+		{`a <> 3`, 4, true},
+		{`a != 3`, 3, false},
+		{`a >= 3 AND a <= 3`, 3, true},
+		{`TRUE`, 0, true},
+		{`FALSE OR a = 1`, 1, true},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		got, err := algebra.EvalPred(e, s, relation.T(c.tup))
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s with a=%d: got %v want %v", c.src, c.tup, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT FROM R`,
+		`SELECT a R`,
+		`SELECT a FROM`,
+		`SELECT a FROM R JOIN`,
+		`SELECT a FROM R JOIN S`,     // missing ON
+		`SELECT a FROM R JOIN S ON`,  // missing condition
+		`SELECT a FROM R WHERE`,      // missing predicate
+		`SELECT a FROM R WHERE a = `, // dangling operator
+		`SELECT a FROM R trailing junk`,
+		`SELECT a, FROM R`,
+		`SELECT a FROM R AS`,
+		`SELECT a FROM R CROSS S`, // CROSS must be followed by JOIN
+		`SELECT a FROM R WHERE a = 'unterminated`,
+		`SELECT a FROM R WHERE (a = 1`,
+		`SELECT a FROM R WHERE a @ 1`,
+		`SELECT a FROM R UNION`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+	if _, err := ParseExpr(`a = 1 extra`); err == nil {
+		t.Errorf("ParseExpr should reject trailing input")
+	}
+	if _, err := ParseExpr(`a @ 1`); err == nil {
+		t.Errorf("ParseExpr should reject bad chars")
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	if _, err := Parse(`select a from R where a = 1 and a > 0`); err != nil {
+		t.Errorf("lowercase keywords: %v", err)
+	}
+}
+
+func TestThreeWayJoinParse(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM X JOIN Y ON a = b JOIN Z ON b = c WHERE a > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Left.Tables) != 3 || len(stmt.Left.JoinConds) != 2 {
+		t.Errorf("three-way join: %+v", stmt.Left)
+	}
+}

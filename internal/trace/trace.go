@@ -1,0 +1,104 @@
+// Package trace records the observable history of a mediator run — update
+// transactions with their ref′ vectors and query transactions with their
+// ref vectors and answers — in the vocabulary of §6.1. The checker package
+// replays source logs against these records to verify the consistency and
+// freshness theorems (§7).
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+)
+
+// UpdateTxn records one execution of the IUP: the commit time t_i^u and
+// the constructed ref′(t_i^u) vector (per materialized/hybrid-contributor
+// source, the commit time of the last update incorporated).
+type UpdateTxn struct {
+	Committed clock.Time
+	Reflect   clock.Vector
+	// Atoms is the number of delta atoms propagated (for experiments).
+	Atoms int
+	// Polled counts source databases polled during the transaction.
+	Polled int
+}
+
+// QueryTxn records one query transaction: the commit time t_j^q, the
+// ref(t_j^q) vector, the query (export, projection, condition — or, for
+// multi-export queries, the full relational expression in Multi), and the
+// answer produced.
+type QueryTxn struct {
+	Committed clock.Time
+	Reflect   clock.Vector
+	Export    string
+	Attrs     []string
+	Cond      algebra.Expr
+	// Multi, when non-nil, is a multi-export query expression; Export,
+	// Attrs and Cond are unused then.
+	Multi  algebra.RelExpr
+	Answer *relation.Relation
+	// Polled counts source databases polled to answer this query.
+	Polled int
+	// KeyBased reports whether the key-based construction was used.
+	KeyBased bool
+}
+
+// Recorder accumulates transactions; safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	updates []UpdateTxn
+	queries []QueryTxn
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// RecordUpdate appends an update transaction.
+func (r *Recorder) RecordUpdate(u UpdateTxn) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.updates = append(r.updates, u)
+}
+
+// RecordQuery appends a query transaction.
+func (r *Recorder) RecordQuery(q QueryTxn) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries = append(r.queries, q)
+}
+
+// Updates returns a copy of the recorded update transactions.
+func (r *Recorder) Updates() []UpdateTxn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]UpdateTxn(nil), r.updates...)
+}
+
+// Queries returns a copy of the recorded query transactions.
+func (r *Recorder) Queries() []QueryTxn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]QueryTxn(nil), r.queries...)
+}
+
+// Len reports (updates, queries) counts.
+func (r *Recorder) Len() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.updates), len(r.queries)
+}
+
+// String summarizes the trace.
+func (r *Recorder) String() string {
+	u, q := r.Len()
+	return fmt.Sprintf("trace{%d update txns, %d query txns}", u, q)
+}

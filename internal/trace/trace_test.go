@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	u, q := r.Len()
+	if u != 0 || q != 0 {
+		t.Fatalf("fresh recorder: %d %d", u, q)
+	}
+	r.RecordUpdate(UpdateTxn{Committed: 5, Reflect: clock.Vector{"db": 4}, Atoms: 3})
+	ans := relation.NewBag(relation.MustSchema("V", []relation.Attribute{{Name: "a", Type: relation.KindInt}}))
+	ans.Insert(relation.T(1))
+	r.RecordQuery(QueryTxn{Committed: 7, Reflect: clock.Vector{"db": 4}, Export: "V", Answer: ans})
+
+	updates, queries := r.Updates(), r.Queries()
+	if len(updates) != 1 || updates[0].Atoms != 3 {
+		t.Errorf("updates = %+v", updates)
+	}
+	if len(queries) != 1 || queries[0].Export != "V" || queries[0].Answer.Card() != 1 {
+		t.Errorf("queries = %+v", queries)
+	}
+	// Returned slices are copies.
+	updates[0].Atoms = 99
+	if r.Updates()[0].Atoms != 3 {
+		t.Errorf("Updates must return a copy")
+	}
+	if !strings.Contains(r.String(), "1 update txns, 1 query txns") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.RecordUpdate(UpdateTxn{}) // must not panic
+	r.RecordQuery(QueryTxn{})
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.RecordUpdate(UpdateTxn{Committed: clock.Time(i)})
+				r.RecordQuery(QueryTxn{Committed: clock.Time(i)})
+				r.Len()
+				r.Updates()
+			}
+		}()
+	}
+	wg.Wait()
+	u, q := r.Len()
+	if u != 400 || q != 400 {
+		t.Errorf("counts: %d %d", u, q)
+	}
+}

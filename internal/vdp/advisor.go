@@ -1,0 +1,187 @@
+package vdp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file turns the §5.3 "Heuristics for optimization" prose into an
+// executable advisor. The paper declines to give precise guidelines and
+// offers three suggestions instead:
+//
+//  1. "if an attribute is rarely accessed … it is a candidate to be
+//     selected as a virtual attribute";
+//  2. leaf-parent nodes are expensive to evaluate (they poll remote
+//     databases), so auxiliary data should stay materialized unless its
+//     own maintenance dominates (Example 2.2: keep R′ virtual when R
+//     changes frequently and its join partners rarely force polling);
+//  3. "the minimal suggested amount of materialization for expensive join
+//     relations are the key attributes from the underlying relations, so
+//     that the virtual attributes of the join relation can be fetched
+//     efficiently" (the key-based construction of Example 2.3).
+//
+// Advise applies exactly these rules to a plan given observed (or
+// estimated) workload statistics.
+
+// WorkloadProfile summarizes what the advisor needs to know.
+type WorkloadProfile struct {
+	// AccessFreq is the relative access frequency of each export-relation
+	// attribute in queries, in [0,1] (fraction of queries touching it).
+	// Missing attributes read as 0 (never accessed).
+	AccessFreq map[string]float64
+	// UpdateShare is each source database's share of the update stream,
+	// in [0,1] (fractions need not sum to 1; they are compared pairwise).
+	UpdateShare map[string]float64
+	// HotAttrThreshold is the access frequency at or above which an
+	// export attribute is materialized (default 0.1 if zero).
+	HotAttrThreshold float64
+	// ChurnThreshold is the update share above which a source counts as
+	// frequently changing (default 0.5 if zero).
+	ChurnThreshold float64
+}
+
+func (p WorkloadProfile) hotThreshold() float64 {
+	if p.HotAttrThreshold > 0 {
+		return p.HotAttrThreshold
+	}
+	return 0.1
+}
+
+func (p WorkloadProfile) churnThreshold() float64 {
+	if p.ChurnThreshold > 0 {
+		return p.ChurnThreshold
+	}
+	return 0.5
+}
+
+// Advice is the advisor's output: one annotation per non-leaf node, plus
+// prose justifications for inspection.
+type Advice struct {
+	Annotations map[string]Annotation
+	Reasons     []string
+}
+
+// Advise computes §5.3-style annotations for the plan under the given
+// profile. Apply them through Builder.Annotate (rebuild the plan) or use
+// them to construct nodes directly.
+func (v *VDP) Advise(p WorkloadProfile) Advice {
+	out := Advice{Annotations: make(map[string]Annotation)}
+	reason := func(format string, args ...any) {
+		out.Reasons = append(out.Reasons, fmt.Sprintf(format, args...))
+	}
+
+	for _, name := range v.NonLeaves() {
+		n := v.Node(name)
+		ann := make(Annotation, n.Schema.Arity())
+
+		if n.Export {
+			// Rule 1: materialize hot attributes, virtualize cold ones.
+			for _, a := range n.Schema.AttrNames() {
+				if p.AccessFreq[a] >= p.hotThreshold() {
+					ann[a] = Materialized
+				} else {
+					ann[a] = Virtual
+					reason("%s.%s: access freq %.2f < %.2f → virtual", name, a, p.AccessFreq[a], p.hotThreshold())
+				}
+			}
+			// Rule 3: keep child keys materialized so virtual attributes
+			// can be fetched by key (Example 2.3's minimal
+			// materialization for EXPENSIVE JOIN relations — single-input
+			// nodes are cheap to rebuild and skip this rule).
+			if d, isJoin := n.Def.(SPJ); isJoin && len(d.Inputs) > 1 {
+				for _, c := range v.Children(name) {
+					child := v.Node(c)
+					for _, k := range child.Schema.KeyAttrs() {
+						if n.Schema.HasAttr(k) && ann[k] == Virtual {
+							ann[k] = Materialized
+							reason("%s.%s: child %s's key → materialized (enables key-based temporaries)", name, k, c)
+						}
+					}
+				}
+			}
+			// Never produce an all-virtual export with hot attributes
+			// unreachable: if everything ended up virtual but the export
+			// is queried at all, keep the most-accessed attribute.
+			allVirtual := true
+			for _, a := range n.Schema.AttrNames() {
+				if ann[a] == Materialized {
+					allVirtual = false
+					break
+				}
+			}
+			if allVirtual {
+				best, bestF := "", -1.0
+				for _, a := range n.Schema.AttrNames() {
+					if p.AccessFreq[a] > bestF {
+						best, bestF = a, p.AccessFreq[a]
+					}
+				}
+				if bestF > 0 {
+					ann[best] = Materialized
+					reason("%s.%s: hottest attribute of an otherwise virtual export → materialized", name, best)
+				}
+			}
+			out.Annotations[name] = ann
+			continue
+		}
+
+		// Auxiliary nodes. Rule 2 / Example 2.2: keep a leaf-parent
+		// virtual when its OWN source churns (maintenance is constant
+		// work) and the OTHER sources feeding the same parents rarely
+		// change (polling is rare). Otherwise materialize.
+		if v.IsLeafParent(name) {
+			leaf := v.Node(v.Children(name)[0])
+			own := p.UpdateShare[leaf.Source]
+			maxOther := 0.0
+			for _, parent := range v.Parents(name) {
+				for _, sib := range v.Children(parent) {
+					if sib == name {
+						continue
+					}
+					for _, src := range sourcesFeeding(v, sib) {
+						if src != leaf.Source && p.UpdateShare[src] > maxOther {
+							maxOther = p.UpdateShare[src]
+						}
+					}
+				}
+			}
+			if own >= p.churnThreshold() && maxOther < p.churnThreshold() {
+				out.Annotations[name] = AllVirtual(n.Schema)
+				reason("%s: source %s churns (%.2f) while partners are quiet (%.2f) → virtual (Example 2.2)",
+					name, leaf.Source, own, maxOther)
+				continue
+			}
+			out.Annotations[name] = AllMaterialized(n.Schema)
+			continue
+		}
+		// Inner (non-export, non-leaf-parent) nodes: materialized —
+		// they exist precisely to support propagation.
+		out.Annotations[name] = AllMaterialized(n.Schema)
+	}
+	sort.Strings(out.Reasons)
+	return out
+}
+
+// sourcesFeeding returns the source databases whose leaves reach the node.
+func sourcesFeeding(v *VDP, name string) []string {
+	seen := map[string]bool{}
+	var srcs []string
+	var walk func(string)
+	walk = func(n string) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		node := v.Node(n)
+		if node.IsLeaf() {
+			srcs = append(srcs, node.Source)
+			return
+		}
+		for _, c := range v.Children(n) {
+			walk(c)
+		}
+	}
+	walk(name)
+	sort.Strings(srcs)
+	return srcs
+}

@@ -1,0 +1,128 @@
+package vdp
+
+import (
+	"strings"
+	"testing"
+
+	"squirrel/internal/relation"
+)
+
+func TestAdviseExample23Profile(t *testing.T) {
+	// The Example 2.3 workload: queries mostly touch r1 and s1; R churns,
+	// S rarely changes.
+	v := paperVDP(t, nil, nil, nil)
+	advice := v.Advise(WorkloadProfile{
+		AccessFreq:  map[string]float64{"r1": 0.9, "s1": 0.9, "r3": 0.02, "s2": 0.01},
+		UpdateShare: map[string]float64{"db1": 0.95, "db2": 0.05},
+	})
+	tAnn := advice.Annotations["T"]
+	if tAnn == nil {
+		t.Fatalf("no advice for T")
+	}
+	// Exactly the paper's suggested T[r1^m, r3^v, s1^m, s2^v].
+	if got := tAnn.String(v.Node("T").Schema); got != "[r1^m, r3^v, s1^m, s2^v]" {
+		t.Errorf("T advice = %s", got)
+	}
+	// Example 2.2: R' virtual (db1 churns, db2 quiet), S' materialized.
+	if !annIsAllVirtual(advice.Annotations["R'"], v.Node("R'").Schema) {
+		t.Errorf("R' advice = %v", advice.Annotations["R'"])
+	}
+	if !annIsAllMaterialized(advice.Annotations["S'"], v.Node("S'").Schema) {
+		t.Errorf("S' advice = %v", advice.Annotations["S'"])
+	}
+	joined := strings.Join(advice.Reasons, "\n")
+	for _, want := range []string{"Example 2.2", "access freq"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("reasons missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestAdviseKeyMaterialization(t *testing.T) {
+	// Even when r1 is cold, it is a child key in a join export → the
+	// advisor keeps it materialized (rule 3, key-based temporaries).
+	v := paperVDP(t, nil, nil, nil)
+	advice := v.Advise(WorkloadProfile{
+		AccessFreq:  map[string]float64{"s2": 0.9},
+		UpdateShare: map[string]float64{"db1": 0.2, "db2": 0.2},
+	})
+	tAnn := advice.Annotations["T"]
+	if !tAnn.IsMaterialized("r1") {
+		t.Errorf("child key r1 must stay materialized: %v", tAnn)
+	}
+	if !tAnn.IsMaterialized("s1") {
+		t.Errorf("child key s1 must stay materialized: %v", tAnn)
+	}
+	if tAnn.IsMaterialized("r3") {
+		t.Errorf("cold non-key r3 should be virtual")
+	}
+}
+
+func TestAdviseHottestAttrFallback(t *testing.T) {
+	// A single-table export whose attributes are all below threshold but
+	// queried occasionally: the hottest one stays materialized.
+	b := NewBuilder()
+	builderSources(t, b)
+	if err := b.AddViewSQL("V", `SELECT r1, r3 FROM R WHERE r4 = 100`); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice := v.Advise(WorkloadProfile{
+		AccessFreq:  map[string]float64{"r1": 0.05, "r3": 0.01},
+		UpdateShare: map[string]float64{"db1": 0.5},
+	})
+	ann := advice.Annotations["V"]
+	if !ann.IsMaterialized("r1") || ann.IsMaterialized("r3") {
+		t.Errorf("fallback should keep the hottest attribute: %v", ann)
+	}
+	// Entirely unqueried export: everything virtual.
+	advice2 := v.Advise(WorkloadProfile{UpdateShare: map[string]float64{"db1": 0.5}})
+	ann2 := advice2.Annotations["V"]
+	if ann2.IsMaterialized("r1") || ann2.IsMaterialized("r3") {
+		t.Errorf("unqueried export should be fully virtual: %v", ann2)
+	}
+}
+
+func TestAdviceIsValidAnnotationSet(t *testing.T) {
+	// The advisor's output must build into a valid plan.
+	v := paperVDP(t, nil, nil, nil)
+	advice := v.Advise(WorkloadProfile{
+		AccessFreq:  map[string]float64{"r1": 0.9, "s1": 0.9},
+		UpdateShare: map[string]float64{"db1": 0.9, "db2": 0.1},
+	})
+	var nodes []*Node
+	for _, name := range v.Order() {
+		n := v.Node(name)
+		if n.IsLeaf() {
+			nodes = append(nodes, n)
+			continue
+		}
+		c := *n
+		c.Ann = advice.Annotations[name]
+		nodes = append(nodes, &c)
+	}
+	if _, err := New(nodes...); err != nil {
+		t.Fatalf("advised plan invalid: %v", err)
+	}
+}
+
+func annIsAllVirtual(a Annotation, s *relation.Schema) bool {
+	for _, attr := range s.AttrNames() {
+		if a.IsMaterialized(attr) {
+			return false
+		}
+	}
+	return true
+}
+
+func annIsAllMaterialized(a Annotation, s *relation.Schema) bool {
+	for _, attr := range s.AttrNames() {
+		if !a.IsMaterialized(attr) {
+			return false
+		}
+	}
+	return true
+}

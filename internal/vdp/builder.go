@@ -1,0 +1,281 @@
+package vdp
+
+import (
+	"fmt"
+	"strings"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/relation"
+	"squirrel/internal/sqlview"
+)
+
+// Builder assembles a VDP from source-relation declarations and parsed
+// view definitions, performing the standard decomposition: one leaf per
+// source relation, one leaf-parent node per used source relation holding
+// the pushed-down selection and the minimal projection, one SPJ node per
+// join block, and a union/difference node on top where the definition has
+// one. Different views in the same mediator share leaves; leaf-parents are
+// shared when their definitions coincide.
+//
+// Newly created non-leaf nodes default to fully materialized annotations;
+// call Annotate before Build to override (the hybrid configurations of
+// Examples 2.2, 2.3 and 5.1).
+type Builder struct {
+	nodes       map[string]*Node
+	order       []string
+	annotations map[string]Annotation
+}
+
+// NewBuilder creates an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		nodes:       make(map[string]*Node),
+		annotations: make(map[string]Annotation),
+	}
+}
+
+func (b *Builder) add(n *Node) error {
+	if _, dup := b.nodes[n.Name]; dup {
+		return fmt.Errorf("vdp: builder: duplicate node %q", n.Name)
+	}
+	b.nodes[n.Name] = n
+	b.order = append(b.order, n.Name)
+	return nil
+}
+
+// AddSource declares a source-database relation (a leaf).
+func (b *Builder) AddSource(source string, schema *relation.Schema) error {
+	return b.add(&Node{Name: schema.Name(), Schema: schema, Source: source})
+}
+
+// Annotate overrides the annotation a node will receive at Build time.
+// It may be called before the node exists (e.g. for nodes AddView will
+// create).
+func (b *Builder) Annotate(node string, ann Annotation) {
+	b.annotations[node] = ann
+}
+
+// AddViewSQL parses and adds a view definition.
+func (b *Builder) AddViewSQL(name, sql string) error {
+	stmt, err := sqlview.Parse(sql)
+	if err != nil {
+		return err
+	}
+	return b.AddView(name, stmt)
+}
+
+// AddView adds a parsed view definition as an export relation named name.
+func (b *Builder) AddView(name string, stmt *sqlview.Stmt) error {
+	if stmt.Op == "" {
+		_, err := b.addBlock(name, stmt.Left, true)
+		return err
+	}
+	left, err := b.addBlock(name+"_l", stmt.Left, false)
+	if err != nil {
+		return err
+	}
+	right, err := b.addBlock(name+"_r", stmt.Right, false)
+	if err != nil {
+		return err
+	}
+	// The top node takes the left block's attribute names; both blocks
+	// must be shape-compatible (checked by Validate).
+	attrs := make([]relation.Attribute, left.Schema.Arity())
+	copy(attrs, left.Schema.Attrs())
+	schema, err := relation.NewSchema(name, attrs)
+	if err != nil {
+		return err
+	}
+	lBranch := Branch{Rel: left.Name, Proj: left.Schema.AttrNames()}
+	rBranch := Branch{Rel: right.Name, Proj: right.Schema.AttrNames()}
+	var def Def
+	if stmt.Op == "UNION" {
+		def = UnionDef{L: lBranch, R: rBranch}
+	} else {
+		def = DiffDef{L: lBranch, R: rBranch}
+	}
+	return b.add(&Node{Name: name, Schema: schema, Def: def, Export: true})
+}
+
+// addBlock decomposes one SELECT block into leaf-parents plus (for joins)
+// an SPJ node, returning the topmost node of the block. FROM tables may
+// name source relations (leaves) or previously defined views/nodes —
+// Figure 4's G, for instance, reads export E directly.
+func (b *Builder) addBlock(name string, sel *sqlview.SelectStmt, export bool) (*Node, error) {
+	if len(sel.Tables) == 0 {
+		return nil, fmt.Errorf("vdp: builder: view %q has no tables", name)
+	}
+	operands := make([]*Node, len(sel.Tables))
+	for i, tr := range sel.Tables {
+		if tr.As != "" && tr.As != tr.Rel {
+			return nil, fmt.Errorf("vdp: builder: view %q: table aliases are not supported (the VDP language has no renaming)", name)
+		}
+		n, ok := b.nodes[tr.Rel]
+		if !ok {
+			return nil, fmt.Errorf("vdp: builder: view %q references unknown relation %q", name, tr.Rel)
+		}
+		operands[i] = n
+	}
+
+	// Split conditions: per-table conjuncts push into the operand wrapper;
+	// cross-table conjuncts stay at the join level.
+	full := algebra.Conj(append(append([]algebra.Expr(nil), sel.JoinConds...), sel.Where)...)
+	perTable := make([]algebra.Expr, len(operands))
+	rest := full
+	for i, op := range operands {
+		avail := make(map[string]bool, op.Schema.Arity())
+		for _, a := range op.Schema.AttrNames() {
+			avail[a] = true
+		}
+		perTable[i], rest = algebra.ConjunctsOver(rest, avail)
+	}
+
+	// Output columns: explicit list, or everything (SELECT *).
+	cols := sel.Cols
+	if cols == nil {
+		for _, op := range operands {
+			cols = append(cols, op.Schema.AttrNames()...)
+		}
+	}
+	colSet := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		colSet[c] = true
+	}
+	crossAttrs := algebra.Attrs(rest)
+
+	if len(operands) == 1 {
+		// Single table: the block is itself a π σ node over the operand
+		// (a leaf-parent when the operand is a leaf).
+		return b.wrapperNode(name, operands[0], cols, perTable[0], export)
+	}
+
+	// Per-operand inputs: leaves get dedicated leaf-parent nodes (§5.1
+	// restriction (a)); non-leaf operands are SPJ inputs directly, with
+	// the pushed selection and minimal projection inline.
+	inputs := make([]SPJInput, len(operands))
+	for i, op := range operands {
+		var proj []string
+		for _, a := range op.Schema.AttrNames() {
+			if colSet[a] || crossAttrs[a] {
+				proj = append(proj, a)
+			}
+		}
+		if len(proj) == 0 {
+			// Degenerate but legal: keep the first attribute so the
+			// relation is representable.
+			proj = op.Schema.AttrNames()[:1]
+		}
+		if op.IsLeaf() {
+			lp, err := b.leafParentNode(op, proj, perTable[i])
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = SPJInput{Rel: lp.Name}
+			continue
+		}
+		inputs[i] = SPJInput{Rel: op.Name, Where: perTable[i], Proj: proj}
+	}
+
+	// The SPJ node on top.
+	var attrs []relation.Attribute
+	for _, c := range cols {
+		found := false
+		for _, op := range operands {
+			if k, ok := op.Schema.AttrType(c); ok {
+				attrs = append(attrs, relation.Attribute{Name: c, Type: k})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("vdp: builder: view %q selects unknown column %q", name, c)
+		}
+	}
+	schema, err := relation.NewSchema(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	node := &Node{
+		Name:   name,
+		Schema: schema,
+		Def:    SPJ{Inputs: inputs, Where: rest, Proj: cols},
+		Export: export,
+	}
+	if err := b.add(node); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// leafParentNode creates (or reuses) the leaf-parent π_proj σ_where node
+// for a leaf. Identical definitions share one node ("<leaf>'"); views
+// needing a different projection or selection of the same leaf get
+// numbered siblings ("<leaf>'2", ...), so several views can decompose over
+// shared sources.
+func (b *Builder) leafParentNode(leaf *Node, proj []string, where algebra.Expr) (*Node, error) {
+	base := leaf.Name + "'"
+	for i := 0; i < 100; i++ {
+		name := base
+		if i > 0 {
+			name = fmt.Sprintf("%s%d", base, i+1)
+		}
+		node, err := b.wrapperNode(name, leaf, proj, where, false)
+		if err == nil {
+			return node, nil
+		}
+		if !strings.Contains(err.Error(), "already used with a different definition") {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("vdp: builder: too many distinct leaf-parents for %q", leaf.Name)
+}
+
+// wrapperNode creates (or reuses) a π_proj σ_where node over a child
+// (leaf or not).
+func (b *Builder) wrapperNode(name string, child *Node, proj []string, where algebra.Expr, export bool) (*Node, error) {
+	if existing, ok := b.nodes[name]; ok {
+		// Reuse only when the definition coincides exactly.
+		if d, isSPJ := existing.Def.(SPJ); isSPJ && len(d.Inputs) == 1 && d.Inputs[0].Rel == child.Name &&
+			d.String() == (SPJ{Inputs: []SPJInput{{Rel: child.Name}}, Where: where, Proj: proj}).String() &&
+			existing.Export == export {
+			return existing, nil
+		}
+		return nil, fmt.Errorf("vdp: builder: node name %q already used with a different definition", name)
+	}
+	schema, err := child.Schema.Project(name, proj)
+	if err != nil {
+		return nil, err
+	}
+	node := &Node{
+		Name:   name,
+		Schema: schema,
+		Def:    SPJ{Inputs: []SPJInput{{Rel: child.Name}}, Where: where, Proj: proj},
+		Export: export,
+	}
+	if err := b.add(node); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// Build finalizes annotations and validates the plan.
+func (b *Builder) Build() (*VDP, error) {
+	nodes := make([]*Node, 0, len(b.order))
+	for _, name := range b.order {
+		n := b.nodes[name]
+		if !n.IsLeaf() && n.Ann == nil {
+			if ann, ok := b.annotations[name]; ok {
+				n.Ann = ann
+			} else {
+				n.Ann = AllMaterialized(n.Schema)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	for name := range b.annotations {
+		if _, ok := b.nodes[name]; !ok {
+			return nil, fmt.Errorf("vdp: builder: annotation for unknown node %q", name)
+		}
+	}
+	return New(nodes...)
+}

@@ -1,0 +1,203 @@
+// Package vdp implements the paper's central construct: the annotated View
+// Decomposition Plan (§5). A VDP is a labeled DAG whose leaves are source
+// database relations and whose internal nodes are relations maintained by
+// the mediator, each annotated per attribute as materialized or virtual.
+// The package provides:
+//
+//   - the def(v) forms permitted by §5.1(4): select/project over a leaf,
+//     arbitrary select/project/join (SPJ), and union/difference over
+//     select/project branches (set nodes);
+//   - validation of the structural restrictions;
+//   - evaluation of defs over child states (full and attribute-restricted);
+//   - the update-propagation rules of §5.2 (SPJ, union, difference) with
+//     the processing discipline that avoids the Example 6.1 anomaly;
+//   - the derived_from function of §6.3 used by the Virtual Attribute
+//     Processor, including key-based construction (Example 2.3).
+package vdp
+
+import (
+	"fmt"
+	"strings"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/relation"
+)
+
+// Def is the definition def(v) of a non-leaf node in terms of its
+// children. Exactly three shapes are permitted (§5.1 item 4).
+type Def interface {
+	// Children returns the child relation names in definition order
+	// (duplicates possible for self-joins).
+	Children() []string
+	// String renders the definition.
+	String() string
+	isDef()
+}
+
+// SPJInput is one operand of an SPJ definition: π_Proj σ_Where (Rel).
+// Proj lists the retained child attributes; empty means all.
+type SPJInput struct {
+	Rel   string
+	Where algebra.Expr
+	Proj  []string
+}
+
+// SPJ is the select/project/join definition form:
+//
+//	T = π_Proj σ_Where (π σ R1 ⋈ ... ⋈ π σ Rn)
+//
+// JoinCond is the conjunction of all join conditions g_i, evaluated over
+// the concatenation of the projected inputs; Where is the outer selection
+// f. With a single input and no JoinCond this covers def form (a)
+// (project/select over a leaf) as well as form (b).
+type SPJ struct {
+	Inputs   []SPJInput
+	JoinCond algebra.Expr
+	Where    algebra.Expr
+	Proj     []string
+}
+
+func (SPJ) isDef() {}
+
+// Children implements Def.
+func (d SPJ) Children() []string {
+	out := make([]string, len(d.Inputs))
+	for i, in := range d.Inputs {
+		out[i] = in.Rel
+	}
+	return out
+}
+
+func (d SPJ) String() string {
+	parts := make([]string, len(d.Inputs))
+	for i, in := range d.Inputs {
+		s := in.Rel
+		if !algebra.IsTrue(in.Where) {
+			s = fmt.Sprintf("σ[%s](%s)", in.Where, s)
+		}
+		if len(in.Proj) > 0 {
+			s = fmt.Sprintf("π[%s](%s)", strings.Join(in.Proj, ","), s)
+		}
+		parts[i] = s
+	}
+	body := strings.Join(parts, " ⋈ ")
+	if !algebra.IsTrue(d.JoinCond) {
+		body = fmt.Sprintf("(%s on %s)", body, d.JoinCond)
+	}
+	if !algebra.IsTrue(d.Where) {
+		body = fmt.Sprintf("σ[%s](%s)", d.Where, body)
+	}
+	return fmt.Sprintf("π[%s](%s)", strings.Join(d.Proj, ","), body)
+}
+
+// Branch is one operand of a union or difference definition:
+// π_Proj σ_Where (Rel). Proj maps positionally onto the node's attributes.
+type Branch struct {
+	Rel   string
+	Where algebra.Expr
+	Proj  []string
+}
+
+func (b Branch) String() string {
+	s := b.Rel
+	if !algebra.IsTrue(b.Where) {
+		s = fmt.Sprintf("σ[%s](%s)", b.Where, s)
+	}
+	return fmt.Sprintf("π[%s](%s)", strings.Join(b.Proj, ","), s)
+}
+
+// UnionDef is the bag union of two branches (def form (c)); the node is a
+// bag node.
+type UnionDef struct {
+	L, R Branch
+}
+
+func (UnionDef) isDef() {}
+
+// Children implements Def.
+func (d UnionDef) Children() []string { return []string{d.L.Rel, d.R.Rel} }
+
+func (d UnionDef) String() string { return d.L.String() + " ∪ " + d.R.String() }
+
+// DiffDef is the set difference of two branches (def form (c)); the node
+// is a set node, stored with set semantics (§5.1 item 4).
+type DiffDef struct {
+	L, R Branch
+}
+
+func (DiffDef) isDef() {}
+
+// Children implements Def.
+func (d DiffDef) Children() []string { return []string{d.L.Rel, d.R.Rel} }
+
+func (d DiffDef) String() string { return d.L.String() + " − " + d.R.String() }
+
+// Mat annotates one attribute as materialized or virtual.
+type Mat uint8
+
+const (
+	// Materialized attributes are stored in the mediator's local store and
+	// maintained incrementally.
+	Materialized Mat = iota
+	// Virtual attributes are not stored; their values are fetched on
+	// demand by the Virtual Attribute Processor.
+	Virtual
+)
+
+// String returns "m" or "v", matching the paper's superscript notation.
+func (m Mat) String() string {
+	if m == Materialized {
+		return "m"
+	}
+	return "v"
+}
+
+// Annotation maps each attribute of a node's relation to Materialized or
+// Virtual (§5.1). The zero value of the map's entries is Materialized, so
+// an absent entry reads as materialized; Validate requires totality anyway
+// to keep intent explicit.
+type Annotation map[string]Mat
+
+// AllMaterialized builds a fully-materialized annotation for the schema.
+func AllMaterialized(s *relation.Schema) Annotation {
+	a := make(Annotation, s.Arity())
+	for _, n := range s.AttrNames() {
+		a[n] = Materialized
+	}
+	return a
+}
+
+// AllVirtual builds a fully-virtual annotation for the schema.
+func AllVirtual(s *relation.Schema) Annotation {
+	a := make(Annotation, s.Arity())
+	for _, n := range s.AttrNames() {
+		a[n] = Virtual
+	}
+	return a
+}
+
+// Ann builds an annotation from explicit materialized and virtual
+// attribute lists.
+func Ann(materialized, virtual []string) Annotation {
+	a := make(Annotation, len(materialized)+len(virtual))
+	for _, n := range materialized {
+		a[n] = Materialized
+	}
+	for _, n := range virtual {
+		a[n] = Virtual
+	}
+	return a
+}
+
+// IsMaterialized reports whether the named attribute is materialized.
+func (a Annotation) IsMaterialized(attr string) bool { return a[attr] == Materialized }
+
+// String renders the annotation in the paper's bracket notation, given the
+// schema for attribute ordering: [r1^m, r2^v, ...].
+func (a Annotation) String(s *relation.Schema) string {
+	parts := make([]string, 0, s.Arity())
+	for _, n := range s.AttrNames() {
+		parts = append(parts, n+"^"+a[n].String())
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

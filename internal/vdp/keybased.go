@@ -1,0 +1,164 @@
+package vdp
+
+import (
+	"squirrel/internal/algebra"
+)
+
+// KeyBased describes the key-based construction of a temporary relation
+// (Example 2.3): instead of rebuilding π_A σ_f (node) from ALL of the
+// node's children, join the node's materialized store projection with a
+// single child that functionally determines the needed virtual attributes
+// through its key:
+//
+//	T_tmp = π_A σ_f ( π_{K ∪ A_mat}(store T)  ⋈_K  π_{K ∪ A_virt}(child) )
+//
+// Soundness: the child's key K gives the FD child: K → A_virt; every T row
+// embeds a child row (π_{K,A_virt} T ⊆ π_{K,A_virt} child), so T: K →
+// A_virt, and the key join attaches exactly the right values with the
+// store's multiplicities.
+type KeyBased struct {
+	// Node is the hybrid node whose temporary is being built.
+	Node string
+	// Child supplies the virtual attributes.
+	Child string
+	// Key is the child's key, materialized in the node, used as the join
+	// key.
+	Key []string
+	// ChildReq is what must be fetched from the child (possibly by
+	// polling its source, if the child itself is virtual).
+	ChildReq Requirement
+	// StoreAttrs are the node attributes read from the local store
+	// (the key plus every needed materialized attribute).
+	StoreAttrs []string
+}
+
+// KeyBasedPlan determines whether the requirement on a hybrid SPJ node
+// admits key-based construction, and returns the plan if so. It applies
+// when a single child (a) has a declared key that survives into the node's
+// materialized attributes, and (b) supplies every needed virtual
+// attribute.
+func (v *VDP) KeyBasedPlan(req Requirement) (*KeyBased, bool) {
+	n := v.Node(req.Rel)
+	if n == nil || n.IsLeaf() {
+		return nil, false
+	}
+	d, ok := n.Def.(SPJ)
+	if !ok {
+		return nil, false
+	}
+	// Needed virtual attributes (including condition attributes, which
+	// NewRequirement already folded into req.Attrs).
+	var neededVirtual []string
+	for _, a := range n.Schema.AttrNames() {
+		if req.Attrs[a] && !n.Ann.IsMaterialized(a) {
+			neededVirtual = append(neededVirtual, a)
+		}
+	}
+	if len(neededVirtual) == 0 {
+		return nil, false // store serves the requirement directly
+	}
+	for _, in := range d.Inputs {
+		child := v.Node(in.Rel)
+		if child.IsLeaf() {
+			// Leaf-parent nodes are rebuilt by polling their single source
+			// either way; key-based construction buys nothing and the
+			// child fetch machinery only handles mediator nodes.
+			continue
+		}
+		key := child.Schema.KeyAttrs()
+		if len(key) == 0 {
+			continue
+		}
+		// The key must survive the input projection...
+		inputAttrs := in.Proj
+		if len(inputAttrs) == 0 {
+			inputAttrs = child.Schema.AttrNames()
+		}
+		avail := make(map[string]bool, len(inputAttrs))
+		for _, a := range inputAttrs {
+			avail[a] = true
+		}
+		ok := true
+		for _, k := range key {
+			// ...and be a materialized attribute of the node (no renaming,
+			// so names carry through).
+			if !avail[k] || !n.Schema.HasAttr(k) || !n.Ann.IsMaterialized(k) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Every needed virtual attribute must come from this child.
+		for _, a := range neededVirtual {
+			if !child.Schema.HasAttr(a) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Child fetch: key + virtual attributes; the input's local
+		// selection and the pushable part of the request condition can be
+		// applied at the child (tuples contributing to T pass them).
+		childAvail := make(map[string]bool, child.Schema.Arity())
+		for _, a := range child.Schema.AttrNames() {
+			childAvail[a] = true
+		}
+		pushed, _ := algebra.ConjunctsOver(req.Cond, childAvail)
+		attrs := append(append([]string(nil), key...), neededVirtual...)
+		childReq, err := NewRequirement(v, in.Rel, attrs, algebra.Conj(in.Where, pushed))
+		if err != nil {
+			continue
+		}
+		// Store side: key + needed materialized attributes.
+		storeSet := make(map[string]bool, len(key))
+		for _, k := range key {
+			storeSet[k] = true
+		}
+		for _, a := range n.MaterializedAttrs() {
+			if req.Attrs[a] {
+				storeSet[a] = true
+			}
+		}
+		var storeAttrs []string
+		for _, a := range n.Schema.AttrNames() {
+			if storeSet[a] {
+				storeAttrs = append(storeAttrs, a)
+			}
+		}
+		return &KeyBased{
+			Node:       n.Name,
+			Child:      in.Rel,
+			Key:        key,
+			ChildReq:   childReq,
+			StoreAttrs: storeAttrs,
+		}, true
+	}
+	return nil, false
+}
+
+// SourcesNeeded estimates how many distinct source databases must be
+// polled to satisfy the requirement by standard (children-based)
+// construction; used to decide between standard and key-based plans
+// (the paper: "key-based construction is not always more efficient").
+func (v *VDP) SourcesNeeded(req Requirement) int {
+	plan, err := v.PlanTemporaries([]Requirement{req})
+	if err != nil {
+		return 0
+	}
+	sources := make(map[string]bool)
+	for _, r := range plan {
+		if !r.NeedsVirtual(v) {
+			continue
+		}
+		if v.IsLeafParent(r.Rel) {
+			if spec, err := v.LeafParentPollSpec(r); err == nil {
+				sources[spec.Source] = true
+			}
+		}
+	}
+	return len(sources)
+}

@@ -1,0 +1,47 @@
+package vdp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rulebase renders the VDP-rulebase of §5.2/§6.4 — the pair (V, edge_rule)
+// mapping every edge to its update-propagation rule — in a human-readable
+// form. The actual rule execution lives in Propagate; this listing is the
+// declarative view the paper describes the mediator as storing.
+func (v *VDP) Rulebase() string {
+	var b strings.Builder
+	for _, name := range v.order {
+		n := v.nodes[name]
+		if n.IsLeaf() {
+			continue
+		}
+		switch d := n.Def.(type) {
+		case SPJ:
+			for i, in := range d.Inputs {
+				fmt.Fprintf(&b, "on Δ%s (edge %s→%s):  Δ%s = π σ( ", in.Rel, name, in.Rel, name)
+				parts := make([]string, len(d.Inputs))
+				for j, other := range d.Inputs {
+					if j == i {
+						parts[j] = "Δ" + other.Rel
+					} else {
+						parts[j] = other.Rel
+					}
+				}
+				b.WriteString(strings.Join(parts, " ⋈ "))
+				b.WriteString(" )\n")
+			}
+		case UnionDef:
+			for _, br := range []Branch{d.L, d.R} {
+				fmt.Fprintf(&b, "on Δ%s (edge %s→%s):  Δ%s = π σ(Δ%s)\n",
+					br.Rel, name, br.Rel, name, br.Rel)
+			}
+		case DiffDef:
+			fmt.Fprintf(&b, "on Δ%s (edge %s→%s):  Δ%s⁺ = (Δ%s)⁺ − %s ;  Δ%s⁻ = (Δ%s)⁻ − %s\n",
+				d.L.Rel, name, d.L.Rel, name, d.L.Rel, d.R.Rel, name, d.L.Rel, d.R.Rel)
+			fmt.Fprintf(&b, "on Δ%s (edge %s→%s):  Δ%s⁺ = (Δ%s)⁻ ∩ %s ;  Δ%s⁻ = (Δ%s)⁺ ∩ %s\n",
+				d.R.Rel, name, d.R.Rel, name, d.R.Rel, d.L.Rel, name, d.R.Rel, d.L.Rel)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,446 @@
+package vdp
+
+import (
+	"fmt"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+)
+
+// This file implements the update-propagation rules of §5.2. Each edge
+// (parent, child) of the VDP carries a rule computing Δparent from Δchild.
+// The rules read sibling states through a Resolver; the IUP's "process
+// node" discipline (§6.4) guarantees that already-processed siblings
+// resolve to their new states and unprocessed siblings to their old
+// states, which is exactly what makes the combined contributions exact
+// (avoiding the missed ΔR'⋈ΔS' of Example 6.1).
+//
+// For self-joins (the same child appearing in several SPJ input
+// occurrences, footnote 2 of the paper), the occurrences are differenced
+// sequentially inside Propagate: occurrence i is evaluated with occurrences
+// j<i at the child's new state and j>i at its old state.
+
+// Propagate computes the contribution to Δn caused by dc, an incremental
+// update to child relation `child` of node n, following the rule attached
+// to the edge (n, child). dc must be expressed over the child's full
+// schema. The returned delta is over n's full schema.
+func (v *VDP) Propagate(node, child string, dc *delta.RelDelta, resolve Resolver) (*delta.RelDelta, error) {
+	return v.propagate(node, child, dc, resolve, false)
+}
+
+// PropagateNaive is the textbook rule of §5.2 applied verbatim: every
+// operand, including other occurrences of the updated child, is read at
+// whatever state the resolver currently reports, with no sequencing
+// discipline for self-joins. When the caller also resolves every sibling
+// to its OLD state while several children change in one transaction, this
+// reproduces the missed ΔR'⋈ΔS' contribution of Example 6.1. It exists as
+// a falsifiable baseline for experiment E6.
+func (v *VDP) PropagateNaive(node, child string, dc *delta.RelDelta, resolve Resolver) (*delta.RelDelta, error) {
+	return v.propagate(node, child, dc, resolve, true)
+}
+
+func (v *VDP) propagate(node, child string, dc *delta.RelDelta, resolve Resolver, naive bool) (*delta.RelDelta, error) {
+	n := v.Node(node)
+	if n == nil {
+		return nil, fmt.Errorf("vdp: unknown node %q", node)
+	}
+	if n.IsLeaf() {
+		return nil, fmt.Errorf("vdp: Propagate on leaf %q", n.Name)
+	}
+	childNode := v.Node(child)
+	if childNode == nil {
+		return nil, fmt.Errorf("vdp: unknown child %q", child)
+	}
+	if dc.IsEmpty() {
+		return delta.NewRel(n.Name), nil
+	}
+	switch d := n.Def.(type) {
+	case SPJ:
+		return propagateSPJ(n, d, child, childNode.Schema, dc, resolve, naive)
+	case UnionDef:
+		return propagateUnion(n, d, child, childNode.Schema, dc)
+	case DiffDef:
+		return propagateDiff(n, d, child, childNode.Schema, dc, resolve)
+	}
+	return nil, fmt.Errorf("vdp: node %q has unsupported definition type %T", n.Name, n.Def)
+}
+
+// deltaThroughInput pushes dc through an input wrapper π_Proj σ_Where,
+// yielding the positive and negative parts as bag relations over the
+// projected child schema.
+func deltaThroughInput(in SPJInput, childSchema *relation.Schema, dc *delta.RelDelta) (pos, neg *relation.Relation, err error) {
+	proj := in.Proj
+	if len(proj) == 0 {
+		proj = childSchema.AttrNames()
+	}
+	schema, err := childSchema.Project(in.Rel, proj)
+	if err != nil {
+		return nil, nil, err
+	}
+	positions, err := childSchema.Positions(proj)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos = relation.NewBag(schema)
+	neg = relation.NewBag(schema)
+	var evalErr error
+	dc.Each(func(t relation.Tuple, c int) bool {
+		ok, err := algebra.EvalPred(in.Where, childSchema, t)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		p := t.Project(positions)
+		if c > 0 {
+			pos.Add(p, c)
+		} else {
+			neg.Add(p, -c)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, nil, evalErr
+	}
+	return pos, neg, nil
+}
+
+// projectDeltaTo narrows a full-width delta to the attribute subset of a
+// narrower state relation (a temporary), so it can be applied to it.
+func projectDeltaTo(dc *delta.RelDelta, full *relation.Schema, narrow *relation.Schema) (*delta.RelDelta, error) {
+	if full.Arity() == narrow.Arity() {
+		return dc, nil
+	}
+	positions, err := full.Positions(narrow.AttrNames())
+	if err != nil {
+		return nil, err
+	}
+	return dc.Project(dc.Rel(), positions), nil
+}
+
+func propagateSPJ(n *Node, d SPJ, child string, childSchema *relation.Schema, dc *delta.RelDelta, resolve Resolver, naive bool) (*delta.RelDelta, error) {
+	out := delta.NewRel(n.Name)
+	// The child's own state is needed only for self-joins (leaf children,
+	// in particular, have no resolvable state), so resolve lazily.
+	var childState *relation.Relation
+	oldState := func() (*relation.Relation, error) {
+		if childState == nil {
+			var err error
+			childState, err = resolve(child)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return childState, nil
+	}
+	// New state of the updated child, materialized lazily. The resolved
+	// state may be a narrow temporary, so the delta is projected onto it
+	// first.
+	var childNew *relation.Relation
+	newState := func() (*relation.Relation, error) {
+		if childNew == nil {
+			old, err := oldState()
+			if err != nil {
+				return nil, err
+			}
+			childNew = old.Clone()
+			narrowed, err := projectDeltaTo(dc, childSchema, childNew.Schema())
+			if err != nil {
+				return nil, err
+			}
+			narrowed.ApplyTo(childNew, false)
+		}
+		return childNew, nil
+	}
+
+	occurrences := 0
+	for i, in := range d.Inputs {
+		if in.Rel != child {
+			continue
+		}
+		occurrences++
+		// Assemble operand states for this occurrence.
+		rels := make([]*relation.Relation, len(d.Inputs))
+		for j, other := range d.Inputs {
+			if j == i {
+				continue
+			}
+			var base *relation.Relation
+			var err error
+			switch {
+			case other.Rel != child:
+				base, err = resolve(other.Rel)
+			case naive:
+				// Naive: all other occurrences at the resolver's state.
+				base, err = oldState()
+			case j < i:
+				base, err = newState()
+			default:
+				base, err = oldState()
+			}
+			if err != nil {
+				return nil, err
+			}
+			r, err := projectSelectInput(other, base, j)
+			if err != nil {
+				return nil, err
+			}
+			rels[j] = r
+		}
+		pos, neg, err := deltaThroughInput(in, childSchema, dc)
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range []struct {
+			rel  *relation.Relation
+			sign int
+		}{{pos, 1}, {neg, -1}} {
+			if part.rel.Len() == 0 {
+				continue
+			}
+			rels[i] = renameBag(part.rel, occName(in.Rel, i))
+			contrib, err := joinProjectSPJ(n, d, rels)
+			if err != nil {
+				return nil, err
+			}
+			contrib.Each(func(t relation.Tuple, c int) bool {
+				out.Add(t, part.sign*c)
+				return true
+			})
+		}
+	}
+	if occurrences == 0 {
+		return nil, fmt.Errorf("vdp: node %q has no input over child %q", n.Name, child)
+	}
+	return out, nil
+}
+
+// projectSelectInput evaluates one SPJ input wrapper over an explicit base
+// relation, giving the operand a per-occurrence unique name so self-joins
+// concatenate cleanly. When base is a narrow temporary, the projection is
+// restricted to the attributes present (the Requirements machinery
+// guarantees everything needed is there).
+func projectSelectInput(in SPJInput, base *relation.Relation, occ int) (*relation.Relation, error) {
+	proj := in.Proj
+	if len(proj) == 0 {
+		proj = base.Schema().AttrNames()
+	} else {
+		var avail []string
+		for _, p := range proj {
+			if base.Schema().HasAttr(p) {
+				avail = append(avail, p)
+			}
+		}
+		proj = avail
+	}
+	return projectSelect(base, occName(in.Rel, occ), proj, in.Where)
+}
+
+func occName(rel string, occ int) string { return fmt.Sprintf("%s·occ%d", rel, occ) }
+
+// renameBag relabels a bag relation without copying tuples' contents.
+func renameBag(r *relation.Relation, name string) *relation.Relation {
+	out := relation.NewBag(r.Schema().Rename(name))
+	r.Each(func(t relation.Tuple, c int) bool { out.Add(t, c); return true })
+	return out
+}
+
+// joinProjectSPJ joins the prepared operand relations under the def's join
+// and selection conditions and projects to the node schema.
+//
+// Self-joins need per-occurrence attribute disambiguation: the same child
+// schema appears twice with identical attribute names, which Concat
+// rejects. We suffix attributes of later duplicate occurrences and rewrite
+// the conditions... — instead, since the paper's language has no
+// attribute renaming, duplicate occurrences of a child must project
+// disjoint attribute subsets for the def to validate. joinProjectSPJ
+// therefore relies on disjointness established at validation time.
+func joinProjectSPJ(n *Node, d SPJ, rels []*relation.Relation) (*relation.Relation, error) {
+	joined, err := algebra.JoinChain(rels, algebra.Conj(d.JoinCond, d.Where), n.Name+"·joined")
+	if err != nil {
+		return nil, err
+	}
+	positions, err := joined.Schema().Positions(d.Proj)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewBag(n.Schema)
+	joined.Each(func(t relation.Tuple, c int) bool {
+		out.Add(t.Project(positions), c)
+		return true
+	})
+	return out, nil
+}
+
+// propagateUnion: incremental updates pass through each matching branch's
+// select/project, relabeled positionally into the node schema (bag
+// semantics: counts add).
+func propagateUnion(n *Node, d UnionDef, child string, childSchema *relation.Schema, dc *delta.RelDelta) (*delta.RelDelta, error) {
+	out := delta.NewRel(n.Name)
+	matched := false
+	for _, b := range []Branch{d.L, d.R} {
+		if b.Rel != child {
+			continue
+		}
+		matched = true
+		bd, err := branchDeltaBag(n, b, childSchema, dc)
+		if err != nil {
+			return nil, err
+		}
+		bd.Each(func(t relation.Tuple, c int) bool {
+			out.Add(t, c)
+			return true
+		})
+	}
+	if !matched {
+		return nil, fmt.Errorf("vdp: node %q has no branch over child %q", n.Name, child)
+	}
+	return out, nil
+}
+
+// branchDeltaBag pushes dc through branch b yielding a signed RelDelta
+// over the node schema's shape.
+func branchDeltaBag(n *Node, b Branch, childSchema *relation.Schema, dc *delta.RelDelta) (*delta.RelDelta, error) {
+	positions, err := childSchema.Positions(b.Proj)
+	if err != nil {
+		return nil, err
+	}
+	out := delta.NewRel(n.Name)
+	var evalErr error
+	dc.Each(func(t relation.Tuple, c int) bool {
+		ok, err := algebra.EvalPred(b.Where, childSchema, t)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if ok {
+			out.Add(t.Project(positions), c)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// propagateDiff implements the difference rules of §5.2 with set
+// semantics. T = L − R where L, R are the branch sets.
+//
+//	on ΔL: (ΔT)+ = (ΔL)+ − R      (ΔT)− = (ΔL)− − R
+//	on ΔR: (ΔT)+ = (ΔR)− ∩ L      (ΔT)− = (ΔR)+ ∩ L
+//
+// (The paper prints rule diff1's deletion clause as (ΔR1)− ∩ R2; a tuple
+// deleted from R1 leaves T only if it is NOT in R2 — we implement the
+// corrected difference. The randomized incremental-equals-recompute tests
+// would reject the printed form.)
+//
+// Branch deltas are converted to set level ("distinct" deltas) against the
+// branch's pre-update bag, since children are bag nodes in general.
+func propagateDiff(n *Node, d DiffDef, child string, childSchema *relation.Schema, dc *delta.RelDelta, resolve Resolver) (*delta.RelDelta, error) {
+	out := delta.NewRel(n.Name)
+	childState, err := resolve(child)
+	if err != nil {
+		return nil, err
+	}
+	// The resolved child state may be a narrow temporary; the delta is
+	// narrowed correspondingly where it must be applied or compared.
+	narrowDC, err := projectDeltaTo(dc, childSchema, childState.Schema())
+	if err != nil {
+		return nil, err
+	}
+	matched := false
+
+	// Left-branch rule.
+	if d.L.Rel == child {
+		matched = true
+		bagDelta, err := branchDeltaBag(n, d.L, childState.Schema(), narrowDC)
+		if err != nil {
+			return nil, err
+		}
+		oldBag, err := evalBranchBagOver(n, d.L, childState)
+		if err != nil {
+			return nil, err
+		}
+		setDelta := bagDelta.Distinct(oldBag)
+		// Right branch at its current (resolver) state; if the right
+		// branch reads the same child, that child is still pre-update
+		// here (the left rule fires first).
+		rSet, err := evalBranchSet(d.R, resolve)
+		if err != nil {
+			return nil, err
+		}
+		setDelta.Each(func(t relation.Tuple, c int) bool {
+			if rSet.Count(t) == 0 {
+				out.Add(t, sign(c))
+			}
+			return true
+		})
+	}
+
+	// Right-branch rule.
+	if d.R.Rel == child {
+		matched = true
+		bagDelta, err := branchDeltaBag(n, d.R, childState.Schema(), narrowDC)
+		if err != nil {
+			return nil, err
+		}
+		oldBag, err := evalBranchBagOver(n, d.R, childState)
+		if err != nil {
+			return nil, err
+		}
+		setDelta := bagDelta.Distinct(oldBag)
+		// Left branch state: if the left branch reads the same child, the
+		// left rule above already accounted for the transition, so the
+		// left state here must be the NEW one; otherwise the resolver's
+		// current state is correct either way.
+		var lSet *relation.Relation
+		if d.L.Rel == child {
+			newChild := childState.Clone()
+			narrowDC.ApplyTo(newChild, false)
+			lSet, err = evalBranchSetOver(n, d.L, newChild)
+		} else {
+			lSet, err = evalBranchSet(d.L, resolve)
+		}
+		if err != nil {
+			return nil, err
+		}
+		setDelta.Each(func(t relation.Tuple, c int) bool {
+			if lSet.Count(t) > 0 {
+				out.Add(t, -sign(c))
+			}
+			return true
+		})
+	}
+	if !matched {
+		return nil, fmt.Errorf("vdp: node %q has no branch over child %q", n.Name, child)
+	}
+	return out, nil
+}
+
+func sign(c int) int {
+	if c < 0 {
+		return -1
+	}
+	return 1
+}
+
+// evalBranchBagOver evaluates a branch over an explicit child state.
+func evalBranchBagOver(n *Node, b Branch, childState *relation.Relation) (*relation.Relation, error) {
+	bag, err := projectSelect(childState, b.Rel+"·branch", b.Proj, b.Where)
+	if err != nil {
+		return nil, err
+	}
+	return conform(bag, n.Schema, relation.Bag)
+}
+
+func evalBranchSetOver(n *Node, b Branch, childState *relation.Relation) (*relation.Relation, error) {
+	bag, err := evalBranchBagOver(n, b, childState)
+	if err != nil {
+		return nil, err
+	}
+	return bag.Distinct(), nil
+}

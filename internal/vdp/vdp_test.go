@@ -1,0 +1,301 @@
+package vdp
+
+import (
+	"strings"
+	"testing"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/relation"
+)
+
+// paperVDP builds the annotated VDP of Figure 1 / Example 2.1:
+//
+//	R(r1,r2,r3,r4) key r1     S(s1,s2,s3) key s1        (leaves)
+//	R' = π_{r1,r2,r3} σ_{r4=100} R
+//	S' = π_{s1,s2} σ_{s3<50} S
+//	T  = π_{r1,s1,s2} (R' ⋈_{r2=s1} S')                 (export)
+//
+// with the given annotations (nil means fully materialized).
+func paperVDP(t testing.TB, annR, annS, annT Annotation) *VDP {
+	t.Helper()
+	rSchema := relation.MustSchema("R", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r2", Type: relation.KindInt},
+		{Name: "r3", Type: relation.KindInt}, {Name: "r4", Type: relation.KindInt}}, "r1")
+	sSchema := relation.MustSchema("S", []relation.Attribute{
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt},
+		{Name: "s3", Type: relation.KindInt}}, "s1")
+	rpSchema := relation.MustSchema("R'", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r2", Type: relation.KindInt},
+		{Name: "r3", Type: relation.KindInt}}, "r1")
+	spSchema := relation.MustSchema("S'", []relation.Attribute{
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt}}, "s1")
+	tSchema := relation.MustSchema("T", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r3", Type: relation.KindInt},
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt}})
+
+	if annR == nil {
+		annR = AllMaterialized(rpSchema)
+	}
+	if annS == nil {
+		annS = AllMaterialized(spSchema)
+	}
+	if annT == nil {
+		annT = AllMaterialized(tSchema)
+	}
+	v, err := New(
+		&Node{Name: "R", Schema: rSchema, Source: "db1"},
+		&Node{Name: "S", Schema: sSchema, Source: "db2"},
+		&Node{Name: "R'", Schema: rpSchema, Ann: annR,
+			Def: SPJ{Inputs: []SPJInput{{Rel: "R"}},
+				Where: algebra.Eq(algebra.A("r4"), algebra.CInt(100)),
+				Proj:  []string{"r1", "r2", "r3"}}},
+		&Node{Name: "S'", Schema: spSchema, Ann: annS,
+			Def: SPJ{Inputs: []SPJInput{{Rel: "S"}},
+				Where: algebra.Lt(algebra.A("s3"), algebra.CInt(50)),
+				Proj:  []string{"s1", "s2"}}},
+		&Node{Name: "T", Schema: tSchema, Ann: annT, Export: true,
+			Def: SPJ{Inputs: []SPJInput{{Rel: "R'"}, {Rel: "S'"}},
+				JoinCond: algebra.Eq(algebra.A("r2"), algebra.A("s1")),
+				Proj:     []string{"r1", "r3", "s1", "s2"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// paperLeafStates returns source states matching the worked examples.
+func paperLeafStates() map[string]*relation.Relation {
+	rSchema := relation.MustSchema("R", []relation.Attribute{
+		{Name: "r1", Type: relation.KindInt}, {Name: "r2", Type: relation.KindInt},
+		{Name: "r3", Type: relation.KindInt}, {Name: "r4", Type: relation.KindInt}}, "r1")
+	sSchema := relation.MustSchema("S", []relation.Attribute{
+		{Name: "s1", Type: relation.KindInt}, {Name: "s2", Type: relation.KindInt},
+		{Name: "s3", Type: relation.KindInt}}, "s1")
+	r := relation.NewSet(rSchema)
+	r.Insert(relation.T(1, 10, 5, 100))
+	r.Insert(relation.T(2, 10, 120, 100))
+	r.Insert(relation.T(3, 20, 7, 100))
+	r.Insert(relation.T(4, 30, 9, 50))
+	s := relation.NewSet(sSchema)
+	s.Insert(relation.T(10, 1, 20))
+	s.Insert(relation.T(20, 2, 40))
+	s.Insert(relation.T(30, 3, 80))
+	return map[string]*relation.Relation{"R": r, "S": s}
+}
+
+func TestVDPStructure(t *testing.T) {
+	v := paperVDP(t, nil, nil, nil)
+	if got := v.Order(); len(got) != 5 {
+		t.Fatalf("order = %v", got)
+	}
+	if got := v.Leaves(); len(got) != 2 {
+		t.Errorf("leaves = %v", got)
+	}
+	if got := v.Exports(); len(got) != 1 || got[0] != "T" {
+		t.Errorf("exports = %v", got)
+	}
+	if got := v.Sources(); strings.Join(got, ",") != "db1,db2" {
+		t.Errorf("sources = %v", got)
+	}
+	if got := v.LeavesOf("db1"); len(got) != 1 || got[0] != "R" {
+		t.Errorf("leavesOf db1 = %v", got)
+	}
+	if got := v.Children("T"); strings.Join(got, ",") != "R',S'" {
+		t.Errorf("children of T = %v", got)
+	}
+	if got := v.Parents("R'"); len(got) != 1 || got[0] != "T" {
+		t.Errorf("parents of R' = %v", got)
+	}
+	// Topological: children before parents.
+	pos := map[string]int{}
+	for i, n := range v.Order() {
+		pos[n] = i
+	}
+	if pos["R"] > pos["R'"] || pos["R'"] > pos["T"] || pos["S'"] > pos["T"] {
+		t.Errorf("order not topological: %v", v.Order())
+	}
+	if !v.IsLeafParent("R'") || v.IsLeafParent("T") || v.IsLeafParent("R") {
+		t.Errorf("IsLeafParent misbehaves")
+	}
+}
+
+func TestNodePredicates(t *testing.T) {
+	v := paperVDP(t,
+		AllVirtual(relation.MustSchema("R'", []relation.Attribute{
+			{Name: "r1", Type: relation.KindInt}, {Name: "r2", Type: relation.KindInt},
+			{Name: "r3", Type: relation.KindInt}}, "r1")),
+		nil,
+		Ann([]string{"r1", "s1"}, []string{"r3", "s2"}))
+	rp, sp, tn := v.Node("R'"), v.Node("S'"), v.Node("T")
+	if !rp.FullyVirtual() || rp.FullyMaterialized() || rp.Hybrid() {
+		t.Errorf("R' should be fully virtual")
+	}
+	if !sp.FullyMaterialized() || sp.Hybrid() {
+		t.Errorf("S' should be fully materialized")
+	}
+	if !tn.Hybrid() {
+		t.Errorf("T should be hybrid")
+	}
+	if got := strings.Join(tn.MaterializedAttrs(), ","); got != "r1,s1" {
+		t.Errorf("materialized attrs = %s", got)
+	}
+	if got := strings.Join(tn.VirtualAttrs(), ","); got != "r3,s2" {
+		t.Errorf("virtual attrs = %s", got)
+	}
+	if tn.Semantics() != relation.Bag || tn.IsSetNode() {
+		t.Errorf("T is a bag node")
+	}
+	// Annotation rendering matches the paper's notation.
+	if got := tn.Ann.String(tn.Schema); got != "[r1^m, r3^v, s1^m, s2^v]" {
+		t.Errorf("annotation string = %s", got)
+	}
+}
+
+func TestEvalAllPaperExample(t *testing.T) {
+	v := paperVDP(t, nil, nil, nil)
+	states, err := v.EvalAll(ResolverFromCatalog(paperLeafStates()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tRel := states["T"]
+	want := [][4]int64{{1, 5, 10, 1}, {2, 120, 10, 1}, {3, 7, 20, 2}}
+	if tRel.Card() != len(want) {
+		t.Fatalf("T = %s", tRel)
+	}
+	for _, w := range want {
+		if !tRel.Contains(relation.T(w[0], w[1], w[2], w[3])) {
+			t.Errorf("T missing %v", w)
+		}
+	}
+	if states["R'"].Card() != 3 {
+		t.Errorf("R' = %s", states["R'"])
+	}
+	if states["S'"].Card() != 2 {
+		t.Errorf("S' = %s", states["S'"])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	rSchema := relation.MustSchema("R", []relation.Attribute{{Name: "a", Type: relation.KindInt}})
+	vSchema := relation.MustSchema("V", []relation.Attribute{{Name: "a", Type: relation.KindInt}})
+
+	cases := []struct {
+		name  string
+		nodes []*Node
+	}{
+		{"leaf without source", []*Node{{Name: "R", Schema: rSchema}}},
+		{"schema name mismatch", []*Node{{Name: "X", Schema: rSchema, Source: "db"}}},
+		{"duplicate node", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db"},
+			{Name: "R", Schema: rSchema, Source: "db"}}},
+		{"unknown child", []*Node{
+			{Name: "V", Schema: vSchema, Export: true, Ann: AllMaterialized(vSchema),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "NOPE"}}, Proj: []string{"a"}}}}},
+		{"maximal node not export", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db"},
+			{Name: "V", Schema: vSchema, Ann: AllMaterialized(vSchema),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "R"}}, Proj: []string{"a"}}}}},
+		{"leaf as export", []*Node{{Name: "R", Schema: rSchema, Source: "db", Export: true}}},
+		{"missing annotation", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db"},
+			{Name: "V", Schema: vSchema, Export: true,
+				Def: SPJ{Inputs: []SPJInput{{Rel: "R"}}, Proj: []string{"a"}}}}},
+		{"annotation on leaf", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db", Ann: AllMaterialized(rSchema)}}},
+		{"partial annotation", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db"},
+			{Name: "V", Schema: vSchema, Export: true, Ann: Annotation{},
+				Def: SPJ{Inputs: []SPJInput{{Rel: "R"}}, Proj: []string{"a"}}}}},
+		{"annotation unknown attr", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db"},
+			{Name: "V", Schema: vSchema, Export: true, Ann: Annotation{"a": Materialized, "zz": Virtual},
+				Def: SPJ{Inputs: []SPJInput{{Rel: "R"}}, Proj: []string{"a"}}}}},
+		{"projection of unknown attr", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db"},
+			{Name: "V", Schema: vSchema, Export: true, Ann: AllMaterialized(vSchema),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "R"}}, Proj: []string{"zz"}}}}},
+		{"selection on unknown attr", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db"},
+			{Name: "V", Schema: vSchema, Export: true, Ann: AllMaterialized(vSchema),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "R"}},
+					Where: algebra.Eq(algebra.A("zz"), algebra.CInt(1)), Proj: []string{"a"}}}}},
+		{"join over leaf not allowed", []*Node{
+			{Name: "R", Schema: rSchema, Source: "db"},
+			{Name: "S", Schema: relation.MustSchema("S", []relation.Attribute{{Name: "b", Type: relation.KindInt}}), Source: "db"},
+			{Name: "V", Schema: vSchema, Export: true, Ann: AllMaterialized(vSchema),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "R"}, {Rel: "S"}},
+					JoinCond: algebra.Eq(algebra.A("a"), algebra.A("b")), Proj: []string{"a"}}}}},
+		{"cycle", []*Node{
+			{Name: "V", Schema: vSchema, Export: true, Ann: AllMaterialized(vSchema),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "W"}}, Proj: []string{"a"}}},
+			{Name: "W", Schema: vSchema.Rename("W"), Export: true, Ann: AllMaterialized(vSchema),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "V"}}, Proj: []string{"a"}}}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.nodes...); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestDiffNodeValidation(t *testing.T) {
+	aSchema := relation.MustSchema("A", []relation.Attribute{
+		{Name: "x", Type: relation.KindInt}, {Name: "y", Type: relation.KindInt}})
+	bSchema := relation.MustSchema("B", []relation.Attribute{
+		{Name: "p", Type: relation.KindInt}, {Name: "q", Type: relation.KindString}})
+	ap := relation.MustSchema("A'", []relation.Attribute{
+		{Name: "x", Type: relation.KindInt}, {Name: "y", Type: relation.KindInt}})
+	bp := relation.MustSchema("B'", []relation.Attribute{
+		{Name: "p", Type: relation.KindInt}, {Name: "q", Type: relation.KindString}})
+	gSchema := relation.MustSchema("G", []relation.Attribute{
+		{Name: "x", Type: relation.KindInt}})
+
+	mk := func(branchR Branch) error {
+		_, err := New(
+			&Node{Name: "A", Schema: aSchema, Source: "db1"},
+			&Node{Name: "B", Schema: bSchema, Source: "db2"},
+			&Node{Name: "A'", Schema: ap, Ann: AllMaterialized(ap),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "A"}}, Proj: []string{"x", "y"}}},
+			&Node{Name: "B'", Schema: bp, Ann: AllMaterialized(bp),
+				Def: SPJ{Inputs: []SPJInput{{Rel: "B"}}, Proj: []string{"p", "q"}}},
+			&Node{Name: "G", Schema: gSchema, Export: true, Ann: AllMaterialized(gSchema),
+				Def: DiffDef{L: Branch{Rel: "A'", Proj: []string{"x"}}, R: branchR}},
+		)
+		return err
+	}
+	if err := mk(Branch{Rel: "B'", Proj: []string{"p"}}); err != nil {
+		t.Errorf("valid diff rejected: %v", err)
+	}
+	if err := mk(Branch{Rel: "B'", Proj: []string{"q"}}); err == nil {
+		t.Errorf("type-mismatched diff branch accepted")
+	}
+	if err := mk(Branch{Rel: "B'", Proj: []string{"p", "q"}}); err == nil {
+		t.Errorf("arity-mismatched diff branch accepted")
+	}
+	if err := mk(Branch{Rel: "B'", Proj: []string{"zz"}}); err == nil {
+		t.Errorf("unknown branch attr accepted")
+	}
+	if err := mk(Branch{Rel: "ZZ", Proj: []string{"p"}}); err == nil {
+		t.Errorf("unknown branch child accepted")
+	}
+}
+
+func TestVDPString(t *testing.T) {
+	v := paperVDP(t, nil, nil, Ann([]string{"r1", "s1"}, []string{"r3", "s2"}))
+	s := v.String()
+	for _, want := range []string{"□ R(", "@ db1", "◎ T", "[r1^m, r3^v, s1^m, s2^v]", "⋈", "○ R'"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("VDP string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Must should panic on invalid plan")
+		}
+	}()
+	Must(&Node{Name: "R", Schema: relation.MustSchema("R", []relation.Attribute{{Name: "a", Type: relation.KindInt}})})
+}

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+)
+
+// Client connects a mediator to a remote source database served by
+// SourceServer. It implements core.SourceConn; announcements received on
+// the connection are forwarded, in order, to the handler registered with
+// OnAnnounce — and, crucially, before any query answer that follows them
+// on the wire, preserving the FIFO contract.
+type Client struct {
+	name string
+	conn net.Conn
+
+	// Timeout bounds each request round trip (0 = wait forever). Set it
+	// before issuing requests; a timed-out request leaves the connection
+	// usable (the stale reply is discarded when it arrives).
+	Timeout time.Duration
+
+	wmu    sync.Mutex
+	writer *bufio.Writer
+
+	mu       sync.Mutex
+	nextID   uint64
+	waiters  map[uint64]chan Message
+	handler  func(source.Announcement)
+	closed   bool
+	readErr  error
+	readDone chan struct{}
+}
+
+// Dial connects to a source server and waits for its hello.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		writer:   bufio.NewWriter(conn),
+		waiters:  make(map[uint64]chan Message),
+		readDone: make(chan struct{}),
+	}
+	hello := make(chan string, 1)
+	c.mu.Lock()
+	c.waiters[0] = nil // reserved
+	c.mu.Unlock()
+	go c.readLoop(hello)
+	select {
+	case name := <-hello:
+		c.name = name
+		return c, nil
+	case <-c.readDone:
+		conn.Close()
+		return nil, fmt.Errorf("wire: connection closed before hello: %v", c.readErr)
+	}
+}
+
+// Name returns the remote source database's name (core.SourceConn).
+func (c *Client) Name() string { return c.name }
+
+// OnAnnounce registers the announcement handler (call before the first
+// commit you care about; typically wired to Mediator.OnAnnouncement before
+// Initialize).
+func (c *Client) OnAnnounce(h func(source.Announcement)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handler = h
+}
+
+func (c *Client) readLoop(hello chan<- string) {
+	defer close(c.readDone)
+	scanner := bufio.NewScanner(c.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for scanner.Scan() {
+		var m Message
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			continue // tolerate garbage lines
+		}
+		switch m.Type {
+		case "hello":
+			select {
+			case hello <- m.Name:
+			default:
+			}
+		case "announce":
+			var d Message = m
+			c.mu.Lock()
+			h := c.handler
+			c.mu.Unlock()
+			if h != nil && d.Delta != nil {
+				dd, err := d.Delta.Decode()
+				if err == nil {
+					// Synchronous, in receive order: FIFO preserved.
+					h(source.Announcement{Source: d.Source, Time: d.Time, Delta: dd})
+				}
+			}
+		case "answer", "error":
+			c.mu.Lock()
+			ch := c.waiters[m.ID]
+			delete(c.waiters, m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		}
+	}
+	c.mu.Lock()
+	c.readErr = scanner.Err()
+	for id, ch := range c.waiters {
+		if ch != nil {
+			close(ch)
+		}
+		delete(c.waiters, id)
+	}
+	c.mu.Unlock()
+}
+
+// roundTrip sends a request and waits for its matched reply.
+func (c *Client) roundTrip(m Message) (Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("wire: client closed")
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan Message, 1)
+	c.waiters[id] = ch
+	c.mu.Unlock()
+
+	m.ID = id
+	b, err := encode(m)
+	if err != nil {
+		return Message{}, err
+	}
+	c.wmu.Lock()
+	_, werr := c.writer.Write(b)
+	if werr == nil {
+		werr = c.writer.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		return Message{}, werr
+	}
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		timer := time.NewTimer(c.Timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return Message{}, fmt.Errorf("wire: connection closed awaiting reply")
+		}
+		if reply.Type == "error" {
+			return Message{}, fmt.Errorf("wire: remote error: %s", reply.Error)
+		}
+		return reply, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("wire: request %d timed out after %s", id, c.Timeout)
+	}
+}
+
+// QueryMulti implements core.SourceConn over the wire.
+func (c *Client) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	req := Message{Type: "query"}
+	for _, s := range specs {
+		req.Specs = append(req.Specs, EncodeSpec(s))
+	}
+	reply, err := c.roundTrip(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(reply.Answers) != len(specs) {
+		return nil, 0, fmt.Errorf("wire: got %d answers for %d specs", len(reply.Answers), len(specs))
+	}
+	out := make([]*relation.Relation, len(reply.Answers))
+	for i, wr := range reply.Answers {
+		r, err := wr.Decode()
+		if err != nil {
+			return nil, 0, err
+		}
+		out[i] = r
+	}
+	return out, reply.AsOf, nil
+}
+
+// Apply submits a transaction to the remote source (for loaders and
+// drivers) and returns its commit time.
+func (c *Client) Apply(d Delta) (clock.Time, error) {
+	reply, err := c.roundTrip(Message{Type: "apply", Delta: &d})
+	if err != nil {
+		return 0, err
+	}
+	return reply.AsOf, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Catalog fetches the source's relation schemas (for mediators assembled
+// against remote sources without shared schema definitions).
+func (c *Client) Catalog() ([]*relation.Schema, error) {
+	reply, err := c.roundTrip(Message{Type: "catalog"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*relation.Schema, 0, len(reply.Schemas))
+	for _, ws := range reply.Schemas {
+		s, err := ws.Decode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,373 @@
+// Package wire implements the network protocol between Squirrel mediators
+// and remote source databases: newline-delimited JSON over TCP. A single
+// connection carries both the mediator's snapshot queries and the source's
+// update announcements, preserving the per-source FIFO ordering that the
+// Eager Compensation Algorithm requires (an announcement for a commit is
+// always delivered before any query answer that reflects that commit).
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+)
+
+// Value is the wire form of relation.Value.
+type Value struct {
+	K string  `json:"k"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+// EncodeValue converts a value to wire form.
+func EncodeValue(v relation.Value) Value {
+	switch v.Kind() {
+	case relation.KindNull:
+		return Value{K: "null"}
+	case relation.KindBool:
+		return Value{K: "bool", B: v.AsBool()}
+	case relation.KindInt:
+		return Value{K: "int", I: v.AsInt()}
+	case relation.KindFloat:
+		return Value{K: "float", F: v.AsFloat()}
+	case relation.KindString:
+		return Value{K: "string", S: v.AsString()}
+	}
+	return Value{K: "null"}
+}
+
+// Decode converts a wire value back.
+func (w Value) Decode() (relation.Value, error) {
+	switch w.K {
+	case "null":
+		return relation.Null(), nil
+	case "bool":
+		return relation.Bool(w.B), nil
+	case "int":
+		return relation.Int(w.I), nil
+	case "float":
+		return relation.Float(w.F), nil
+	case "string":
+		return relation.Str(w.S), nil
+	}
+	return relation.Null(), fmt.Errorf("wire: unknown value kind %q", w.K)
+}
+
+// Attr is the wire form of a schema attribute.
+type Attr struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Schema is the wire form of relation.Schema.
+type Schema struct {
+	Name  string   `json:"name"`
+	Attrs []Attr   `json:"attrs"`
+	Key   []string `json:"key,omitempty"`
+}
+
+var kindNames = map[relation.Kind]string{
+	relation.KindNull: "null", relation.KindBool: "bool", relation.KindInt: "int",
+	relation.KindFloat: "float", relation.KindString: "string",
+}
+
+var kindsByName = map[string]relation.Kind{
+	"null": relation.KindNull, "bool": relation.KindBool, "int": relation.KindInt,
+	"float": relation.KindFloat, "string": relation.KindString,
+}
+
+// EncodeSchema converts a schema to wire form.
+func EncodeSchema(s *relation.Schema) Schema {
+	out := Schema{Name: s.Name(), Key: s.KeyAttrs()}
+	for _, a := range s.Attrs() {
+		out.Attrs = append(out.Attrs, Attr{Name: a.Name, Type: kindNames[a.Type]})
+	}
+	return out
+}
+
+// Decode converts a wire schema back.
+func (w Schema) Decode() (*relation.Schema, error) {
+	attrs := make([]relation.Attribute, len(w.Attrs))
+	for i, a := range w.Attrs {
+		k, ok := kindsByName[a.Type]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown attribute type %q", a.Type)
+		}
+		attrs[i] = relation.Attribute{Name: a.Name, Type: k}
+	}
+	return relation.NewSchema(w.Name, attrs, w.Key...)
+}
+
+// Row is a tuple with a (signed, for deltas) multiplicity.
+type Row struct {
+	T []Value `json:"t"`
+	N int     `json:"n"`
+}
+
+// Relation is the wire form of relation.Relation.
+type Relation struct {
+	Schema Schema `json:"schema"`
+	Sem    string `json:"sem"`
+	Rows   []Row  `json:"rows"`
+}
+
+// EncodeRelation converts a relation to wire form (deterministic row
+// order).
+func EncodeRelation(r *relation.Relation) Relation {
+	out := Relation{Schema: EncodeSchema(r.Schema()), Sem: r.Semantics().String()}
+	for _, row := range r.Rows() {
+		wr := Row{N: row.Count}
+		for _, v := range row.Tuple {
+			wr.T = append(wr.T, EncodeValue(v))
+		}
+		out.Rows = append(out.Rows, wr)
+	}
+	return out
+}
+
+// Decode converts a wire relation back.
+func (w Relation) Decode() (*relation.Relation, error) {
+	schema, err := w.Schema.Decode()
+	if err != nil {
+		return nil, err
+	}
+	sem := relation.Bag
+	if w.Sem == "set" {
+		sem = relation.Set
+	}
+	out := relation.New(schema, sem)
+	for _, row := range w.Rows {
+		t := make(relation.Tuple, len(row.T))
+		for i, v := range row.T {
+			dv, err := v.Decode()
+			if err != nil {
+				return nil, err
+			}
+			t[i] = dv
+		}
+		out.Add(t, row.N)
+	}
+	return out, nil
+}
+
+// Delta is the wire form of delta.Delta: per-relation signed rows.
+type Delta struct {
+	Rels map[string][]Row `json:"rels"`
+}
+
+// EncodeDelta converts a delta to wire form.
+func EncodeDelta(d *delta.Delta) Delta {
+	out := Delta{Rels: map[string][]Row{}}
+	for _, rel := range d.Relations() {
+		rd := d.Get(rel)
+		var rows []Row
+		for _, row := range rd.Rows() {
+			wr := Row{N: row.Count}
+			for _, v := range row.Tuple {
+				wr.T = append(wr.T, EncodeValue(v))
+			}
+			rows = append(rows, wr)
+		}
+		out.Rels[rel] = rows
+	}
+	return out
+}
+
+// Decode converts a wire delta back.
+func (w Delta) Decode() (*delta.Delta, error) {
+	out := delta.New()
+	for rel, rows := range w.Rels {
+		for _, row := range rows {
+			t := make(relation.Tuple, len(row.T))
+			for i, v := range row.T {
+				dv, err := v.Decode()
+				if err != nil {
+					return nil, err
+				}
+				t[i] = dv
+			}
+			out.Add(rel, t, row.N)
+		}
+	}
+	return out, nil
+}
+
+// Expr is the wire form of algebra.Expr — a tagged union.
+type Expr struct {
+	Op    string  `json:"op"` // attr, const, arith, cmp, and, or, not
+	Name  string  `json:"name,omitempty"`
+	Value *Value  `json:"value,omitempty"`
+	Sub   string  `json:"sub,omitempty"` // arith/cmp operator symbol
+	L     *Expr   `json:"l,omitempty"`
+	R     *Expr   `json:"r,omitempty"`
+	Terms []*Expr `json:"terms,omitempty"`
+}
+
+var arithBySymbol = map[string]algebra.ArithOp{
+	"+": algebra.OpAdd, "-": algebra.OpSub, "*": algebra.OpMul, "/": algebra.OpDiv,
+}
+
+var cmpBySymbol = map[string]algebra.CmpOp{
+	"=": algebra.OpEq, "<>": algebra.OpNe, "<": algebra.OpLt,
+	"<=": algebra.OpLe, ">": algebra.OpGt, ">=": algebra.OpGe,
+}
+
+// EncodeExpr converts an expression to wire form (nil stays nil).
+func EncodeExpr(e algebra.Expr) *Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case algebra.Attr:
+		return &Expr{Op: "attr", Name: x.Name}
+	case algebra.Const:
+		v := EncodeValue(x.Value)
+		return &Expr{Op: "const", Value: &v}
+	case algebra.Arith:
+		return &Expr{Op: "arith", Sub: x.Op.String(), L: EncodeExpr(x.L), R: EncodeExpr(x.R)}
+	case algebra.Cmp:
+		return &Expr{Op: "cmp", Sub: x.Op.String(), L: EncodeExpr(x.L), R: EncodeExpr(x.R)}
+	case algebra.And:
+		out := &Expr{Op: "and"}
+		for _, t := range x.Terms {
+			out.Terms = append(out.Terms, EncodeExpr(t))
+		}
+		return out
+	case algebra.Or:
+		out := &Expr{Op: "or"}
+		for _, t := range x.Terms {
+			out.Terms = append(out.Terms, EncodeExpr(t))
+		}
+		return out
+	case algebra.Not:
+		return &Expr{Op: "not", L: EncodeExpr(x.Term)}
+	}
+	return nil
+}
+
+// Decode converts a wire expression back (nil stays nil).
+func (w *Expr) Decode() (algebra.Expr, error) {
+	if w == nil {
+		return nil, nil
+	}
+	switch w.Op {
+	case "attr":
+		return algebra.Attr{Name: w.Name}, nil
+	case "const":
+		if w.Value == nil {
+			return nil, fmt.Errorf("wire: const without value")
+		}
+		v, err := w.Value.Decode()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Const{Value: v}, nil
+	case "arith":
+		op, ok := arithBySymbol[w.Sub]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown arith op %q", w.Sub)
+		}
+		l, err := w.L.Decode()
+		if err != nil {
+			return nil, err
+		}
+		r, err := w.R.Decode()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Arith{Op: op, L: l, R: r}, nil
+	case "cmp":
+		op, ok := cmpBySymbol[w.Sub]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown cmp op %q", w.Sub)
+		}
+		l, err := w.L.Decode()
+		if err != nil {
+			return nil, err
+		}
+		r, err := w.R.Decode()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Cmp{Op: op, L: l, R: r}, nil
+	case "and", "or":
+		terms := make([]algebra.Expr, len(w.Terms))
+		for i, t := range w.Terms {
+			d, err := t.Decode()
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = d
+		}
+		if w.Op == "and" {
+			return algebra.And{Terms: terms}, nil
+		}
+		return algebra.Or{Terms: terms}, nil
+	case "not":
+		l, err := w.L.Decode()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not{Term: l}, nil
+	}
+	return nil, fmt.Errorf("wire: unknown expression op %q", w.Op)
+}
+
+// QuerySpec is the wire form of source.QuerySpec.
+type QuerySpec struct {
+	Rel   string   `json:"rel"`
+	Attrs []string `json:"attrs,omitempty"`
+	Cond  *Expr    `json:"cond,omitempty"`
+}
+
+// EncodeSpec converts a query spec.
+func EncodeSpec(s source.QuerySpec) QuerySpec {
+	return QuerySpec{Rel: s.Rel, Attrs: s.Attrs, Cond: EncodeExpr(s.Cond)}
+}
+
+// Decode converts a wire spec back.
+func (w QuerySpec) Decode() (source.QuerySpec, error) {
+	cond, err := w.Cond.Decode()
+	if err != nil {
+		return source.QuerySpec{}, err
+	}
+	return source.QuerySpec{Rel: w.Rel, Attrs: w.Attrs, Cond: cond}, nil
+}
+
+// Message is the protocol envelope. Exactly one payload field is set,
+// according to Type.
+type Message struct {
+	Type string `json:"type"`
+	ID   uint64 `json:"id,omitempty"`
+
+	// type "query": a batched snapshot read.
+	Specs []QuerySpec `json:"specs,omitempty"`
+	// type "answer".
+	AsOf    clock.Time `json:"asof,omitempty"`
+	Answers []Relation `json:"answers,omitempty"`
+	// type "announce".
+	Source string     `json:"source,omitempty"`
+	Time   clock.Time `json:"time,omitempty"`
+	Delta  *Delta     `json:"delta,omitempty"`
+	// type "error".
+	Error string `json:"error,omitempty"`
+	// type "hello": server identifies itself.
+	Name string `json:"name,omitempty"`
+	// type "catalog" (reply): the source's relation schemas.
+	Schemas []Schema `json:"schemas,omitempty"`
+}
+
+// encode marshals a message plus newline.
+func encode(m Message) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

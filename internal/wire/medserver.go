@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/relation"
+)
+
+// MediatorServer exposes a mediator's Query Processor over TCP, completing
+// the Figure 3 deployment: applications connect to the mediator exactly as
+// the mediator connects to its sources.
+type MediatorServer struct {
+	med *core.Mediator
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewMediatorServer wraps a mediator.
+func NewMediatorServer(med *core.Mediator) *MediatorServer {
+	return &MediatorServer{med: med}
+}
+
+// Start listens on addr (":0" for ephemeral) and serves in the background,
+// returning the bound address.
+func (s *MediatorServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *MediatorServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *MediatorServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	send := func(m Message) bool {
+		b, err := encode(m)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(b); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	if !send(Message{Type: "hello", Name: "mediator"}) {
+		return
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for scanner.Scan() {
+		var m Message
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			if !send(Message{Type: "error", Error: "bad message: " + err.Error()}) {
+				return
+			}
+			continue
+		}
+		switch m.Type {
+		case "medquery":
+			var cond algebra.Expr
+			var err error
+			if len(m.Specs) != 1 {
+				err = fmt.Errorf("medquery needs exactly one spec")
+			} else {
+				cond, err = m.Specs[0].Cond.Decode()
+			}
+			if err != nil {
+				if !send(Message{Type: "error", ID: m.ID, Error: err.Error()}) {
+					return
+				}
+				continue
+			}
+			res, err := s.med.QueryOpts(m.Specs[0].Rel, m.Specs[0].Attrs, cond, core.QueryOptions{})
+			if err != nil {
+				if !send(Message{Type: "error", ID: m.ID, Error: err.Error()}) {
+					return
+				}
+				continue
+			}
+			if !send(Message{Type: "answer", ID: m.ID, AsOf: res.Committed,
+				Answers: []Relation{EncodeRelation(res.Answer)}}) {
+				return
+			}
+		case "sync":
+			// Drain the update queue on request (a remote Flush).
+			var flushed int
+			var err error
+			for {
+				var ran bool
+				ran, err = s.med.RunUpdateTransaction()
+				if err != nil || !ran {
+					break
+				}
+				flushed++
+			}
+			if err != nil {
+				if !send(Message{Type: "error", ID: m.ID, Error: err.Error()}) {
+					return
+				}
+				continue
+			}
+			if !send(Message{Type: "answer", ID: m.ID, AsOf: clock.Time(flushed)}) {
+				return
+			}
+		default:
+			if !send(Message{Type: "error", ID: m.ID, Error: "unknown message type " + m.Type}) {
+				return
+			}
+		}
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *MediatorServer) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// MediatorClient is an application-side connection to a MediatorServer.
+type MediatorClient struct {
+	conn    net.Conn
+	writer  *bufio.Writer
+	scanner *bufio.Scanner
+	mu      sync.Mutex
+	nextID  uint64
+}
+
+// DialMediator connects to a mediator server and consumes its hello.
+func DialMediator(addr string) (*MediatorClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &MediatorClient{
+		conn:    conn,
+		writer:  bufio.NewWriter(conn),
+		scanner: bufio.NewScanner(conn),
+	}
+	c.scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	m, err := c.read()
+	if err != nil || m.Type != "hello" {
+		conn.Close()
+		return nil, fmt.Errorf("wire: mediator handshake failed: %v", err)
+	}
+	return c, nil
+}
+
+func (c *MediatorClient) read() (Message, error) {
+	if !c.scanner.Scan() {
+		if err := c.scanner.Err(); err != nil {
+			return Message{}, err
+		}
+		return Message{}, fmt.Errorf("wire: connection closed")
+	}
+	var m Message
+	if err := json.Unmarshal(c.scanner.Bytes(), &m); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+func (c *MediatorClient) roundTrip(m Message) (Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	m.ID = c.nextID
+	b, err := encode(m)
+	if err != nil {
+		return Message{}, err
+	}
+	if _, err := c.writer.Write(b); err != nil {
+		return Message{}, err
+	}
+	if err := c.writer.Flush(); err != nil {
+		return Message{}, err
+	}
+	reply, err := c.read()
+	if err != nil {
+		return Message{}, err
+	}
+	if reply.Type == "error" {
+		return Message{}, fmt.Errorf("wire: mediator error: %s", reply.Error)
+	}
+	return reply, nil
+}
+
+// Query answers π_attrs σ_cond (export) remotely; the returned time is
+// the query transaction's commit time at the mediator.
+func (c *MediatorClient) Query(export string, attrs []string, cond algebra.Expr) (*relation.Relation, clock.Time, error) {
+	reply, err := c.roundTrip(Message{Type: "medquery",
+		Specs: []QuerySpec{{Rel: export, Attrs: attrs, Cond: EncodeExpr(cond)}}})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(reply.Answers) != 1 {
+		return nil, 0, fmt.Errorf("wire: expected one answer, got %d", len(reply.Answers))
+	}
+	ans, err := reply.Answers[0].Decode()
+	if err != nil {
+		return nil, 0, err
+	}
+	return ans, reply.AsOf, nil
+}
+
+// Sync asks the mediator to drain its update queue, returning how many
+// update transactions ran.
+func (c *MediatorClient) Sync() (int, error) {
+	reply, err := c.roundTrip(Message{Type: "sync"})
+	if err != nil {
+		return 0, err
+	}
+	return int(reply.AsOf), nil
+}
+
+// Close tears down the connection.
+func (c *MediatorClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"testing"
+
+	"squirrel/internal/algebra"
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/vdp"
+)
+
+// startMediator assembles a local mediator over one source and serves it.
+func startMediator(t *testing.T) (*source.DB, *core.Mediator, string) {
+	t.Helper()
+	clk := &clock.Logical{}
+	db := source.NewDB("db", clk)
+	schema := relation.MustSchema("A", []relation.Attribute{
+		{Name: "x", Type: relation.KindInt}, {Name: "y", Type: relation.KindInt}}, "x")
+	rel := relation.NewSet(schema)
+	rel.Insert(relation.T(1, 10))
+	rel.Insert(relation.T(2, 20))
+	if err := db.LoadRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	b := vdp.NewBuilder()
+	if err := b.AddSource("db", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddViewSQL("V", `SELECT x, y FROM A WHERE y > 0`); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := core.New(core.Config{
+		VDP:     plan,
+		Sources: map[string]core.SourceConn{"db": core.LocalSource{DB: db}},
+		Clock:   clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.ConnectLocal(med, db)
+	if err := med.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewMediatorServer(med)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return db, med, addr
+}
+
+func TestMediatorServerQuery(t *testing.T) {
+	_, _, addr := startMediator(t)
+	c, err := DialMediator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ans, committed, err := c.Query("V", []string{"x"}, algebra.Gt(algebra.A("y"), algebra.CInt(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed == 0 || ans.Card() != 1 || !ans.Contains(relation.T(2)) {
+		t.Fatalf("answer: t=%d %s", committed, ans)
+	}
+	// Full query with nil attrs/cond.
+	all, _, err := c.Query("V", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Card() != 2 {
+		t.Errorf("full answer: %s", all)
+	}
+	// Errors propagate.
+	if _, _, err := c.Query("NOPE", nil, nil); err == nil {
+		t.Errorf("unknown export must error")
+	}
+}
+
+func TestMediatorServerSync(t *testing.T) {
+	db, med, addr := startMediator(t)
+	c, err := DialMediator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	d := delta.New()
+	d.Insert("A", relation.T(3, 30))
+	db.MustApply(d)
+	if med.QueueLen() == 0 {
+		t.Fatal("announcement missing")
+	}
+	n, err := c.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("sync ran %d transactions", n)
+	}
+	ans, _, err := c.Query("V", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Card() != 3 {
+		t.Errorf("after sync: %s", ans)
+	}
+	// Sync with nothing queued.
+	n, err = c.Sync()
+	if err != nil || n != 0 {
+		t.Errorf("idle sync: %d %v", n, err)
+	}
+}
+
+func TestMediatorServerMultipleClients(t *testing.T) {
+	_, _, addr := startMediator(t)
+	c1, err := DialMediator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := DialMediator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i := 0; i < 5; i++ {
+		if _, _, err := c1.Query("V", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c2.Query("V", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"squirrel/internal/source"
+)
+
+// SourceServer exposes one source database over TCP. Each accepted
+// connection gets the announcement feed plus query service, multiplexed
+// over a single per-connection FIFO so Eager Compensation's ordering
+// assumption holds end to end.
+type SourceServer struct {
+	db *source.DB
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*srvConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	// Logf, if set, receives protocol errors (default: log.Printf).
+	Logf func(format string, args ...any)
+}
+
+type srvConn struct {
+	conn net.Conn
+	out  chan Message
+	done chan struct{}
+}
+
+// NewSourceServer wraps db; call Serve with a listener.
+func NewSourceServer(db *source.DB) *SourceServer {
+	return &SourceServer{db: db, conns: make(map[*srvConn]struct{})}
+}
+
+// ListenAndServe listens on addr and serves until Close. It returns the
+// bound address via the Addr method once listening; use Start for a
+// ready-signaled variant.
+func (s *SourceServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Start listens on addr (use ":0" for an ephemeral port), begins serving
+// in the background, and returns the bound address.
+func (s *SourceServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(ln) //nolint:errcheck // background accept loop
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections on ln until Close.
+func (s *SourceServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("wire: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	// One subscription on the database fans out to all live connections.
+	s.db.Subscribe(func(a source.Announcement) {
+		msg := Message{Type: "announce", Source: a.Source, Time: a.Time}
+		d := EncodeDelta(a.Delta)
+		msg.Delta = &d
+		s.mu.Lock()
+		for c := range s.conns {
+			c.send(msg)
+		}
+		s.mu.Unlock()
+	})
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := &srvConn{conn: conn, out: make(chan Message, 1024), done: make(chan struct{})}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go s.writeLoop(c)
+		go s.readLoop(c)
+	}
+}
+
+func (c *srvConn) send(m Message) {
+	select {
+	case c.out <- m:
+	case <-c.done:
+	}
+}
+
+func (s *SourceServer) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (s *SourceServer) writeLoop(c *srvConn) {
+	defer s.wg.Done()
+	w := bufio.NewWriter(c.conn)
+	for {
+		select {
+		case m := <-c.out:
+			b, err := encode(m)
+			if err != nil {
+				s.logf("wire: encode: %v", err)
+				continue
+			}
+			if _, err := w.Write(b); err != nil {
+				s.drop(c)
+				return
+			}
+			// Flush when the queue drains so batches coalesce.
+			if len(c.out) == 0 {
+				if err := w.Flush(); err != nil {
+					s.drop(c)
+					return
+				}
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (s *SourceServer) readLoop(c *srvConn) {
+	defer s.wg.Done()
+	defer s.drop(c)
+	c.send(Message{Type: "hello", Name: s.db.Name()})
+	scanner := bufio.NewScanner(c.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for scanner.Scan() {
+		var m Message
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			c.send(Message{Type: "error", Error: "bad message: " + err.Error()})
+			continue
+		}
+		switch m.Type {
+		case "query":
+			specs := make([]source.QuerySpec, len(m.Specs))
+			ok := true
+			for i, ws := range m.Specs {
+				spec, err := ws.Decode()
+				if err != nil {
+					c.send(Message{Type: "error", ID: m.ID, Error: err.Error()})
+					ok = false
+					break
+				}
+				specs[i] = spec
+			}
+			if !ok {
+				continue
+			}
+			answers, asOf, err := s.db.QueryMulti(specs)
+			if err != nil {
+				c.send(Message{Type: "error", ID: m.ID, Error: err.Error()})
+				continue
+			}
+			resp := Message{Type: "answer", ID: m.ID, AsOf: asOf}
+			for _, a := range answers {
+				resp.Answers = append(resp.Answers, EncodeRelation(a))
+			}
+			c.send(resp)
+		case "catalog":
+			resp := Message{Type: "answer", ID: m.ID}
+			names := s.db.Relations()
+			sortStrings(names)
+			for _, name := range names {
+				schema, err := s.db.Schema(name)
+				if err != nil {
+					continue
+				}
+				resp.Schemas = append(resp.Schemas, EncodeSchema(schema))
+			}
+			c.send(resp)
+		case "apply":
+			// Remote transaction submission (used by drivers/loaders).
+			if m.Delta == nil {
+				c.send(Message{Type: "error", ID: m.ID, Error: "apply without delta"})
+				continue
+			}
+			d, err := m.Delta.Decode()
+			if err != nil {
+				c.send(Message{Type: "error", ID: m.ID, Error: err.Error()})
+				continue
+			}
+			t, err := s.db.Apply(d)
+			if err != nil {
+				c.send(Message{Type: "error", ID: m.ID, Error: err.Error()})
+				continue
+			}
+			c.send(Message{Type: "answer", ID: m.ID, AsOf: t})
+		default:
+			c.send(Message{Type: "error", ID: m.ID, Error: "unknown message type " + m.Type})
+		}
+	}
+}
+
+func (s *SourceServer) drop(c *srvConn) {
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		close(c.done)
+		c.conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the listener and drops every connection.
+func (s *SourceServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		delete(s.conns, c)
+		close(c.done)
+		c.conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package workload provides seeded, reproducible generators for the
+// experiment harness: initial relation populations, source update streams
+// with configurable insert/delete mixes and skew, and query mixes over
+// materialized and virtual attributes. Everything is deterministic given
+// the seed, so benchmark tables regenerate identically.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+)
+
+// Domain draws values for one attribute.
+type Domain interface {
+	Draw(rng *rand.Rand) relation.Value
+}
+
+// IntRange draws uniform integers from [Lo, Hi].
+type IntRange struct{ Lo, Hi int64 }
+
+// Draw implements Domain.
+func (d IntRange) Draw(rng *rand.Rand) relation.Value {
+	return relation.Int(d.Lo + rng.Int63n(d.Hi-d.Lo+1))
+}
+
+// IntZipf draws integers in [1, N] with Zipf skew s (>1); heavier skew
+// concentrates mass on small values — used for skewed join keys.
+type IntZipf struct {
+	N uint64
+	S float64
+}
+
+// Draw implements Domain.
+func (d IntZipf) Draw(rng *rand.Rand) relation.Value {
+	z := rand.NewZipf(rng, d.S, 1, d.N-1)
+	return relation.Int(int64(z.Uint64()) + 1)
+}
+
+// Seq draws strictly increasing integers starting at Start — a synthetic
+// key generator.
+type Seq struct{ next int64 }
+
+// NewSeq starts a sequence at start.
+func NewSeq(start int64) *Seq { return &Seq{next: start} }
+
+// Draw implements Domain.
+func (s *Seq) Draw(*rand.Rand) relation.Value {
+	v := relation.Int(s.next)
+	s.next++
+	return v
+}
+
+// Choice draws uniformly from explicit values.
+type Choice struct{ Values []relation.Value }
+
+// Draw implements Domain.
+func (c Choice) Draw(rng *rand.Rand) relation.Value {
+	return c.Values[rng.Intn(len(c.Values))]
+}
+
+// Strings builds a Choice over string values.
+func Strings(vals ...string) Choice {
+	c := Choice{}
+	for _, v := range vals {
+		c.Values = append(c.Values, relation.Str(v))
+	}
+	return c
+}
+
+// TupleGen draws tuples for a schema from per-attribute domains.
+type TupleGen struct {
+	Schema  *relation.Schema
+	Domains []Domain
+}
+
+// NewTupleGen pairs a schema with its domains (one per attribute).
+func NewTupleGen(schema *relation.Schema, domains ...Domain) (*TupleGen, error) {
+	if len(domains) != schema.Arity() {
+		return nil, fmt.Errorf("workload: schema %s needs %d domains, got %d",
+			schema.Name(), schema.Arity(), len(domains))
+	}
+	return &TupleGen{Schema: schema, Domains: domains}, nil
+}
+
+// Draw produces one tuple.
+func (g *TupleGen) Draw(rng *rand.Rand) relation.Tuple {
+	t := make(relation.Tuple, len(g.Domains))
+	for i, d := range g.Domains {
+		t[i] = d.Draw(rng)
+	}
+	return t
+}
+
+// Populate fills a fresh set relation with n distinct tuples (respecting
+// the schema's key: at most one tuple per key value).
+func (g *TupleGen) Populate(rng *rand.Rand, n int) *relation.Relation {
+	out := relation.NewSet(g.Schema)
+	keyPos := g.Schema.KeyPositions()
+	seenKeys := make(map[string]bool, n)
+	for attempts := 0; out.Len() < n && attempts < n*20; attempts++ {
+		t := g.Draw(rng)
+		if len(keyPos) > 0 {
+			k := t.KeyOn(keyPos)
+			if seenKeys[k] {
+				continue
+			}
+			seenKeys[k] = true
+		}
+		out.Insert(t)
+	}
+	return out
+}
+
+// Stream produces non-redundant update transactions against one relation,
+// mirroring its evolving contents so deletions always target live tuples
+// and insertions never duplicate keys.
+type Stream struct {
+	gen  *TupleGen
+	rng  *rand.Rand
+	live *relation.Relation
+	keys map[string]bool
+	// DeleteFraction is the probability that a generated operation is a
+	// deletion (default 0.3 via NewStream).
+	DeleteFraction float64
+}
+
+// NewStream tracks the given initial contents (cloned).
+func NewStream(gen *TupleGen, seed int64, initial *relation.Relation) *Stream {
+	s := &Stream{
+		gen:            gen,
+		rng:            rand.New(rand.NewSource(seed)),
+		live:           initial.Clone(),
+		keys:           make(map[string]bool),
+		DeleteFraction: 0.3,
+	}
+	keyPos := gen.Schema.KeyPositions()
+	if len(keyPos) > 0 {
+		initial.Each(func(t relation.Tuple, _ int) bool {
+			s.keys[t.KeyOn(keyPos)] = true
+			return true
+		})
+	}
+	return s
+}
+
+// Live returns the stream's view of the relation's current contents.
+func (s *Stream) Live() *relation.Relation { return s.live }
+
+// Transaction produces a transaction of roughly size operations (always at
+// least one when the relation permits), applied to the stream's mirror so
+// subsequent transactions stay non-redundant.
+func (s *Stream) Transaction(size int) *delta.Delta {
+	d := delta.New()
+	rel := s.gen.Schema.Name()
+	keyPos := s.gen.Schema.KeyPositions()
+	for i := 0; i < size; i++ {
+		if s.rng.Float64() < s.DeleteFraction && s.live.Len() > 0 {
+			rows := s.live.Rows()
+			t := rows[s.rng.Intn(len(rows))].Tuple
+			if d.Rel(rel).Count(t) != 0 {
+				continue // already touched in this transaction
+			}
+			d.Delete(rel, t)
+			s.live.Delete(t)
+			if len(keyPos) > 0 {
+				delete(s.keys, t.KeyOn(keyPos))
+			}
+			continue
+		}
+		t := s.gen.Draw(s.rng)
+		if len(keyPos) > 0 {
+			k := t.KeyOn(keyPos)
+			if s.keys[k] {
+				continue
+			}
+			s.keys[k] = true
+		} else if s.live.Contains(t) || d.Rel(rel).Count(t) != 0 {
+			continue
+		}
+		d.Insert(rel, t)
+		s.live.Insert(t)
+	}
+	return d
+}
+
+// QueryMix draws query shapes (attribute subsets) with weights; used to
+// model the paper's assumption that virtual attributes are rarely
+// accessed.
+type QueryMix struct {
+	rng     *rand.Rand
+	shapes  [][]string
+	weights []float64
+	total   float64
+}
+
+// NewQueryMix builds a mix; shapes and weights must align.
+func NewQueryMix(seed int64, shapes [][]string, weights []float64) (*QueryMix, error) {
+	if len(shapes) != len(weights) || len(shapes) == 0 {
+		return nil, fmt.Errorf("workload: %d shapes vs %d weights", len(shapes), len(weights))
+	}
+	m := &QueryMix{rng: rand.New(rand.NewSource(seed)), shapes: shapes, weights: weights}
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: negative weight")
+		}
+		m.total += w
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("workload: all weights zero")
+	}
+	return m, nil
+}
+
+// Draw picks a query shape.
+func (m *QueryMix) Draw() []string {
+	x := m.rng.Float64() * m.total
+	for i, w := range m.weights {
+		x -= w
+		if x < 0 {
+			return m.shapes[i]
+		}
+	}
+	return m.shapes[len(m.shapes)-1]
+}

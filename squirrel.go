@@ -1,0 +1,207 @@
+// Package squirrel is a from-scratch reproduction of the Squirrel data
+// integration framework of Hull & Zhou, "A Framework for Supporting Data
+// Integration Using the Materialized and Virtual Approaches" (SIGMOD
+// 1996).
+//
+// A Squirrel integration mediator maintains an integrated relational view
+// over multiple autonomous source databases. Each relation of the view can
+// be fully materialized, fully virtual, or hybrid (some attributes
+// materialized, others virtual). Materialized data is maintained by
+// incremental update propagation over an annotated View Decomposition
+// Plan (VDP); virtual data is fetched on demand by the Virtual Attribute
+// Processor, with Eager Compensation keeping polled data consistent with
+// the queued update stream.
+//
+// The top-level API assembles complete systems:
+//
+//	sys := squirrel.NewSystem()
+//	db := sys.AddSource("orders-db")
+//	db.MustCreateTable(squirrel.MustSchema("Orders", ...), squirrel.Set)
+//	sys.MustDefineView("BigSpenders", `SELECT ... FROM Orders JOIN ...`)
+//	sys.Annotate("BigSpenders", []string{"cust"}, []string{"total"})
+//	sys.MustStart()
+//	rows, err := sys.Query(`SELECT cust FROM BigSpenders WHERE total > 100`)
+//
+// Advanced use (custom VDPs, simulation, network deployment, correctness
+// checking) goes through the re-exported subsystem types below; see the
+// examples directory and DESIGN.md for the full map.
+package squirrel
+
+import (
+	"squirrel/internal/algebra"
+	"squirrel/internal/checker"
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// Core relational types.
+type (
+	// Value is a dynamically typed scalar (int, float, string, bool, null).
+	Value = relation.Value
+	// Kind identifies a Value's type.
+	Kind = relation.Kind
+	// Tuple is an ordered list of values.
+	Tuple = relation.Tuple
+	// Attribute is a named, typed column.
+	Attribute = relation.Attribute
+	// Schema describes a relation: name, attributes, optional key.
+	Schema = relation.Schema
+	// Relation is an in-memory relation with set or bag semantics.
+	Relation = relation.Relation
+	// Semantics selects set or bag storage.
+	Semantics = relation.Semantics
+	// Row pairs a tuple with its multiplicity.
+	Row = relation.Row
+)
+
+// Value kinds and semantics constants.
+const (
+	KindNull   = relation.KindNull
+	KindBool   = relation.KindBool
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindString = relation.KindString
+	Set        = relation.Set
+	Bag        = relation.Bag
+)
+
+// Value and schema constructors.
+var (
+	// Int, Float, Str, Bool, Null build scalar values.
+	Int   = relation.Int
+	Float = relation.Float
+	Str   = relation.Str
+	Bool  = relation.Bool
+	Null  = relation.Null
+	// T builds a tuple from Go values (int, float64, string, bool, nil).
+	T = relation.T
+	// NewSchema and MustSchema build relation schemas.
+	NewSchema  = relation.NewSchema
+	MustSchema = relation.MustSchema
+	// NewRelation builds an empty relation.
+	NewRelation = relation.New
+)
+
+// Delta machinery (§6.2 of the paper).
+type (
+	// Delta is a multi-relation incremental update.
+	Delta = delta.Delta
+	// RelDelta is a single-relation incremental update.
+	RelDelta = delta.RelDelta
+)
+
+// NewDelta creates an empty multi-relation delta.
+var NewDelta = delta.New
+
+// Predicate/expression language.
+type (
+	// Expr is a scalar/boolean expression over attribute names.
+	Expr = algebra.Expr
+)
+
+// Expression constructors (see also ParseCondition for textual form).
+var (
+	A    = algebra.A
+	CInt = algebra.CInt
+	CStr = algebra.CStr
+	Eq   = algebra.Eq
+	Ne   = algebra.Ne
+	Lt   = algebra.Lt
+	Le   = algebra.Le
+	Gt   = algebra.Gt
+	Ge   = algebra.Ge
+	Conj = algebra.Conj
+	Disj = algebra.Disj
+)
+
+// VDP construction (§5).
+type (
+	// VDP is an annotated View Decomposition Plan.
+	VDP = vdp.VDP
+	// VDPNode is one node of a plan.
+	VDPNode = vdp.Node
+	// VDPBuilder assembles plans from SQL view definitions.
+	VDPBuilder = vdp.Builder
+	// Annotation maps attributes to materialized/virtual.
+	Annotation = vdp.Annotation
+	// WorkloadProfile feeds the §5.3 annotation advisor.
+	WorkloadProfile = vdp.WorkloadProfile
+	// Advice is the advisor's annotations plus its reasoning.
+	Advice = vdp.Advice
+)
+
+// VDP helpers.
+var (
+	NewVDPBuilder   = vdp.NewBuilder
+	AllMaterialized = vdp.AllMaterialized
+	AllVirtual      = vdp.AllVirtual
+	Ann             = vdp.Ann
+)
+
+// Mediator (§4, §6) and sources.
+type (
+	// Mediator is a Squirrel integration mediator.
+	Mediator = core.Mediator
+	// MediatorConfig assembles a mediator.
+	MediatorConfig = core.Config
+	// SourceDB is an autonomous source database.
+	SourceDB = source.DB
+	// SourceConn connects a mediator to a source.
+	SourceConn = core.SourceConn
+	// QueryOptions tune query processing (key-based construction).
+	QueryOptions = core.QueryOptions
+	// QueryResult carries an answer plus its consistency metadata.
+	QueryResult = core.QueryResult
+	// ContributorKind classifies sources (§4).
+	ContributorKind = core.ContributorKind
+	// Stats aggregates mediator operation counters.
+	Stats = core.Stats
+	// Clock issues the global timestamps of §3.
+	Clock = clock.Clock
+	// LogicalClock is a strictly increasing in-process clock.
+	LogicalClock = clock.Logical
+	// Time is a point on the global timeline.
+	Time = clock.Time
+	// TimeVector is a per-source time vector.
+	TimeVector = clock.Vector
+	// Runtime drives periodic update transactions (the u_hold policy).
+	Runtime = core.Runtime
+	// StateSnapshot is the mediator's durable state (see SaveState).
+	StateSnapshot = core.StateSnapshot
+	// Recorder captures the transaction trace for the checkers.
+	Recorder = trace.Recorder
+	// CheckerEnvironment verifies consistency and freshness (§3, §7).
+	CheckerEnvironment = checker.Environment
+)
+
+// Mediator/query-mode constants.
+const (
+	MaterializedContributor = core.MaterializedContributor
+	HybridContributor       = core.HybridContributor
+	VirtualContributor      = core.VirtualContributor
+	KeyBasedAuto            = core.KeyBasedAuto
+	KeyBasedForce           = core.KeyBasedForce
+	KeyBasedOff             = core.KeyBasedOff
+)
+
+// Construction helpers.
+var (
+	// NewMediator builds a mediator from a config.
+	NewMediator = core.New
+	// NewSourceDB creates an autonomous source database.
+	NewSourceDB = source.NewDB
+	// NewRecorder creates a trace recorder.
+	NewRecorder = trace.NewRecorder
+	// ConnectLocal subscribes a mediator to an in-process source.
+	ConnectLocal = core.ConnectLocal
+	// Figure2Scenario reproduces the paper's Figure 2 table.
+	Figure2Scenario = checker.Figure2Scenario
+)
+
+// LocalConn adapts an in-process source database to a SourceConn.
+func LocalConn(db *SourceDB) SourceConn { return core.LocalSource{DB: db} }
