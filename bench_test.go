@@ -8,6 +8,7 @@ package squirrel_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"squirrel"
@@ -539,5 +540,173 @@ func BenchmarkE13JoinStrategies(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// benchMediatorE15 assembles the running example around a RAW mediator
+// (no trace recorder — recording clones every answer, which would swamp a
+// throughput benchmark) for the concurrent-read experiment.
+func benchMediatorE15(b *testing.B, nR, nS int, cfg string) (*squirrel.Mediator, *squirrel.SourceDB, *squirrel.SourceDB) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(15))
+	clk := &squirrel.LogicalClock{}
+	db1 := squirrel.NewSourceDB("db1", clk)
+	r := squirrel.NewRelation(squirrel.MustSchema("R", []squirrel.Attribute{
+		{Name: "r1", Type: squirrel.KindInt}, {Name: "r2", Type: squirrel.KindInt},
+		{Name: "r3", Type: squirrel.KindInt}, {Name: "r4", Type: squirrel.KindInt}}, "r1"),
+		squirrel.Set)
+	for i := 1; i <= nR; i++ {
+		r4 := int64(100)
+		if rng.Intn(4) == 0 {
+			r4 = 50
+		}
+		r.Insert(squirrel.T(int64(i), int64(1+rng.Intn(nS)), int64(rng.Intn(200)), r4))
+	}
+	if err := db1.LoadRelation(r); err != nil {
+		b.Fatal(err)
+	}
+	db2 := squirrel.NewSourceDB("db2", clk)
+	s := squirrel.NewRelation(squirrel.MustSchema("S", []squirrel.Attribute{
+		{Name: "s1", Type: squirrel.KindInt}, {Name: "s2", Type: squirrel.KindInt},
+		{Name: "s3", Type: squirrel.KindInt}}, "s1"), squirrel.Set)
+	for i := 1; i <= nS; i++ {
+		s.Insert(squirrel.T(int64(i), int64(rng.Intn(10)), int64(rng.Intn(100))))
+	}
+	if err := db2.LoadRelation(s); err != nil {
+		b.Fatal(err)
+	}
+	builder := squirrel.NewVDPBuilder()
+	if err := builder.AddSource("db1", r.Schema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := builder.AddSource("db2", s.Schema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := builder.AddViewSQL("T",
+		`SELECT r1, r3, s1, s2 FROM R JOIN S ON r2 = s1 WHERE r4 = 100 AND s3 < 50`); err != nil {
+		b.Fatal(err)
+	}
+	switch cfg {
+	case "materialized":
+	case "hybrid":
+		builder.Annotate("R'", squirrel.Ann(nil, []string{"r1", "r2", "r3"}))
+		builder.Annotate("S'", squirrel.Ann(nil, []string{"s1", "s2"}))
+		builder.Annotate("T", squirrel.Ann([]string{"r1", "s1"}, []string{"r3", "s2"}))
+	case "virtual":
+		builder.Annotate("R'", squirrel.Ann(nil, []string{"r1", "r2", "r3"}))
+		builder.Annotate("S'", squirrel.Ann(nil, []string{"s1", "s2"}))
+		builder.Annotate("T", squirrel.Ann(nil, []string{"r1", "r3", "s1", "s2"}))
+	default:
+		b.Fatalf("unknown config %q", cfg)
+	}
+	plan, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	med, err := squirrel.NewMediator(squirrel.MediatorConfig{
+		VDP: plan,
+		Sources: map[string]squirrel.SourceConn{
+			"db1": squirrel.LocalConn(db1), "db2": squirrel.LocalConn(db2)},
+		Clock: clk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	squirrel.ConnectLocal(med, db1)
+	squirrel.ConnectLocal(med, db2)
+	if err := med.Initialize(); err != nil {
+		b.Fatal(err)
+	}
+	return med, db1, db2
+}
+
+// BenchmarkE15ConcurrentReads measures query throughput with 1/4/16
+// reader goroutines while an update stream churns (commit + update
+// transaction per iteration). With the versioned store, the {r1,s1}
+// query is lock-free in the materialized and hybrid configurations (both
+// attributes materialized in T), so throughput should scale with
+// readers; the virtual configuration takes the polling path and bounds
+// the cost of version pinning + Eager Compensation under contention.
+func BenchmarkE15ConcurrentReads(b *testing.B) {
+	for _, cfg := range []string{"materialized", "hybrid", "virtual"} {
+		for _, readers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/readers=%d", cfg, readers), func(b *testing.B) {
+				med, db1, db2 := benchMediatorE15(b, 4000, 2000, cfg)
+				stop := make(chan struct{})
+				var churn sync.WaitGroup
+				// The update stream runs as it does in deployment: each
+				// source commits on its own thread while the mediator's
+				// update loop drains the queue on another.
+				churn.Add(3)
+				go func() {
+					defer churn.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						d := squirrel.NewDelta()
+						nextKey++
+						d.Insert("R", squirrel.T(nextKey, int64(1+nextKey%500), int64(nextKey%200), 100))
+						if _, err := db1.Apply(d); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+				go func() {
+					defer churn.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						d := squirrel.NewDelta()
+						nextKey++
+						d.Insert("S", squirrel.T(nextKey, int64(nextKey%10), int64(nextKey%100)))
+						if _, err := db2.Apply(d); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+				go func() {
+					defer churn.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if _, err := med.RunUpdateTransaction(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+				attrs := []string{"r1", "s1"}
+				per := b.N/readers + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < readers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							if _, err := med.QueryOpts("T", attrs, nil, squirrel.QueryOptions{}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(stop)
+				churn.Wait()
+			})
+		}
 	}
 }

@@ -1,9 +1,10 @@
 // Package core implements the Squirrel integration mediator (§4, Fig. 3) —
 // the paper's primary contribution. A Mediator owns:
 //
-//   - a local store holding the materialized portion of every annotated
-//     VDP node (full relations for fully materialized nodes, attribute
-//     projections for hybrid nodes, nothing for virtual nodes);
+//   - a versioned snapshot store (internal/store) holding the materialized
+//     portion of every annotated VDP node (full relations for fully
+//     materialized nodes, attribute projections for hybrid nodes, nothing
+//     for virtual nodes) as a sequence of immutable published versions;
 //   - an update queue fed by source-database announcements;
 //   - the Incremental Update Processor (IUP, §6.4): the Kernel Algorithm
 //     plus the general three-phase algorithm that materializes needed
@@ -13,17 +14,25 @@
 //     contributors and key-based construction of temporaries
 //     (Example 2.3).
 //
-// Update and query transactions are serialized (the paper's sequential
-// transaction model); all methods are safe for concurrent use.
+// Update transactions keep the paper's sequential transaction model: one
+// at a time, each building the next store version copy-on-write and
+// publishing it in a single atomic swap. Query transactions pin a
+// published version and run entirely outside the update mutex — purely
+// materialized queries are lock-free while the IUP runs; VAP-polling
+// queries coordinate only on the queue lock, for Eager Compensation
+// against the pinned version's ref′. All methods are safe for concurrent
+// use.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"squirrel/internal/clock"
 	"squirrel/internal/relation"
 	"squirrel/internal/source"
+	"squirrel/internal/store"
 	"squirrel/internal/trace"
 	"squirrel/internal/vdp"
 )
@@ -90,6 +99,24 @@ type Stats struct {
 	TempsBuilt      int // temporary relations constructed
 	KeyBasedTemps   int // temporaries built via key-based construction
 	QueueHighWater  int
+	// CurrentVersion is the sequence number of the published store version
+	// (0 before initialization); VersionsPublished counts publishes by
+	// this mediator instance.
+	CurrentVersion    uint64
+	VersionsPublished uint64
+}
+
+// counters are the mediator's operation counters in atomic form, so query
+// transactions running concurrently outside the update mutex can bump them
+// without coordination.
+type counters struct {
+	updateTxns      atomic.Int64
+	queryTxns       atomic.Int64
+	atomsPropagated atomic.Int64
+	sourcePolls     atomic.Int64
+	tuplesPolled    atomic.Int64
+	tempsBuilt      atomic.Int64
+	keyBasedTemps   atomic.Int64
 }
 
 // Config assembles a Mediator.
@@ -105,6 +132,15 @@ type Config struct {
 	Recorder *trace.Recorder
 }
 
+// versionPin tracks how many in-flight query transactions are reading a
+// published version. While a version is pinned, processed announcements
+// newer than its ref′ are retained (in done) so Eager Compensation can
+// roll polls back to the pinned state.
+type versionPin struct {
+	v    *store.Version
+	refs int
+}
+
 // Mediator is a Squirrel integration mediator.
 type Mediator struct {
 	v        *vdp.VDP
@@ -112,21 +148,38 @@ type Mediator struct {
 	clk      clock.Clock
 	recorder *trace.Recorder
 
-	// mu serializes update and query transactions and guards the store
-	// and stats. qmu guards the queue and the ref′ bookkeeping; it is the
-	// ONLY lock OnAnnouncement takes, so a source database can deliver an
-	// announcement from inside its own commit while the mediator is
-	// polling it (lock order: mu before qmu; never qmu before mu).
-	mu           sync.Mutex
-	store        map[string]*relation.Relation // materialized portions
+	// mu serializes update transactions (Initialize, Restore,
+	// RunUpdateTransaction) — the single-writer side of the versioned
+	// store. Query transactions do NOT take it: they pin a published
+	// version from vstore instead.
+	mu     sync.Mutex
+	vstore *store.Store
+
 	contributors map[string]ContributorKind
 	leafSchemas  map[string]*relation.Schema
-	viewInit     clock.Time
-	stats        Stats
 
-	qmu            sync.Mutex
-	queue          []source.Announcement
-	lastProcessed  clock.Vector // ref′: per announcing source
+	// viewInit is written (under mu) before the first version is
+	// published; readers access it only after observing a published
+	// version, so the atomic publish provides the happens-before edge.
+	viewInit clock.Time
+
+	stats counters
+
+	// qmu guards the queue, the ref′ bookkeeping, and version pins; it is
+	// the ONLY lock OnAnnouncement takes, so a source database can deliver
+	// an announcement from inside its own commit while the mediator is
+	// polling it. Lock order: mu before qmu; never qmu before mu — qmu is
+	// a leaf lock, and no other lock is ever acquired while holding it.
+	qmu   sync.Mutex
+	queue []source.Announcement // announced, not yet processed
+	// done retains processed announcements while some pinned version may
+	// still need them: a polling query pinned to version V compensates
+	// polls back to ref′(V), which requires every announcement with time
+	// in (ref′(V)[src], poll instant] — including ones an update
+	// transaction has already folded into a newer version.
+	done           []source.Announcement
+	pins           map[uint64]*versionPin // seq → pin
+	lastProcessed  clock.Vector           // ref′: per announcing source
 	initialized    bool
 	queueHighWater int
 }
@@ -145,7 +198,8 @@ func New(cfg Config) (*Mediator, error) {
 		sources:       make(map[string]SourceConn),
 		clk:           cfg.Clock,
 		recorder:      cfg.Recorder,
-		store:         make(map[string]*relation.Relation),
+		vstore:        store.New(),
+		pins:          make(map[uint64]*versionPin),
 		lastProcessed: make(clock.Vector),
 		leafSchemas:   make(map[string]*relation.Schema),
 	}
@@ -217,22 +271,138 @@ func (m *Mediator) Contributor(src string) ContributorKind {
 // VDP returns the mediator's plan.
 func (m *Mediator) VDP() *vdp.VDP { return m.v }
 
-// Stats returns a copy of the operation counters.
+// Stats returns a copy of the operation counters. The transaction counters
+// are atomics, the queue-side numbers come from queueStats (which takes
+// only the leaf lock qmu), and the version counters come from the store —
+// no lock is ever held while acquiring another.
 func (m *Mediator) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.stats
-	m.qmu.Lock()
-	s.QueueHighWater = m.queueHighWater
-	m.qmu.Unlock()
+	s := Stats{
+		UpdateTxns:      int(m.stats.updateTxns.Load()),
+		QueryTxns:       int(m.stats.queryTxns.Load()),
+		AtomsPropagated: int(m.stats.atomsPropagated.Load()),
+		SourcePolls:     int(m.stats.sourcePolls.Load()),
+		TuplesPolled:    int(m.stats.tuplesPolled.Load()),
+		TempsBuilt:      int(m.stats.tempsBuilt.Load()),
+		KeyBasedTemps:   int(m.stats.keyBasedTemps.Load()),
+	}
+	s.QueueHighWater = m.queueStats()
+	if v := m.vstore.Current(); v != nil {
+		s.CurrentVersion = v.Seq()
+	}
+	s.VersionsPublished = m.vstore.VersionsPublished()
 	return s
 }
 
+// queueStats reads the queue-side counters. It takes qmu alone — the
+// documented lock order (mu before qmu, qmu strictly a leaf) means callers
+// must not hold qmu already and may hold mu or nothing.
+func (m *Mediator) queueStats() (highWater int) {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	return m.queueHighWater
+}
+
+// StoreVersion returns the sequence number of the currently published
+// store version (0 before initialization). Every query answer is
+// attributable to exactly one version; QueryResult.Version names it.
+func (m *Mediator) StoreVersion() uint64 {
+	if v := m.vstore.Current(); v != nil {
+		return v.Seq()
+	}
+	return 0
+}
+
+// CurrentVersion returns the currently published store version (nil
+// before initialization). A version is immutable: holding the pointer
+// pins that state for as long as the caller needs it, at zero cost to
+// writers. The relations it exposes are shared and must not be modified.
+func (m *Mediator) CurrentVersion() *store.Version { return m.vstore.Current() }
+
 // ViewInit returns t_view_init (zero until Initialize).
 func (m *Mediator) ViewInit() clock.Time {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	if m.vstore.Current() == nil {
+		return 0
+	}
 	return m.viewInit
+}
+
+// pinVersion pins the current version for a polling query transaction:
+// while pinned, processed announcements newer than the version's ref′ are
+// retained for Eager Compensation. Returns nil before initialization.
+// Callers must release with unpinVersion.
+func (m *Mediator) pinVersion() *store.Version {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	v := m.vstore.Current()
+	if v == nil {
+		return nil
+	}
+	p := m.pins[v.Seq()]
+	if p == nil {
+		p = &versionPin{v: v}
+		m.pins[v.Seq()] = p
+	}
+	p.refs++
+	return v
+}
+
+// unpinVersion releases a pin taken by pinVersion and prunes the retained
+// announcement log.
+func (m *Mediator) unpinVersion(v *store.Version) {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	p := m.pins[v.Seq()]
+	if p == nil {
+		return
+	}
+	p.refs--
+	if p.refs <= 0 {
+		delete(m.pins, v.Seq())
+		m.pruneDoneLocked()
+	}
+}
+
+// pruneDoneLocked drops retained announcements no pinned version can still
+// need. Caller holds qmu.
+func (m *Mediator) pruneDoneLocked() {
+	if len(m.done) == 0 {
+		return
+	}
+	if len(m.pins) == 0 {
+		m.done = nil
+		return
+	}
+	oldLen := len(m.done)
+	kept := m.done[:0]
+	for _, a := range m.done {
+		for _, p := range m.pins {
+			if a.Time > p.v.RefOf(a.Source) {
+				kept = append(kept, a)
+				break
+			}
+		}
+	}
+	m.done = trimAnnouncements(kept, oldLen)
+}
+
+// trimAnnouncements zeroes the dropped tail of the slice's backing array
+// (so the dropped announcements' deltas become collectible) and
+// reallocates when capacity greatly exceeds length — without this, a
+// one-time announcement burst would pin its full backing array forever.
+// oldLen is the slice's length before it was resliced down.
+func trimAnnouncements(s []source.Announcement, oldLen int) []source.Announcement {
+	if oldLen > len(s) {
+		tail := s[len(s):oldLen]
+		for i := range tail {
+			tail[i] = source.Announcement{}
+		}
+	}
+	if cap(s) > 64 && cap(s) >= 4*len(s) {
+		out := make([]source.Announcement, len(s))
+		copy(out, s)
+		return out
+	}
+	return s
 }
 
 // storeSchema returns the schema of a node's materialized portion.
@@ -245,10 +415,10 @@ func storeSchema(n *vdp.Node) (*relation.Schema, error) {
 }
 
 // Initialize populates the materialized store by polling every source for
-// its current leaf states and evaluating the VDP bottom-up. Announcements
-// already subscribed are deduplicated against the poll times, so it is
-// safe (and required for consistency) to connect announcement feeds before
-// initializing.
+// its current leaf states and evaluating the VDP bottom-up, then publishes
+// the result as store version 1. Announcements already subscribed are
+// deduplicated against the poll times, so it is safe (and required for
+// consistency) to connect announcement feeds before initializing.
 func (m *Mediator) Initialize() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -274,10 +444,10 @@ func (m *Mediator) Initialize() error {
 		if err != nil {
 			return fmt.Errorf("core: initializing from %s: %w", src, err)
 		}
-		m.stats.SourcePolls++
+		m.stats.sourcePolls.Add(1)
 		for i, leaf := range leaves {
 			leafStates[leaf] = answers[i]
-			m.stats.TuplesPolled += answers[i].Len()
+			m.stats.tuplesPolled.Add(int64(answers[i].Len()))
 		}
 		m.qmu.Lock()
 		m.lastProcessed[src] = asOf
@@ -287,6 +457,7 @@ func (m *Mediator) Initialize() error {
 	if err != nil {
 		return fmt.Errorf("core: initial evaluation: %w", err)
 	}
+	b := m.vstore.Begin()
 	for _, name := range m.v.NonLeaves() {
 		n := m.v.Node(name)
 		schema, err := storeSchema(n)
@@ -310,20 +481,24 @@ func (m *Mediator) Initialize() error {
 			rel.Add(t.Project(positions), c)
 			return true
 		})
-		m.store[name] = rel
+		b.Set(name, rel)
 	}
-	// Drop queued announcements already reflected in the initial poll.
+	// Drop queued announcements already reflected in the initial poll,
+	// and publish version 1 while holding qmu so pinners always observe a
+	// version consistent with the queue state.
 	m.qmu.Lock()
+	oldLen := len(m.queue)
 	kept := m.queue[:0]
 	for _, a := range m.queue {
 		if a.Time > m.lastProcessed[a.Source] {
 			kept = append(kept, a)
 		}
 	}
-	m.queue = kept
+	m.queue = trimAnnouncements(kept, oldLen)
 	m.initialized = true
-	m.qmu.Unlock()
 	m.viewInit = m.clk.Now()
+	m.vstore.Publish(b, m.lastProcessed.Clone(), m.viewInit)
+	m.qmu.Unlock()
 	return nil
 }
 
@@ -364,13 +539,17 @@ func ConnectLocal(m *Mediator, db *source.DB) {
 	db.Subscribe(m.OnAnnouncement)
 }
 
-// StoreSnapshot returns a clone of a node's materialized portion (nil for
-// fully virtual nodes). Intended for inspection and tests.
+// StoreSnapshot returns a clone of a node's materialized portion in the
+// current version (nil for fully virtual nodes or before initialization).
+// Lock-free: it reads the published version. Intended for inspection and
+// tests.
 func (m *Mediator) StoreSnapshot(node string) *relation.Relation {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	r, ok := m.store[node]
-	if !ok {
+	v := m.vstore.Current()
+	if v == nil {
+		return nil
+	}
+	r := v.Rel(node)
+	if r == nil {
 		return nil
 	}
 	return r.Clone()

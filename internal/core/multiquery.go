@@ -7,6 +7,7 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/relation"
 	"squirrel/internal/sqlview"
+	"squirrel/internal/store"
 	"squirrel/internal/trace"
 	"squirrel/internal/vdp"
 )
@@ -16,16 +17,14 @@ import (
 // triples. The QP extracts one requirement per referenced export,
 // constructs every temporary in a single VAP invocation (so each source is
 // polled at most once, as the consistency argument requires), and
-// evaluates the relational expression over the assembled catalog.
+// evaluates the relational expression over the assembled catalog. Like
+// the single-export path, it pins one published store version: lock-free
+// when every export is fully materialized, polling against the pinned
+// version's ref′ otherwise.
 
 // QueryExpr answers an arbitrary relational-algebra expression whose base
 // relations are export relations of the integrated view.
 func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryResult, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.isInitialized() {
-		return nil, fmt.Errorf("core: mediator not initialized")
-	}
 	exports := algebra.BaseRelationsOf(expr)
 	if len(exports) == 0 {
 		return nil, fmt.Errorf("core: query references no relations")
@@ -52,51 +51,53 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 		temps:    map[string]*relation.Relation{},
 		polledAt: map[string]clock.Time{},
 	}
-	if len(reqs) > 0 {
+	var v *store.Version
+	var committed clock.Time
+	var answer *relation.Relation
+	if len(reqs) == 0 {
+		// Every export fully materialized: lock-free fast path — stamp
+		// while the version is provably current, then evaluate against it.
+		var err error
+		v, committed, err = m.pinFast()
+		if err != nil {
+			return nil, err
+		}
+		cat, err := m.exprCatalog(v, exports, res)
+		if err != nil {
+			return nil, err
+		}
+		answer, err = expr.Eval(cat)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		v = m.pinVersion()
+		if v == nil {
+			return nil, fmt.Errorf("core: mediator not initialized")
+		}
+		defer m.unpinVersion(v)
 		plan, err := m.v.PlanTemporaries(reqs)
 		if err != nil {
 			return nil, err
 		}
-		res, err = m.buildTemporaries(plan)
+		res, err = m.buildTemporaries(plan, v)
 		if err != nil {
 			return nil, err
 		}
-	}
-	// Catalog: temporaries where built, stores for fully materialized
-	// exports.
-	cat := make(algebra.MapCatalog, len(exports))
-	for _, name := range exports {
-		if temp, ok := res.temps[name]; ok {
-			cat[name] = temp
-			continue
+		cat, err := m.exprCatalog(v, exports, res)
+		if err != nil {
+			return nil, err
 		}
-		st, ok := m.store[name]
-		if !ok {
-			return nil, fmt.Errorf("core: no state for export %q", name)
+		answer, err = expr.Eval(cat)
+		if err != nil {
+			return nil, err
 		}
-		cat[name] = st
-	}
-	answer, err := expr.Eval(cat)
-	if err != nil {
-		return nil, err
+		committed = m.clk.Now()
 	}
 
-	committed := m.clk.Now()
-	m.qmu.Lock()
-	reflect := make(clock.Vector, len(m.sources))
-	for src := range m.sources {
-		switch {
-		case m.contributors[src] != VirtualContributor:
-			reflect[src] = m.lastProcessed[src]
-		case res.polledAt[src] != 0:
-			reflect[src] = res.polledAt[src]
-		default:
-			reflect[src] = committed
-		}
-	}
-	m.qmu.Unlock()
+	reflect := m.reflectFor(v, res, committed)
 
-	m.stats.QueryTxns++
+	m.stats.queryTxns.Add(1)
 	m.recorder.RecordQuery(trace.QueryTxn{
 		Committed: committed,
 		Reflect:   reflect.Clone(),
@@ -109,7 +110,26 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 		Reflect:   reflect,
 		Committed: committed,
 		Polled:    res.polls,
+		Version:   v.Seq(),
 	}, nil
+}
+
+// exprCatalog assembles the evaluation catalog: temporaries where built,
+// the pinned version's stores for fully materialized exports.
+func (m *Mediator) exprCatalog(v *store.Version, exports []string, res *tempResult) (algebra.MapCatalog, error) {
+	cat := make(algebra.MapCatalog, len(exports))
+	for _, name := range exports {
+		if temp, ok := res.temps[name]; ok {
+			cat[name] = temp
+			continue
+		}
+		st := v.Rel(name)
+		if st == nil {
+			return nil, fmt.Errorf("core: no state for export %q", name)
+		}
+		cat[name] = st
+	}
+	return cat, nil
 }
 
 // QueryExprSQL answers a multi-relation SELECT over export relations

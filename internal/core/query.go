@@ -7,15 +7,18 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/relation"
 	"squirrel/internal/sqlview"
+	"squirrel/internal/store"
 	"squirrel/internal/trace"
 	"squirrel/internal/vdp"
 )
 
 // This file implements the Query Processor (§4, §6.3). Queries take the
 // paper's canonical form π_Attrs σ_Cond (Export). When every referenced
-// attribute is materialized the answer comes straight from the local
-// store; otherwise the VAP constructs temporary relations — either the
-// standard children-based way or by key-based construction (Example 2.3).
+// attribute is materialized the answer comes straight from a published
+// store version — lock-free, even while an update transaction runs;
+// otherwise the VAP constructs temporary relations against a pinned
+// version — either the standard children-based way or by key-based
+// construction (Example 2.3).
 
 // KeyBasedMode selects how the QP uses key-based construction.
 type KeyBasedMode uint8
@@ -47,6 +50,10 @@ type QueryResult struct {
 	// used.
 	Polled   int
 	KeyBased bool
+	// Version is the sequence number of the published store version the
+	// answer was computed against — every answer is attributable to
+	// exactly one version.
+	Version uint64
 }
 
 // Query answers π_attrs σ_cond (export) with default options. attrs nil
@@ -76,14 +83,52 @@ func (m *Mediator) QuerySQL(sql string) (*relation.Relation, error) {
 	return m.Query(sel.Tables[0].Rel, sel.Cols, sel.Where)
 }
 
-// QueryOpts answers π_attrs σ_cond (export) under explicit options,
-// returning full consistency metadata.
-func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, opts QueryOptions) (*QueryResult, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.isInitialized() {
-		return nil, fmt.Errorf("core: mediator not initialized")
+// pinFast pins the current version for a purely-materialized query and
+// stamps the transaction's commit time while the version is provably
+// current: it loads the version, takes a clock stamp, and re-checks that
+// the same version is still published — retrying otherwise. Because the
+// version was current AT the commit stamp, ref(t_j^q) = ref′(version) is
+// monotone across fast-path queries in commit order (the checker's
+// order-preservation invariant), even with updates publishing
+// concurrently. Lock-free: no mutex is ever taken.
+func (m *Mediator) pinFast() (*store.Version, clock.Time, error) {
+	for {
+		v := m.vstore.Current()
+		if v == nil {
+			return nil, 0, fmt.Errorf("core: mediator not initialized")
+		}
+		committed := m.clk.Now()
+		if m.vstore.Current() == v {
+			return v, committed, nil
+		}
 	}
+}
+
+// reflectFor assembles the ref(t_j^q) vector (§6.1) for an answer computed
+// against version v: announcing contributors reflect the version's ref′,
+// polled virtual contributors their poll instants, and uninvolved virtual
+// contributors trivially correspond to their state at commit time.
+func (m *Mediator) reflectFor(v *store.Version, res *tempResult, committed clock.Time) clock.Vector {
+	reflect := make(clock.Vector, len(m.sources))
+	for src := range m.sources {
+		switch {
+		case m.contributors[src] != VirtualContributor:
+			reflect[src] = v.RefOf(src)
+		case res != nil && res.polledAt[src] != 0:
+			reflect[src] = res.polledAt[src]
+		default:
+			reflect[src] = committed
+		}
+	}
+	return reflect
+}
+
+// QueryOpts answers π_attrs σ_cond (export) under explicit options,
+// returning full consistency metadata. Query transactions never take the
+// update mutex: they pin a published version and read it — lock-free when
+// everything referenced is materialized, coordinating only on the queue
+// lock (for Eager Compensation) when the VAP must poll.
+func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, opts QueryOptions) (*QueryResult, error) {
 	n := m.v.Node(export)
 	if n == nil || !n.Export {
 		return nil, fmt.Errorf("core: %q is not an export relation", export)
@@ -98,16 +143,32 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 
 	var answer *relation.Relation
 	var res *tempResult
+	var v *store.Version
+	var committed clock.Time
 	usedKeyBased := false
 
-	switch {
-	case !req.NeedsVirtual(m.v):
-		// Fast path: everything materialized.
-		answer, err = projectSelectLocal(m.store[export], export, attrs, cond)
+	if !req.NeedsVirtual(m.v) {
+		// Fast path: everything materialized. Stamp first (while the
+		// version is provably current), then compute from the immutable
+		// version — the answer is exactly the version's state, so it is
+		// valid at the stamp.
+		v, committed, err = m.pinFast()
 		if err != nil {
 			return nil, err
 		}
-	default:
+		answer, err = projectSelectLocal(v.Rel(export), export, attrs, cond)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Polling path: pin the current version so Eager Compensation can
+		// roll polls back to its ref′ even if updates publish newer
+		// versions meanwhile.
+		v = m.pinVersion()
+		if v == nil {
+			return nil, fmt.Errorf("core: mediator not initialized")
+		}
+		defer m.unpinVersion(v)
 		kb, kbOK := m.v.KeyBasedPlan(req)
 		useKB := false
 		switch opts.KeyBased {
@@ -126,37 +187,24 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 			}
 		}
 		if useKB {
-			answer, res, err = m.keyBasedAnswer(req, kb, attrs)
+			answer, res, err = m.keyBasedAnswer(v, req, kb, attrs)
 			usedKeyBased = true
 		} else {
-			answer, res, err = m.standardAnswer(req, attrs)
+			answer, res, err = m.standardAnswer(v, req, attrs)
 		}
 		if err != nil {
 			return nil, err
 		}
+		// Commit after the polls so chronology holds (every ref component,
+		// including poll instants, is ≤ the commit time).
+		committed = m.clk.Now()
 	}
 
-	// Assemble ref(t_j^q) per §6.1.
-	committed := m.clk.Now()
-	m.qmu.Lock()
-	reflect := make(clock.Vector, len(m.sources))
-	for src := range m.sources {
-		switch {
-		case m.contributors[src] != VirtualContributor:
-			reflect[src] = m.lastProcessed[src]
-		case res != nil && res.polledAt[src] != 0:
-			reflect[src] = res.polledAt[src]
-		default:
-			// Uninvolved virtual contributor: the answer trivially
-			// corresponds to its current state.
-			reflect[src] = committed
-		}
-	}
-	m.qmu.Unlock()
+	reflect := m.reflectFor(v, res, committed)
 
-	m.stats.QueryTxns++
+	m.stats.queryTxns.Add(1)
 	if usedKeyBased {
-		m.stats.KeyBasedTemps++
+		m.stats.keyBasedTemps.Add(1)
 	}
 	polls := 0
 	if res != nil {
@@ -178,18 +226,20 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 		Committed: committed,
 		Polled:    polls,
 		KeyBased:  usedKeyBased,
+		Version:   v.Seq(),
 	}, nil
 }
 
-// standardAnswer runs the two-phase VAP (§6.3) and evaluates the query
-// over the constructed temporaries. attrs is the caller's projection —
-// req.Attrs may be wider (closed over condition attributes).
-func (m *Mediator) standardAnswer(req vdp.Requirement, attrs []string) (*relation.Relation, *tempResult, error) {
+// standardAnswer runs the two-phase VAP (§6.3) against the pinned version
+// and evaluates the query over the constructed temporaries. attrs is the
+// caller's projection — req.Attrs may be wider (closed over condition
+// attributes).
+func (m *Mediator) standardAnswer(v *store.Version, req vdp.Requirement, attrs []string) (*relation.Relation, *tempResult, error) {
 	plan, err := m.v.PlanTemporaries([]vdp.Requirement{req})
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.buildTemporaries(plan)
+	res, err := m.buildTemporaries(plan, v)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -207,9 +257,9 @@ func (m *Mediator) standardAnswer(req vdp.Requirement, attrs []string) (*relatio
 }
 
 // keyBasedAnswer implements the key-based construction of Example 2.3:
-// join the export's materialized store projection with a single child
-// fetch keyed by the child's key.
-func (m *Mediator) keyBasedAnswer(req vdp.Requirement, kb *vdp.KeyBased, attrs []string) (*relation.Relation, *tempResult, error) {
+// join the export's materialized store projection (from the pinned
+// version) with a single child fetch keyed by the child's key.
+func (m *Mediator) keyBasedAnswer(v *store.Version, req vdp.Requirement, kb *vdp.KeyBased, attrs []string) (*relation.Relation, *tempResult, error) {
 	// Fetch the child portion (recursively through the VAP if the child
 	// itself is virtual).
 	var childRel *relation.Relation
@@ -219,7 +269,7 @@ func (m *Mediator) keyBasedAnswer(req vdp.Requirement, kb *vdp.KeyBased, attrs [
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err = m.buildTemporaries(plan)
+		res, err = m.buildTemporaries(plan, v)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -229,13 +279,13 @@ func (m *Mediator) keyBasedAnswer(req vdp.Requirement, kb *vdp.KeyBased, attrs [
 		}
 	} else {
 		var err error
-		childRel, err = projectSelectLocal(m.store[kb.ChildReq.Rel], kb.ChildReq.Rel,
+		childRel, err = projectSelectLocal(v.Rel(kb.ChildReq.Rel), kb.ChildReq.Rel,
 			kb.ChildReq.AttrList(m.v), kb.ChildReq.Cond)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	storePart, err := projectSelectLocal(m.store[kb.Node], kb.Node, kb.StoreAttrs, nil)
+	storePart, err := projectSelectLocal(v.Rel(kb.Node), kb.Node, kb.StoreAttrs, nil)
 	if err != nil {
 		return nil, nil, err
 	}

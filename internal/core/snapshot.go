@@ -8,47 +8,54 @@ import (
 )
 
 // StateSnapshot is the mediator's durable state: the materialized store,
-// the ref′ vector it corresponds to, and the view-initialization time.
-// Serialize it with internal/persist.
+// the ref′ vector it corresponds to, the view-initialization time, and
+// the store version it was cut from. Serialize it with internal/persist.
 type StateSnapshot struct {
 	Store         map[string]*relation.Relation
 	LastProcessed clock.Vector
 	ViewInit      clock.Time
+	// StoreVersion is the published version the snapshot captured (zero in
+	// snapshots saved before versioning; Restore then resumes at 1).
+	StoreVersion uint64
 }
 
-// Snapshot captures a consistent copy of the durable state. The snapshot
-// corresponds to the source states at LastProcessed, so a mediator
-// restored from it resumes exactly where this one left off — provided the
-// announcement feed replays everything committed after LastProcessed (see
-// source.DB.ReplaySince).
+// Snapshot captures a consistent copy of the durable state. Lock-free: it
+// pins the currently published store version — an immutable state — and
+// clones from it, so updates keep committing while (potentially large)
+// relations are copied. The snapshot corresponds to the source states at
+// LastProcessed, so a mediator restored from it resumes exactly where
+// this one left off — provided the announcement feed replays everything
+// committed after LastProcessed (see source.DB.ReplaySince).
 func (m *Mediator) Snapshot() (*StateSnapshot, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.isInitialized() {
+	v := m.vstore.Current()
+	if v == nil {
 		return nil, fmt.Errorf("core: snapshot of uninitialized mediator")
 	}
-	out := &StateSnapshot{Store: make(map[string]*relation.Relation, len(m.store))}
-	for name, rel := range m.store {
-		out.Store[name] = rel.Clone()
+	out := &StateSnapshot{
+		Store:         make(map[string]*relation.Relation, v.Len()),
+		LastProcessed: v.Reflect(),
+		ViewInit:      m.viewInit,
+		StoreVersion:  v.Seq(),
 	}
-	m.qmu.Lock()
-	out.LastProcessed = m.lastProcessed.Clone()
-	m.qmu.Unlock()
-	out.ViewInit = m.viewInit
+	for _, name := range v.Nodes() {
+		out.Store[name] = v.Rel(name).Clone()
+	}
 	return out, nil
 }
 
-// Restore installs a snapshot in lieu of Initialize. The snapshot must
-// come from a mediator with the same annotated VDP: every expected
-// materialized node must be present with a matching schema shape.
-// Announcements already queued that the snapshot covers are discarded.
+// Restore installs a snapshot in lieu of Initialize, publishing it as the
+// snapshot's store version (so version numbering resumes where the saving
+// mediator left off). The snapshot must come from a mediator with the
+// same annotated VDP: every expected materialized node must be present
+// with a matching schema shape. Announcements already queued that the
+// snapshot covers are discarded.
 func (m *Mediator) Restore(snap *StateSnapshot) error {
 	if snap == nil {
 		return fmt.Errorf("core: nil snapshot")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.isInitialized() {
+	if m.vstore.Current() != nil {
 		return fmt.Errorf("core: mediator already initialized")
 	}
 	// Validate coverage before touching anything.
@@ -79,20 +86,27 @@ func (m *Mediator) Restore(snap *StateSnapshot) error {
 			return fmt.Errorf("core: snapshot has a store for unknown or leaf node %q", name)
 		}
 	}
+	b := m.vstore.Begin()
 	for name, rel := range snap.Store {
-		m.store[name] = rel.Clone()
+		b.Set(name, rel.Clone())
+	}
+	seq := snap.StoreVersion
+	if seq == 0 {
+		seq = 1
 	}
 	m.qmu.Lock()
 	m.lastProcessed = snap.LastProcessed.Clone()
+	oldLen := len(m.queue)
 	kept := m.queue[:0]
 	for _, a := range m.queue {
 		if a.Time > m.lastProcessed[a.Source] {
 			kept = append(kept, a)
 		}
 	}
-	m.queue = kept
+	m.queue = trimAnnouncements(kept, oldLen)
 	m.initialized = true
-	m.qmu.Unlock()
 	m.viewInit = snap.ViewInit
+	m.vstore.PublishAt(b, seq, m.lastProcessed.Clone(), snap.ViewInit)
+	m.qmu.Unlock()
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"squirrel/internal/delta"
 	"squirrel/internal/relation"
 	"squirrel/internal/source"
+	"squirrel/internal/store"
 	"squirrel/internal/trace"
 	"squirrel/internal/vdp"
 )
@@ -18,7 +19,10 @@ import (
 // the VAP (to the pre-transaction state ref′(t_{i-1}), via Eager
 // Compensation), (c) run the Kernel Algorithm, processing nodes in
 // topological order with the sibling-state discipline that avoids the
-// Example 6.1 anomaly.
+// Example 6.1 anomaly. The kernel writes into a store.Builder — touched
+// nodes are cloned copy-on-write, untouched relations stay shared — and
+// the commit publishes the builder as the next version in one atomic
+// swap, so concurrent readers never observe a partially propagated state.
 
 // RunUpdateTransaction drains the update queue (the snapshot present when
 // the transaction starts) and propagates the combined delta through the
@@ -27,7 +31,7 @@ import (
 func (m *Mediator) RunUpdateTransaction() (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !m.isInitialized() {
+	if m.vstore.Current() == nil {
 		return false, fmt.Errorf("core: mediator not initialized")
 	}
 
@@ -57,13 +61,13 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 		}
 	}
 
+	b := m.vstore.Begin()
+	var temps *tempResult
+	polled := 0
 	var dirty []string
 	for _, relName := range combined.Relations() {
 		dirty = append(dirty, relName)
 	}
-
-	var temps *tempResult
-	polled := 0
 	if len(dirty) > 0 {
 		// Phase (a): which node states will the rules read?
 		reqs, err := m.v.KernelRequirements(dirty)
@@ -77,41 +81,54 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 			}
 		}
 		// Phase (b): populate them (the VAP compensates polls back to the
-		// pre-transaction state ref′(t_{i-1})).
+		// pre-transaction state ref′(t_{i-1}) — the builder's base view).
 		if len(needed) > 0 {
 			plan, err := m.v.PlanTemporaries(needed)
 			if err != nil {
 				return false, err
 			}
-			res, err := m.buildTemporaries(plan)
+			res, err := m.buildTemporaries(plan, b)
 			if err != nil {
 				return false, err
 			}
 			temps = res
 			polled = res.polls
 		}
-		// Phase (c): the Kernel Algorithm.
-		if err := m.kernel(combined, temps); err != nil {
+		// Phase (c): the Kernel Algorithm, writing copy-on-write into b.
+		if err := m.kernel(b, combined, temps); err != nil {
 			return false, err
 		}
 	}
 
-	// Commit: remove the processed prefix and advance ref′.
+	// Commit: remove the processed prefix, advance ref′, and publish the
+	// new version — all under qmu, so a query pinning a version always
+	// sees a queue/done state consistent with it. If some older version is
+	// pinned by an in-flight polling query, the processed announcements
+	// move to the done log (Eager Compensation against that version still
+	// needs their deltas); otherwise they are dropped.
 	m.qmu.Lock()
-	m.queue = m.queue[len(snapshot):]
+	if len(m.pins) > 0 {
+		m.done = append(m.done, snapshot...)
+	}
+	oldLen := len(m.queue)
+	kept := append(m.queue[:0], m.queue[len(snapshot):]...)
+	m.queue = trimAnnouncements(kept, oldLen)
 	for src, t := range newRef {
 		if t > m.lastProcessed[src] {
 			m.lastProcessed[src] = t
 		}
 	}
 	reflect := m.lastProcessed.Clone()
+	committed := m.clk.Now()
+	m.vstore.Publish(b, reflect, committed)
+	m.pruneDoneLocked()
 	m.qmu.Unlock()
 
-	m.stats.UpdateTxns++
-	m.stats.AtomsPropagated += combined.Card()
+	m.stats.updateTxns.Add(1)
+	m.stats.atomsPropagated.Add(int64(combined.Card()))
 	m.recorder.RecordUpdate(trace.UpdateTxn{
-		Committed: m.clk.Now(),
-		Reflect:   reflect,
+		Committed: committed,
+		Reflect:   reflect.Clone(),
 		Atoms:     combined.Card(),
 		Polled:    polled,
 	})
@@ -120,12 +137,15 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 
 // kernel runs the IUP Kernel Algorithm (§6.4) over the combined leaf delta
 // with the given temporaries standing in for virtual/hybrid node states.
-func (m *Mediator) kernel(combined *delta.Delta, temps *tempResult) error {
+// All materialized reads and writes go through the builder, whose reads
+// see the transaction's own writes first — the sibling-state discipline
+// the in-place store used to provide.
+func (m *Mediator) kernel(b *store.Builder, combined *delta.Delta, temps *tempResult) error {
 	var tempRels map[string]*relation.Relation
 	if temps != nil {
 		tempRels = temps.temps
 	}
-	resolve := m.resolver(tempRels)
+	resolve := resolverFor(b, tempRels)
 	pending := make(map[string]*delta.RelDelta)
 	for _, name := range m.v.Order() {
 		n := m.v.Node(name)
@@ -181,7 +201,7 @@ func (m *Mediator) kernel(combined *delta.Delta, temps *tempResult) error {
 				return fmt.Errorf("core: applying Δ%s to temporary: %w", name, err)
 			}
 		}
-		if st, ok := m.store[name]; ok {
+		if st := b.Mutable(name); st != nil {
 			narrowed, err := projectRelDelta(dn, n.Schema, st.Schema())
 			if err != nil {
 				return err
@@ -205,10 +225,4 @@ func projectRelDelta(d *delta.RelDelta, full *relation.Schema, target *relation.
 		return nil, err
 	}
 	return d.Project(d.Rel(), positions), nil
-}
-
-func (m *Mediator) isInitialized() bool {
-	m.qmu.Lock()
-	defer m.qmu.Unlock()
-	return m.initialized
 }

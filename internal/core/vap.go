@@ -9,6 +9,7 @@ import (
 	"squirrel/internal/delta"
 	"squirrel/internal/relation"
 	"squirrel/internal/source"
+	"squirrel/internal/store"
 	"squirrel/internal/vdp"
 )
 
@@ -16,8 +17,11 @@ import (
 // planned set of temporary-relation requirements (children-first), it
 // polls source databases for the leaf-parent temporaries — with Eager
 // Compensation for announcing (materialized/hybrid-contributor) sources so
-// the answers correspond to ref′, and single-transaction packaging for
-// virtual contributors — and evaluates the higher temporaries bottom-up.
+// the answers correspond to the view's ref′, and single-transaction
+// packaging for virtual contributors — and evaluates the higher
+// temporaries bottom-up. All reads of materialized state go through a
+// store.View: a pinned published version for query transactions, the
+// in-progress Builder for update transactions.
 
 // tempResult carries constructed temporaries and poll bookkeeping.
 type tempResult struct {
@@ -35,16 +39,16 @@ type tempResult struct {
 	tuples   int
 }
 
-// resolver resolves node states to temporaries first, then to the local
-// store.
-func (m *Mediator) resolver(temps map[string]*relation.Relation) vdp.Resolver {
+// resolverFor resolves node states to temporaries first, then to the
+// given view of the materialized store.
+func resolverFor(view store.View, temps map[string]*relation.Relation) vdp.Resolver {
 	return func(name string) (*relation.Relation, error) {
 		if temps != nil {
 			if r, ok := temps[name]; ok {
 				return r, nil
 			}
 		}
-		if r, ok := m.store[name]; ok {
+		if r := view.Rel(name); r != nil {
 			return r, nil
 		}
 		return nil, fmt.Errorf("core: no temporary or materialized state for %q", name)
@@ -52,8 +56,11 @@ func (m *Mediator) resolver(temps map[string]*relation.Relation) vdp.Resolver {
 }
 
 // buildTemporaries executes phase two of the VAP for an already-expanded
-// plan (from vdp.PlanTemporaries). Must be called with m.mu held.
-func (m *Mediator) buildTemporaries(plan []vdp.Requirement) (*tempResult, error) {
+// plan (from vdp.PlanTemporaries), reading materialized state — and
+// compensating polls back to ref′ — from the given view. Safe to call
+// concurrently for distinct tempResults: the only shared state it touches
+// is the announcement log (under qmu) and atomic counters.
+func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View) (*tempResult, error) {
 	res := &tempResult{
 		temps:    make(map[string]*relation.Relation),
 		conds:    make(map[string]algebra.Expr),
@@ -105,7 +112,7 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement) (*tempResult, error)
 			return nil, fmt.Errorf("core: polling %s: %w", src, err)
 		}
 		res.polls++
-		m.stats.SourcePolls++
+		m.stats.sourcePolls.Add(1)
 		announcing := m.contributors[src] != VirtualContributor
 		if !announcing {
 			res.polledAt[src] = asOf
@@ -113,12 +120,12 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement) (*tempResult, error)
 		for i, it := range items {
 			ans := answers[i]
 			res.tuples += ans.Len()
-			m.stats.TuplesPolled += ans.Len()
+			m.stats.tuplesPolled.Add(int64(ans.Len()))
 			if announcing {
-				// Eager Compensation: roll the answer back to ref′(src) by
-				// undoing every queued (announced but unprocessed) update
-				// from this source that the answer already reflects.
-				if err := m.compensate(ans, src, it.spec, asOf); err != nil {
+				// Eager Compensation: roll the answer back to the view's
+				// ref′(src) by undoing every announced update from this
+				// source that the answer reflects but the view does not.
+				if err := m.compensate(ans, src, it.spec, asOf, view); err != nil {
 					return nil, err
 				}
 			}
@@ -128,12 +135,12 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement) (*tempResult, error)
 			}
 			res.temps[it.req.Rel] = temp
 			res.conds[it.req.Rel] = it.req.Cond
-			m.stats.TempsBuilt++
+			m.stats.tempsBuilt.Add(1)
 		}
 	}
 
 	// Build the remaining temporaries bottom-up.
-	resolve := m.resolver(res.temps)
+	resolve := resolverFor(view, res.temps)
 	for _, req := range upper {
 		n := m.v.Node(req.Rel)
 		temp, err := vdp.EvalRestricted(n, req.AttrList(m.v), req.Cond, resolve)
@@ -142,26 +149,34 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement) (*tempResult, error)
 		}
 		res.temps[req.Rel] = temp
 		res.conds[req.Rel] = req.Cond
-		m.stats.TempsBuilt++
+		m.stats.tempsBuilt.Add(1)
 	}
 	return res, nil
 }
 
-// compensate applies the inverse smash of the queued updates from src
-// (those at or before the poll instant) to the poll answer, pushed through
+// compensate applies the inverse smash of the announced updates from src
+// in the window (view.RefOf(src), asOf] to the poll answer, pushed through
 // the poll's selection and projection — the Eager Compensation Algorithm
-// generalization of §6.3.
-func (m *Mediator) compensate(answer *relation.Relation, src string, spec vdp.PollSpec, asOf clock.Time) error {
-	m.qmu.Lock()
+// generalization of §6.3. The window scans both the retained done log
+// (announcements already folded into newer versions than the pinned one)
+// and the live queue, so a query pinned to an older version still rolls
+// its polls all the way back to that version's ref′.
+func (m *Mediator) compensate(answer *relation.Relation, src string, spec vdp.PollSpec, asOf clock.Time, view store.View) error {
+	base := view.RefOf(src)
 	pending := delta.NewRel(spec.Leaf)
-	for _, a := range m.queue {
-		if a.Source != src || a.Time > asOf {
-			continue
-		}
-		if rd := a.Delta.Get(spec.Leaf); rd != nil {
-			pending.Smash(rd)
+	collect := func(list []source.Announcement) {
+		for _, a := range list {
+			if a.Source != src || a.Time <= base || a.Time > asOf {
+				continue
+			}
+			if rd := a.Delta.Get(spec.Leaf); rd != nil {
+				pending.Smash(rd)
+			}
 		}
 	}
+	m.qmu.Lock()
+	collect(m.done)
+	collect(m.queue)
 	m.qmu.Unlock()
 	if pending.IsEmpty() {
 		return nil

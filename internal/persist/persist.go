@@ -25,6 +25,10 @@ type envelope struct {
 	Store         map[string]wire.Relation `json:"store"`
 	LastProcessed map[string]clock.Time    `json:"last_processed"`
 	ViewInit      clock.Time               `json:"view_init"`
+	// StoreVersion is the published store version the snapshot was cut
+	// from. Absent (zero) in envelopes written before versioning; Restore
+	// then resumes numbering at 1.
+	StoreVersion uint64 `json:"store_version,omitempty"`
 }
 
 // Save writes a snapshot to w.
@@ -37,6 +41,7 @@ func Save(w io.Writer, snap *core.StateSnapshot) error {
 		Store:         make(map[string]wire.Relation, len(snap.Store)),
 		LastProcessed: snap.LastProcessed,
 		ViewInit:      snap.ViewInit,
+		StoreVersion:  snap.StoreVersion,
 	}
 	for name, rel := range snap.Store {
 		env.Store[name] = wire.EncodeRelation(rel)
@@ -59,6 +64,7 @@ func Load(r io.Reader) (*core.StateSnapshot, error) {
 		Store:         make(map[string]*relation.Relation, len(env.Store)),
 		LastProcessed: clock.Vector(env.LastProcessed),
 		ViewInit:      env.ViewInit,
+		StoreVersion:  env.StoreVersion,
 	}
 	if snap.LastProcessed == nil {
 		snap.LastProcessed = clock.Vector{}

@@ -1,0 +1,208 @@
+// Package store holds the mediator's materialized portions as a sequence
+// of immutable, atomically-published versions — the multi-version read
+// surface that lets query transactions run lock-free while the
+// Incremental Update Processor builds the next state.
+//
+// The paper's transaction model (§4) serializes update transactions; this
+// package keeps that discipline on the WRITE side (a single writer builds
+// each next version copy-on-write under the mediator's update mutex) while
+// publishing every committed state for concurrent readers:
+//
+//   - A Version is one committed materialized state: an immutable map of
+//     node → relation stamped with the transaction's commit time and the
+//     ref′ vector it corresponds to (§6.1). Once published, a Version
+//     never changes; holding the pointer pins the state for as long as a
+//     reader needs it.
+//   - A Builder constructs the next version from the current one. Only
+//     nodes the kernel actually touches are cloned (copy-on-write);
+//     untouched relations are shared structurally between versions.
+//   - Store.Publish swings an atomic pointer, so readers always observe a
+//     complete, internally consistent state — no torn reads across nodes,
+//     the property the mediator's global mutex used to buy behaviorally
+//     and the version now buys structurally.
+//
+// Concurrency contract: exactly one goroutine may Begin/Publish at a time
+// (the mediator's update mutex enforces this); any number of goroutines
+// may call Current concurrently. Relations reachable from a published
+// Version are read-only — mutating one is a bug in the caller.
+package store
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+)
+
+// View is a readable state of the materialized store: either a published
+// Version or an in-progress Builder (whose reads see the transaction's own
+// writes, preserving the kernel's sibling-state discipline).
+type View interface {
+	// Rel returns the node's materialized portion, or nil if the node is
+	// fully virtual. The result must not be modified.
+	Rel(node string) *relation.Relation
+	// RefOf returns the ref′ component for one source: the commit time of
+	// the last update from that source reflected by this view (zero if
+	// none).
+	RefOf(src string) clock.Time
+}
+
+// Version is one immutable, published materialized state.
+type Version struct {
+	seq     uint64
+	rels    map[string]*relation.Relation
+	reflect clock.Vector
+	stamp   clock.Time
+}
+
+// Seq returns the version's sequence number (1 for the initial state,
+// incremented by every published update transaction).
+func (v *Version) Seq() uint64 { return v.seq }
+
+// Stamp returns the clock time at which the version was published (the
+// view-initialization time for the first version, the update
+// transaction's commit time afterwards).
+func (v *Version) Stamp() clock.Time { return v.stamp }
+
+// Reflect returns a copy of the version's ref′ vector: per source, the
+// commit time of the last update this state reflects.
+func (v *Version) Reflect() clock.Vector { return v.reflect.Clone() }
+
+// RefOf implements View without copying the vector.
+func (v *Version) RefOf(src string) clock.Time { return v.reflect[src] }
+
+// Rel implements View. The returned relation is shared between versions
+// and must not be modified.
+func (v *Version) Rel(node string) *relation.Relation { return v.rels[node] }
+
+// Nodes returns the names of all nodes with a materialized portion, in
+// sorted order.
+func (v *Version) Nodes() []string {
+	out := make([]string, 0, len(v.rels))
+	for name := range v.rels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports how many nodes have a materialized portion.
+func (v *Version) Len() int { return len(v.rels) }
+
+// Store publishes versions for concurrent readers. The zero value is not
+// ready; use New.
+type Store struct {
+	cur       atomic.Pointer[Version]
+	published atomic.Uint64
+}
+
+// New creates an empty store (no published version yet).
+func New() *Store { return &Store{} }
+
+// Current returns the most recently published version, or nil if nothing
+// has been published. Safe for concurrent use; the result is immutable.
+func (s *Store) Current() *Version { return s.cur.Load() }
+
+// VersionsPublished reports how many versions this store instance has
+// published (restored snapshots count as one).
+func (s *Store) VersionsPublished() uint64 { return s.published.Load() }
+
+// Begin starts building the next version on top of the current one (which
+// may be nil before initialization). Single writer only.
+func (s *Store) Begin() *Builder {
+	return &Builder{base: s.cur.Load(), dirty: make(map[string]*relation.Relation)}
+}
+
+// Publish freezes the builder into the next version — sequence number
+// base+1 — and swings the atomic pointer. It returns the published
+// version. Single writer only; the builder must not be used afterwards.
+func (s *Store) Publish(b *Builder, reflect clock.Vector, stamp clock.Time) *Version {
+	var seq uint64 = 1
+	if b.base != nil {
+		seq = b.base.seq + 1
+	}
+	return s.publishAt(b, seq, reflect, stamp)
+}
+
+// PublishAt is Publish with an explicit sequence number — used when
+// restoring a persisted snapshot so version numbering resumes where the
+// saving mediator left off.
+func (s *Store) PublishAt(b *Builder, seq uint64, reflect clock.Vector, stamp clock.Time) *Version {
+	return s.publishAt(b, seq, reflect, stamp)
+}
+
+func (s *Store) publishAt(b *Builder, seq uint64, reflect clock.Vector, stamp clock.Time) *Version {
+	rels := b.dirty
+	if b.base != nil {
+		// Overlay the touched nodes on the (shared) untouched ones.
+		rels = make(map[string]*relation.Relation, len(b.base.rels)+len(b.dirty))
+		for name, rel := range b.base.rels {
+			rels[name] = rel
+		}
+		for name, rel := range b.dirty {
+			rels[name] = rel
+		}
+	}
+	v := &Version{seq: seq, rels: rels, reflect: reflect, stamp: stamp}
+	s.cur.Store(v)
+	s.published.Add(1)
+	return v
+}
+
+// Builder accumulates one transaction's writes copy-on-write over a base
+// version. It implements View: reads see the transaction's own writes
+// first, then the base — exactly the in-place semantics the kernel had
+// when it mutated the store directly.
+type Builder struct {
+	base  *Version
+	dirty map[string]*relation.Relation
+}
+
+// Rel implements View (dirty overlay first, then base).
+func (b *Builder) Rel(node string) *relation.Relation {
+	if r, ok := b.dirty[node]; ok {
+		return r
+	}
+	if b.base != nil {
+		return b.base.rels[node]
+	}
+	return nil
+}
+
+// RefOf implements View: the base version's ref′ (the pre-transaction
+// state ref′(t_{i-1}) that Eager Compensation rolls polls back to).
+func (b *Builder) RefOf(src string) clock.Time {
+	if b.base == nil {
+		return 0
+	}
+	return b.base.reflect[src]
+}
+
+// Mutable returns a writable relation for the node, cloning the base
+// version's relation on first touch. Returns nil if the node has no
+// materialized portion in the base and none was Set.
+func (b *Builder) Mutable(node string) *relation.Relation {
+	if r, ok := b.dirty[node]; ok {
+		return r
+	}
+	if b.base == nil {
+		return nil
+	}
+	base, ok := b.base.rels[node]
+	if !ok {
+		return nil
+	}
+	clone := base.Clone()
+	b.dirty[node] = clone
+	return clone
+}
+
+// Set installs a relation for a node (used when initializing or restoring,
+// where every node is new).
+func (b *Builder) Set(node string, rel *relation.Relation) {
+	b.dirty[node] = rel
+}
+
+// Touched reports how many nodes this builder has cloned or set.
+func (b *Builder) Touched() int { return len(b.dirty) }

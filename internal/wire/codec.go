@@ -355,6 +355,9 @@ type Message struct {
 	Source string     `json:"source,omitempty"`
 	Time   clock.Time `json:"time,omitempty"`
 	Delta  *Delta     `json:"delta,omitempty"`
+	// type "answer" to "medquery"/"medversion": the published store
+	// version the answer was computed against.
+	Version uint64 `json:"version,omitempty"`
 	// type "error".
 	Error string `json:"error,omitempty"`
 	// type "hello": server identifies itself.

@@ -15,7 +15,10 @@ import (
 
 // MediatorServer exposes a mediator's Query Processor over TCP, completing
 // the Figure 3 deployment: applications connect to the mediator exactly as
-// the mediator connects to its sources.
+// the mediator connects to its sources. Each connection is served on its
+// own goroutine, and the mediator's query path is lock-free against a
+// published store version — so concurrent clients' purely-materialized
+// queries proceed in parallel, even while update transactions run.
 type MediatorServer struct {
 	med *core.Mediator
 
@@ -107,7 +110,12 @@ func (s *MediatorServer) serveConn(conn net.Conn) {
 				continue
 			}
 			if !send(Message{Type: "answer", ID: m.ID, AsOf: res.Committed,
-				Answers: []Relation{EncodeRelation(res.Answer)}}) {
+				Answers: []Relation{EncodeRelation(res.Answer)},
+				Version: res.Version}) {
+				return
+			}
+		case "medversion":
+			if !send(Message{Type: "answer", ID: m.ID, Version: s.med.StoreVersion()}) {
 				return
 			}
 		case "sync":
@@ -237,6 +245,33 @@ func (c *MediatorClient) Query(export string, attrs []string, cond algebra.Expr)
 		return nil, 0, err
 	}
 	return ans, reply.AsOf, nil
+}
+
+// QueryVersioned is Query plus the published store version the answer was
+// computed against.
+func (c *MediatorClient) QueryVersioned(export string, attrs []string, cond algebra.Expr) (*relation.Relation, clock.Time, uint64, error) {
+	reply, err := c.roundTrip(Message{Type: "medquery",
+		Specs: []QuerySpec{{Rel: export, Attrs: attrs, Cond: EncodeExpr(cond)}}})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(reply.Answers) != 1 {
+		return nil, 0, 0, fmt.Errorf("wire: expected one answer, got %d", len(reply.Answers))
+	}
+	ans, err := reply.Answers[0].Decode()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return ans, reply.AsOf, reply.Version, nil
+}
+
+// StoreVersion returns the mediator's currently published store version.
+func (c *MediatorClient) StoreVersion() (uint64, error) {
+	reply, err := c.roundTrip(Message{Type: "medversion"})
+	if err != nil {
+		return 0, err
+	}
+	return reply.Version, nil
 }
 
 // Sync asks the mediator to drain its update queue, returning how many

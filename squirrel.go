@@ -35,6 +35,7 @@ import (
 	"squirrel/internal/delta"
 	"squirrel/internal/relation"
 	"squirrel/internal/source"
+	"squirrel/internal/store"
 	"squirrel/internal/trace"
 	"squirrel/internal/vdp"
 )
@@ -173,6 +174,14 @@ type (
 	Runtime = core.Runtime
 	// StateSnapshot is the mediator's durable state (see SaveState).
 	StateSnapshot = core.StateSnapshot
+	// StoreVersion is one immutable, atomically-published state of the
+	// mediator's materialized store. Obtain the current one with
+	// Mediator.CurrentVersion (or the sequence number alone with
+	// Mediator.StoreVersion / System.StoreVersion); holding the pointer
+	// pins that state for as long as the caller needs it, at zero cost to
+	// concurrent updates. Its relations are shared and must not be
+	// modified.
+	StoreVersion = store.Version
 	// Recorder captures the transaction trace for the checkers.
 	Recorder = trace.Recorder
 	// CheckerEnvironment verifies consistency and freshness (§3, §7).

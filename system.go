@@ -276,6 +276,28 @@ func (s *System) Advise(p WorkloadProfile) (Advice, error) {
 // Mediator exposes the underlying mediator.
 func (s *System) Mediator() *Mediator { return s.med }
 
+// StoreVersion returns the sequence number of the mediator's currently
+// published store version (0 before Start). Each committed update
+// transaction publishes the next version; every query answer carries the
+// version it was computed against (QueryResult.Version).
+func (s *System) StoreVersion() uint64 {
+	if !s.started {
+		return 0
+	}
+	return s.med.StoreVersion()
+}
+
+// CurrentVersion pins the currently published store version: an immutable
+// snapshot of the materialized store that stays valid (and consistent)
+// for as long as the pointer is held, regardless of concurrent updates.
+// Nil before Start.
+func (s *System) CurrentVersion() *StoreVersion {
+	if !s.started {
+		return nil
+	}
+	return s.med.CurrentVersion()
+}
+
 // Plan exposes the validated VDP (nil before Start).
 func (s *System) Plan() *VDP { return s.plan }
 
