@@ -38,6 +38,8 @@ func main() {
 		err = cmdQueryView(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -60,9 +62,18 @@ commands:
   figure2                    print the Figure 2 scenario and its verdicts
   serve-source -addr :7070   serve the demo source databases over TCP
   serve-mediator ...         assemble and serve a mediator over TCP sources
+      [-poll-timeout D] [-retry N] [-retry-base D] [-breaker N:COOLDOWN]
+      [-chaos-seed S [-chaos-err P]]
+                             fault boundary: per-attempt poll deadline, retry
+                             with backoff, per-source circuit breaker, and
+                             deterministic fault injection on source links
   query -addr HOST:PORT ...  one-shot snapshot query against a source server
   query-view -addr ... -export V [-attrs a,b] [-where 'a = 1'] [-sync]
-                             query a running mediator
+      [-stale [-max-staleness N]]
+                             query a running mediator; -stale accepts a
+                             degraded answer (bounded staleness) if a source
+                             is down
+  stats -addr HOST:PORT      print a mediator's counters and source health
 `)
 }
 

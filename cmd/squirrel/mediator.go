@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -13,6 +16,7 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/core"
 	"squirrel/internal/persist"
+	"squirrel/internal/resilience"
 	"squirrel/internal/sqlview"
 	"squirrel/internal/vdp"
 	"squirrel/internal/wire"
@@ -43,8 +47,35 @@ func cmdServeMediator(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7080", "mediator listen address")
 	flush := fs.Duration("flush", 500*time.Millisecond, "update-transaction period (u_hold)")
 	state := fs.String("state", "", "snapshot file: restored on start if present, saved on shutdown")
+	pollTimeout := fs.Duration("poll-timeout", 0, "per-attempt deadline for one source poll (0 = none)")
+	retries := fs.Int("retry", 1, "max poll attempts per source (1 = no retry)")
+	retryBase := fs.Duration("retry-base", 50*time.Millisecond, "base delay of the poll retry backoff")
+	breaker := fs.String("breaker", "", "circuit breaker FAILURES:COOLDOWN (e.g. 5:2s; empty = disabled)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for deterministic fault injection on source links (0 = off)")
+	chaosErr := fs.Float64("chaos-err", 0.1, "per-operation error probability when -chaos-seed is set")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	resil := core.ResilienceConfig{
+		PollTimeout: *pollTimeout,
+		Retry:       resilience.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
+	}
+	if *breaker != "" {
+		failures, cooldown, ok := strings.Cut(*breaker, ":")
+		n, err := strconv.Atoi(failures)
+		if !ok || err != nil || n < 1 {
+			return fmt.Errorf("bad -breaker %q (want FAILURES:COOLDOWN, e.g. 5:2s)", *breaker)
+		}
+		cd, err := time.ParseDuration(cooldown)
+		if err != nil {
+			return fmt.Errorf("bad -breaker cooldown %q: %v", cooldown, err)
+		}
+		resil.Breaker = resilience.BreakerPolicy{Failures: n, Cooldown: cd}
+	}
+	var inj *resilience.Injector
+	if *chaosSeed != 0 {
+		inj = resilience.NewInjector(*chaosSeed)
+		resil.Seed = *chaosSeed
 	}
 	if len(sources) == 0 || len(views) == 0 {
 		return fmt.Errorf("serve-mediator needs at least one -source and one -view")
@@ -59,11 +90,28 @@ func cmdServeMediator(args []string) error {
 			c.Close()
 		}
 	}()
+	// Reconnects quarantine the source at the mediator: announcements
+	// committed during the outage were lost, so the next flush resyncs it
+	// by snapshot poll instead of trusting the (gapped) delta stream.
+	// nameOf is fully populated before medRef is stored, so the callbacks
+	// read it race-free.
+	var medRef atomic.Pointer[core.Mediator]
+	nameOf := map[string]string{}
 	for _, addr := range sources {
-		c, err := wire.Dial(addr)
+		addr := addr
+		c, err := wire.DialWith(addr, wire.DialOptions{
+			Reconnect: true,
+			Timeout:   *pollTimeout,
+			OnReconnect: func() {
+				if m := medRef.Load(); m != nil {
+					m.QuarantineSource(nameOf[addr], "connection re-established; announcements may have been missed")
+				}
+			},
+		})
 		if err != nil {
 			return fmt.Errorf("dialing source %s: %w", addr, err)
 		}
+		nameOf[addr] = c.Name()
 		clients = append(clients, c)
 		schemas, err := c.Catalog()
 		if err != nil {
@@ -73,6 +121,13 @@ func cmdServeMediator(args []string) error {
 			if err := b.AddSource(c.Name(), schema); err != nil {
 				return err
 			}
+		}
+		if inj != nil {
+			inj.Set(c.Name(), resilience.Faults{ErrProb: *chaosErr})
+			conns[c.Name()] = resilience.WrapSource(c, inj)
+			fmt.Printf("source %q at %s: %d relations (chaos: err %.0f%%)\n",
+				c.Name(), addr, len(schemas), *chaosErr*100)
+			continue
 		}
 		conns[c.Name()] = c
 		fmt.Printf("source %q at %s: %d relations\n", c.Name(), addr, len(schemas))
@@ -100,13 +155,14 @@ func cmdServeMediator(args []string) error {
 	fmt.Println("\nannotated VDP:")
 	fmt.Print(plan)
 
-	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: clk})
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: clk, Resilience: resil})
 	if err != nil {
 		return err
 	}
 	for _, c := range clients {
 		c.OnAnnounce(med.OnAnnouncement)
 	}
+	medRef.Store(med)
 
 	restored := false
 	if *state != "" {
@@ -179,6 +235,8 @@ func cmdQueryView(args []string) error {
 	attrs := fs.String("attrs", "", "comma-separated projection (default: all)")
 	cond := fs.String("where", "", "condition, e.g. 's1 = 10'")
 	sync := fs.Bool("sync", false, "drain the mediator's update queue first")
+	stale := fs.Bool("stale", false, "accept a degraded (stale-bounded) answer if a source is down")
+	maxStale := fs.Int64("max-staleness", 0, "refuse degraded answers staler than this bound (0 = any)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,10 +266,65 @@ func cmdQueryView(args []string) error {
 			return fmt.Errorf("bad -where %q: %w", *cond, err)
 		}
 	}
+	if *stale {
+		ans, committed, staleness, err := c.QueryStale(*export, attrList, pred, clock.Time(*maxStale))
+		if err != nil {
+			return err
+		}
+		if len(staleness) > 0 {
+			fmt.Printf("DEGRADED answer (staleness bounds: %v)\n", staleness)
+		}
+		fmt.Printf("query transaction t=%d:\n%s", committed, ans)
+		return nil
+	}
 	ans, committed, err := c.Query(*export, attrList, pred)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("query transaction t=%d:\n%s", committed, ans)
+	return nil
+}
+
+// cmdStats prints a mediator server's operation counters and per-source
+// health (breaker state, retries, quarantines).
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7080", "mediator server address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := wire.DialMediator(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transactions:   %d update, %d query (%d key-based temps), %d resync\n",
+		st.UpdateTxns, st.QueryTxns, st.KeyBasedTemps, st.Resyncs)
+	fmt.Printf("propagation:    %d atoms, %d source polls, %d tuples polled\n",
+		st.AtomsPropagated, st.SourcePolls, st.TuplesPolled)
+	fmt.Printf("fault boundary: %d poll failures, %d retries, %d breaker fast-fails\n",
+		st.PollFailures, st.PollRetries, st.BreakerFastFails)
+	fmt.Printf("degradation:    %d degraded queries, %d gaps detected\n",
+		st.DegradedQueries, st.GapsDetected)
+	fmt.Printf("queue:          %d high-water; store version %d (%d published)\n",
+		st.QueueHighWater, st.CurrentVersion, st.VersionsPublished)
+	names := make([]string, 0, len(st.Sources))
+	for name := range st.Sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := st.Sources[name]
+		line := fmt.Sprintf("source %-12s %s  breaker=%s trips=%d last-contact=%d seq=%d",
+			name, h.Contributor, h.Breaker, h.Trips, h.LastContact, h.LastSeq)
+		if h.Quarantined != "" {
+			line += fmt.Sprintf("  QUARANTINED (%s; %d penned)", h.Quarantined, h.PennedAnnouncements)
+		}
+		fmt.Println(line)
+	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"squirrel/internal/clock"
 	"squirrel/internal/relation"
@@ -104,19 +105,38 @@ type Stats struct {
 	// this mediator instance.
 	CurrentVersion    uint64
 	VersionsPublished uint64
+	// Fault-boundary counters (see health.go): failed poll attempts,
+	// retries after them, polls fast-failed by an open breaker, queries
+	// answered from stale cached polls, announcement gaps detected
+	// (including proactive quarantines), and resyncs completed.
+	PollFailures     int
+	PollRetries      int
+	BreakerFastFails int
+	DegradedQueries  int
+	GapsDetected     int
+	Resyncs          int
+	// Sources is the per-source health view (breaker state, quarantine,
+	// last contact).
+	Sources map[string]SourceHealth
 }
 
 // counters are the mediator's operation counters in atomic form, so query
 // transactions running concurrently outside the update mutex can bump them
 // without coordination.
 type counters struct {
-	updateTxns      atomic.Int64
-	queryTxns       atomic.Int64
-	atomsPropagated atomic.Int64
-	sourcePolls     atomic.Int64
-	tuplesPolled    atomic.Int64
-	tempsBuilt      atomic.Int64
-	keyBasedTemps   atomic.Int64
+	updateTxns       atomic.Int64
+	queryTxns        atomic.Int64
+	atomsPropagated  atomic.Int64
+	sourcePolls      atomic.Int64
+	tuplesPolled     atomic.Int64
+	tempsBuilt       atomic.Int64
+	keyBasedTemps    atomic.Int64
+	pollFailures     atomic.Int64
+	pollRetries      atomic.Int64
+	breakerFastFails atomic.Int64
+	degradedQueries  atomic.Int64
+	gapsDetected     atomic.Int64
+	resyncs          atomic.Int64
 }
 
 // Config assembles a Mediator.
@@ -130,6 +150,9 @@ type Config struct {
 	Clock clock.Clock
 	// Recorder, if non-nil, receives the transaction trace.
 	Recorder *trace.Recorder
+	// Resilience tunes the per-source fault boundary (health.go). The
+	// zero value means fail-fast: one attempt, no timeout, no breaker.
+	Resilience ResilienceConfig
 }
 
 // versionPin tracks how many in-flight query transactions are reading a
@@ -182,6 +205,30 @@ type Mediator struct {
 	lastProcessed  clock.Vector           // ref′: per announcing source
 	initialized    bool
 	queueHighWater int
+	// Fault-boundary bookkeeping, also under qmu: the latest instant each
+	// source's state is known at, the last accepted announcement sequence
+	// number per source (0 = adopt the next one seen), quarantine reasons,
+	// the pen holding announcements that arrived while quarantined, and
+	// the per-source resync barrier — compensation for a version whose
+	// ref′[src] predates the barrier must fail, because the announcement
+	// gap lost the deltas its window needs.
+	lastContact   clock.Vector
+	lastSeq       map[string]uint64
+	quarantined   map[string]string
+	gapPen        map[string][]source.Announcement
+	resyncBarrier clock.Vector
+
+	// Per-source fault boundary (health.go). resil and health are fixed
+	// at construction; sleep is the retry-backoff pause, replaceable in
+	// tests.
+	resil  ResilienceConfig
+	health map[string]*sourceHealth
+	sleep  func(time.Duration)
+
+	// cmu guards the raw poll cache for ServeStale degradation; a strict
+	// leaf lock, never held while acquiring any other.
+	cmu       sync.Mutex
+	pollCache map[string]*cachedPoll
 }
 
 // New builds a mediator from the configuration. Call Initialize before
@@ -202,6 +249,12 @@ func New(cfg Config) (*Mediator, error) {
 		pins:          make(map[uint64]*versionPin),
 		lastProcessed: make(clock.Vector),
 		leafSchemas:   make(map[string]*relation.Schema),
+		lastContact:   make(clock.Vector),
+		lastSeq:       make(map[string]uint64),
+		quarantined:   make(map[string]string),
+		gapPen:        make(map[string][]source.Announcement),
+		resyncBarrier: make(clock.Vector),
+		resil:         cfg.Resilience,
 	}
 	for _, s := range cfg.VDP.Sources() {
 		conn, ok := cfg.Sources[s]
@@ -214,6 +267,7 @@ func New(cfg Config) (*Mediator, error) {
 		m.leafSchemas[leaf] = cfg.VDP.Node(leaf).Schema
 	}
 	m.classifyContributors()
+	m.initHealth()
 	return m, nil
 }
 
@@ -277,14 +331,21 @@ func (m *Mediator) VDP() *vdp.VDP { return m.v }
 // no lock is ever held while acquiring another.
 func (m *Mediator) Stats() Stats {
 	s := Stats{
-		UpdateTxns:      int(m.stats.updateTxns.Load()),
-		QueryTxns:       int(m.stats.queryTxns.Load()),
-		AtomsPropagated: int(m.stats.atomsPropagated.Load()),
-		SourcePolls:     int(m.stats.sourcePolls.Load()),
-		TuplesPolled:    int(m.stats.tuplesPolled.Load()),
-		TempsBuilt:      int(m.stats.tempsBuilt.Load()),
-		KeyBasedTemps:   int(m.stats.keyBasedTemps.Load()),
+		UpdateTxns:       int(m.stats.updateTxns.Load()),
+		QueryTxns:        int(m.stats.queryTxns.Load()),
+		AtomsPropagated:  int(m.stats.atomsPropagated.Load()),
+		SourcePolls:      int(m.stats.sourcePolls.Load()),
+		TuplesPolled:     int(m.stats.tuplesPolled.Load()),
+		TempsBuilt:       int(m.stats.tempsBuilt.Load()),
+		KeyBasedTemps:    int(m.stats.keyBasedTemps.Load()),
+		PollFailures:     int(m.stats.pollFailures.Load()),
+		PollRetries:      int(m.stats.pollRetries.Load()),
+		BreakerFastFails: int(m.stats.breakerFastFails.Load()),
+		DegradedQueries:  int(m.stats.degradedQueries.Load()),
+		GapsDetected:     int(m.stats.gapsDetected.Load()),
+		Resyncs:          int(m.stats.resyncs.Load()),
 	}
+	s.Sources = m.sourceHealthStats()
 	s.QueueHighWater = m.queueStats()
 	if v := m.vstore.Current(); v != nil {
 		s.CurrentVersion = v.Seq()
@@ -429,9 +490,10 @@ func (m *Mediator) Initialize() error {
 		return fmt.Errorf("core: mediator already initialized")
 	}
 	// Poll every source for the full contents of its leaves, one
-	// transaction per source.
+	// transaction per source, through the fault boundary (retry/backoff,
+	// breaker, per-attempt deadline — no-ops under the zero config).
 	leafStates := make(map[string]*relation.Relation)
-	for src, conn := range m.sources {
+	for src := range m.sources {
 		leaves := m.v.LeavesOf(src)
 		if len(leaves) == 0 {
 			continue
@@ -440,7 +502,7 @@ func (m *Mediator) Initialize() error {
 		for i, leaf := range leaves {
 			specs[i] = source.QuerySpec{Rel: leaf}
 		}
-		answers, asOf, err := conn.QueryMulti(specs)
+		answers, asOf, err := m.pollSource(src, specs, true)
 		if err != nil {
 			return fmt.Errorf("core: initializing from %s: %w", src, err)
 		}
@@ -495,6 +557,13 @@ func (m *Mediator) Initialize() error {
 		}
 	}
 	m.queue = trimAnnouncements(kept, oldLen)
+	// A gap detected among pre-initialization announcements is covered by
+	// the full poll: reconcile each quarantined stream against its poll
+	// instant (sources whose pen outruns the poll stay quarantined for a
+	// later ResyncSource).
+	for src := range m.quarantined {
+		m.resolveSourceLocked(src, m.lastProcessed[src])
+	}
 	m.initialized = true
 	m.viewInit = m.clk.Now()
 	m.vstore.Publish(b, m.lastProcessed.Clone(), m.viewInit)
@@ -511,12 +580,43 @@ func (m *Mediator) Initialize() error {
 // sources need no active capabilities, nothing materialized depends on
 // them, and their polls are served (uncompensated) from their current
 // state.
+// Sequence checking: announcements carrying sequence numbers (Seq > 0)
+// must arrive densely per source. A duplicate (Seq ≤ last seen) is
+// dropped; a hole (FirstSeq > last+1) proves announcements were lost, so
+// the source is quarantined — its stream is untrusted until ResyncSource
+// re-derives the materialized state from a snapshot poll. While
+// quarantined, arrivals are penned rather than queued.
 func (m *Mediator) OnAnnouncement(a source.Announcement) {
 	if m.contributors[a.Source] == VirtualContributor {
 		return
 	}
 	m.qmu.Lock()
 	defer m.qmu.Unlock()
+	if a.Time > m.lastContact[a.Source] {
+		m.lastContact[a.Source] = a.Time
+	}
+	if m.quarantined[a.Source] != "" {
+		m.penAppendLocked(a)
+		return
+	}
+	if a.Seq != 0 {
+		last := m.lastSeq[a.Source]
+		first := a.FirstSeq
+		if first == 0 {
+			first = a.Seq
+		}
+		if last != 0 {
+			if a.Seq <= last {
+				return // duplicate / replayed announcement
+			}
+			if first > last+1 {
+				m.quarantineLocked(a.Source, fmt.Sprintf("announcement gap: expected seq %d, got %d", last+1, first))
+				m.penAppendLocked(a)
+				return
+			}
+		}
+		m.lastSeq[a.Source] = a.Seq
+	}
 	if m.initialized && a.Time <= m.lastProcessed[a.Source] {
 		return // already reflected by a poll
 	}

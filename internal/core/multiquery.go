@@ -80,7 +80,7 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 		if err != nil {
 			return nil, err
 		}
-		res, err = m.buildTemporaries(plan, v)
+		res, err = m.buildTemporaries(plan, v, opts.Degrade)
 		if err != nil {
 			return nil, err
 		}
@@ -97,6 +97,24 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 
 	reflect := m.reflectFor(v, res, committed)
 
+	// Same ServeStale stamping and f̄ enforcement as the single-export
+	// path (query.go).
+	var staleness clock.Vector
+	if len(res.stale) > 0 {
+		staleness = make(clock.Vector, len(res.stale))
+		for src := range res.stale {
+			bound := committed - reflect[src]
+			if bound < 1 {
+				bound = 1
+			}
+			if opts.MaxStaleness > 0 && bound > opts.MaxStaleness {
+				return nil, fmt.Errorf("core: source %q is down and the degraded answer would be stale by %d (> max staleness %d)", src, bound, opts.MaxStaleness)
+			}
+			staleness[src] = bound
+		}
+		m.stats.degradedQueries.Add(1)
+	}
+
 	m.stats.queryTxns.Add(1)
 	m.recorder.RecordQuery(trace.QueryTxn{
 		Committed: committed,
@@ -111,6 +129,8 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 		Committed: committed,
 		Polled:    res.polls,
 		Version:   v.Seq(),
+		Degraded:  len(staleness) > 0,
+		Staleness: staleness,
 	}, nil
 }
 

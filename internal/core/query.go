@@ -32,9 +32,29 @@ const (
 	KeyBasedOff
 )
 
+// DegradeMode selects what a query does when a polled source is down
+// (its poll fails after retries, or its breaker is open, or it is
+// quarantined).
+type DegradeMode uint8
+
+const (
+	// FailFast returns the poll error, naming the source. The default.
+	FailFast DegradeMode = iota
+	// ServeStale answers from the last successful poll's cached answer,
+	// stamping the result with a per-source staleness bound — the runtime
+	// enforcement of Theorem 7.2's per-source delay vector f̄.
+	ServeStale
+)
+
 // QueryOptions tune query processing.
 type QueryOptions struct {
 	KeyBased KeyBasedMode
+	// Degrade selects the failure policy for source polls.
+	Degrade DegradeMode
+	// MaxStaleness is the per-source f̄ bound under ServeStale: a degraded
+	// answer whose staleness bound exceeds it is refused (≤ 0 means
+	// unbounded).
+	MaxStaleness clock.Time
 }
 
 // QueryResult is the answer to a query transaction together with its
@@ -54,6 +74,14 @@ type QueryResult struct {
 	// answer was computed against — every answer is attributable to
 	// exactly one version.
 	Version uint64
+	// Degraded is set when some source's poll was served from the stale
+	// cache under ServeStale. Staleness then bounds, per degraded source,
+	// how far behind the commit time the answer may be: the answer is
+	// exact at its Reflect vector, and Reflect[src] ≥ Committed −
+	// Staleness[src] (Theorem 7.2's f̄, stamped per answer). Sources
+	// absent from Staleness were reached normally.
+	Degraded  bool
+	Staleness clock.Vector
 }
 
 // Query answers π_attrs σ_cond (export) with default options. attrs nil
@@ -187,10 +215,10 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 			}
 		}
 		if useKB {
-			answer, res, err = m.keyBasedAnswer(v, req, kb, attrs)
+			answer, res, err = m.keyBasedAnswer(v, req, kb, attrs, opts.Degrade)
 			usedKeyBased = true
 		} else {
-			answer, res, err = m.standardAnswer(v, req, attrs)
+			answer, res, err = m.standardAnswer(v, req, attrs, opts.Degrade)
 		}
 		if err != nil {
 			return nil, err
@@ -201,6 +229,26 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 	}
 
 	reflect := m.reflectFor(v, res, committed)
+
+	// Stamp and enforce the ServeStale bound: a degraded source's
+	// contribution is exact at Reflect[src], so the answer lags current
+	// time by Committed − Reflect[src]; refuse when that exceeds the
+	// query's f̄ (Theorem 7.2 as a runtime contract).
+	var staleness clock.Vector
+	if res != nil && len(res.stale) > 0 {
+		staleness = make(clock.Vector, len(res.stale))
+		for src := range res.stale {
+			bound := committed - reflect[src]
+			if bound < 1 {
+				bound = 1
+			}
+			if opts.MaxStaleness > 0 && bound > opts.MaxStaleness {
+				return nil, fmt.Errorf("core: source %q is down and the degraded answer would be stale by %d (> max staleness %d)", src, bound, opts.MaxStaleness)
+			}
+			staleness[src] = bound
+		}
+		m.stats.degradedQueries.Add(1)
+	}
 
 	m.stats.queryTxns.Add(1)
 	if usedKeyBased {
@@ -227,6 +275,8 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 		Polled:    polls,
 		KeyBased:  usedKeyBased,
 		Version:   v.Seq(),
+		Degraded:  len(staleness) > 0,
+		Staleness: staleness,
 	}, nil
 }
 
@@ -234,12 +284,12 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 // and evaluates the query over the constructed temporaries. attrs is the
 // caller's projection — req.Attrs may be wider (closed over condition
 // attributes).
-func (m *Mediator) standardAnswer(v *store.Version, req vdp.Requirement, attrs []string) (*relation.Relation, *tempResult, error) {
+func (m *Mediator) standardAnswer(v *store.Version, req vdp.Requirement, attrs []string, degrade DegradeMode) (*relation.Relation, *tempResult, error) {
 	plan, err := m.v.PlanTemporaries([]vdp.Requirement{req})
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.buildTemporaries(plan, v)
+	res, err := m.buildTemporaries(plan, v, degrade)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -259,7 +309,7 @@ func (m *Mediator) standardAnswer(v *store.Version, req vdp.Requirement, attrs [
 // keyBasedAnswer implements the key-based construction of Example 2.3:
 // join the export's materialized store projection (from the pinned
 // version) with a single child fetch keyed by the child's key.
-func (m *Mediator) keyBasedAnswer(v *store.Version, req vdp.Requirement, kb *vdp.KeyBased, attrs []string) (*relation.Relation, *tempResult, error) {
+func (m *Mediator) keyBasedAnswer(v *store.Version, req vdp.Requirement, kb *vdp.KeyBased, attrs []string, degrade DegradeMode) (*relation.Relation, *tempResult, error) {
 	// Fetch the child portion (recursively through the VAP if the child
 	// itself is virtual).
 	var childRel *relation.Relation
@@ -269,7 +319,7 @@ func (m *Mediator) keyBasedAnswer(v *store.Version, req vdp.Requirement, kb *vdp
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err = m.buildTemporaries(plan, v)
+		res, err = m.buildTemporaries(plan, v, degrade)
 		if err != nil {
 			return nil, nil, err
 		}

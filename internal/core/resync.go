@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/store"
+	"squirrel/internal/vdp"
+)
+
+// Resync re-establishes materialized consistency for a source whose
+// announcement stream broke (a detected sequence gap, or a transport
+// reconnect that may have dropped announcements silently). Applying the
+// post-gap deltas would be unsound — the materialized state would skip
+// the lost commits forever — so the mediator instead re-derives every
+// materialized node the source feeds from a fresh full snapshot poll,
+// rolling the helper sources' answers back to the current ref′ with Eager
+// Compensation so the rebuilt nodes agree exactly with the untouched
+// ones.
+
+// resyncClosure computes, for src: the non-leaf nodes with a materialized
+// portion reachable from its leaves (the nodes to rebuild), the
+// evaluation set (those nodes plus every descendant), and the leaves
+// feeding that evaluation, sorted.
+func (m *Mediator) resyncClosure(src string) (affected, needEval map[string]bool, leaves []string) {
+	reach := make(map[string]bool)
+	var up func(string)
+	up = func(name string) {
+		if reach[name] {
+			return
+		}
+		reach[name] = true
+		for _, p := range m.v.Parents(name) {
+			up(p)
+		}
+	}
+	for _, leaf := range m.v.LeavesOf(src) {
+		up(leaf)
+	}
+	affected = make(map[string]bool)
+	for name := range reach {
+		n := m.v.Node(name)
+		if !n.IsLeaf() && len(n.MaterializedAttrs()) > 0 {
+			affected[name] = true
+		}
+	}
+	needEval = make(map[string]bool)
+	var down func(string)
+	down = func(name string) {
+		if needEval[name] {
+			return
+		}
+		needEval[name] = true
+		if m.v.Node(name).IsLeaf() {
+			leaves = append(leaves, name)
+			return
+		}
+		for _, c := range m.v.Children(name) {
+			down(c)
+		}
+	}
+	for name := range affected {
+		down(name)
+	}
+	sort.Strings(leaves)
+	return affected, needEval, leaves
+}
+
+// writeMaterialized stores the materialized projection of a node's full
+// state into the builder (no-op for fully virtual nodes).
+func writeMaterialized(b *store.Builder, n *vdp.Node, full *relation.Relation) error {
+	schema, err := storeSchema(n)
+	if err != nil {
+		return err
+	}
+	if schema == nil {
+		return nil // fully virtual: nothing stored
+	}
+	positions, err := n.Schema.Positions(schema.AttrNames())
+	if err != nil {
+		return err
+	}
+	sem := n.Semantics()
+	if n.Hybrid() {
+		// A projection of a set node can carry duplicates.
+		sem = relation.Bag
+	}
+	rel := relation.New(schema, sem)
+	full.Each(func(t relation.Tuple, c int) bool {
+		rel.Add(t.Project(positions), c)
+		return true
+	})
+	b.Set(n.Name, rel)
+	return nil
+}
+
+// ResyncSource rebuilds every materialized node fed by src from a fresh
+// full snapshot poll and lifts its quarantine. It runs as an update
+// transaction (serialized under mu, published atomically). Safe to call
+// on a healthy source (an idempotent repair); a no-op for virtual
+// contributors, whose announcements the mediator never consumes.
+//
+// The helper sources' poll answers are rolled back to the current
+// version's ref′ via Eager Compensation; this is always possible because
+// every leaf below a materialized node belongs to an announcing source
+// (classifyContributors: a source with materialized reach is never a
+// virtual contributor). src's own answer is adopted uncompensated at its
+// poll instant asOf, which becomes ref′[src]. In-flight queries pinned to
+// pre-resync versions can no longer compensate src's polls — the gap lost
+// the deltas their window needs — so compensate refuses them via the
+// per-source resync barrier instead of answering wrong.
+func (m *Mediator) ResyncSource(src string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.vstore.Current() == nil {
+		return fmt.Errorf("core: mediator not initialized")
+	}
+	if _, ok := m.sources[src]; !ok {
+		return fmt.Errorf("core: unknown source %q", src)
+	}
+	if m.contributors[src] == VirtualContributor {
+		return nil
+	}
+
+	affected, needEval, leaves := m.resyncClosure(src)
+	bySource := make(map[string][]string)
+	for _, leaf := range leaves {
+		ls := m.v.Node(leaf).Source
+		bySource[ls] = append(bySource[ls], leaf)
+	}
+	if len(bySource[src]) == 0 {
+		// Degenerate plan where src feeds nothing materialized: still poll
+		// it so the stream can be re-anchored at a known instant.
+		bySource[src] = m.v.LeavesOf(src)
+	}
+	srcs := make([]string, 0, len(bySource))
+	for s := range bySource {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+
+	b := m.vstore.Begin()
+	states := make(map[string]*relation.Relation)
+	var asOfSrc clock.Time
+	for _, s := range srcs {
+		ls := bySource[s]
+		specs := make([]source.QuerySpec, len(ls))
+		for i, leaf := range ls {
+			specs[i] = source.QuerySpec{Rel: leaf}
+		}
+		answers, asOf, err := m.pollSource(s, specs, true)
+		if err != nil {
+			return fmt.Errorf("core: resync poll of %s: %w", s, err)
+		}
+		m.stats.sourcePolls.Add(1)
+		if s == src {
+			asOfSrc = asOf
+		}
+		for i, leaf := range ls {
+			ans := answers[i]
+			m.stats.tuplesPolled.Add(int64(ans.Len()))
+			if s != src {
+				if err := m.compensate(ans, s, vdp.PollSpec{Source: s, Leaf: leaf}, asOf, b); err != nil {
+					return fmt.Errorf("core: resync compensation for %s/%s: %w", s, leaf, err)
+				}
+			}
+			states[leaf] = ans
+		}
+	}
+
+	// Re-evaluate the affected sub-DAG bottom-up (Order is topological and
+	// the evaluation set is child-closed, so every input is in states).
+	for _, name := range m.v.Order() {
+		if !needEval[name] || m.v.Node(name).IsLeaf() {
+			continue
+		}
+		r, err := vdp.EvalDef(m.v.Node(name), vdp.ResolverFromCatalog(states))
+		if err != nil {
+			return fmt.Errorf("core: resync evaluation of %s: %w", name, err)
+		}
+		states[name] = r
+	}
+	for _, name := range m.v.Order() {
+		if !affected[name] {
+			continue
+		}
+		if err := writeMaterialized(b, m.v.Node(name), states[name]); err != nil {
+			return err
+		}
+	}
+
+	// Commit: reconcile the announcement stream against the snapshot and
+	// publish — all under qmu, like every other publish.
+	m.qmu.Lock()
+	if !m.resolveSourceLocked(src, asOfSrc) {
+		m.qmu.Unlock()
+		return fmt.Errorf("core: resync of %q overtaken by newer penned announcements; retry", src)
+	}
+	if asOfSrc > m.lastProcessed[src] {
+		m.lastProcessed[src] = asOfSrc
+	}
+	m.resyncBarrier[src] = m.lastProcessed[src]
+	m.vstore.Publish(b, m.lastProcessed.Clone(), m.clk.Now())
+	m.pruneDoneLocked()
+	m.qmu.Unlock()
+	m.stats.resyncs.Add(1)
+	return nil
+}

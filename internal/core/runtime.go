@@ -63,6 +63,17 @@ func (r *Runtime) loop(stop <-chan struct{}, done chan<- struct{}) {
 }
 
 func (r *Runtime) flushAll() {
+	// Attempt to repair quarantined sources first: their penned
+	// announcements rejoin the queue on success, and the flush below
+	// then drains everything. A failed resync (source still down, or
+	// overtaken by new announcements) is retried next tick.
+	for _, src := range r.med.QuarantinedSources() {
+		if err := r.med.ResyncSource(src); err != nil {
+			r.mu.Lock()
+			r.lastErr = err
+			r.mu.Unlock()
+		}
+	}
 	for {
 		ran, err := r.med.RunUpdateTransaction()
 		if err != nil {

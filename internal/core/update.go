@@ -82,12 +82,14 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 		}
 		// Phase (b): populate them (the VAP compensates polls back to the
 		// pre-transaction state ref′(t_{i-1}) — the builder's base view).
+		// Always fail-fast: propagating deltas onto stale helper states
+		// would corrupt the store; the queue survives for a later retry.
 		if len(needed) > 0 {
 			plan, err := m.v.PlanTemporaries(needed)
 			if err != nil {
 				return false, err
 			}
-			res, err := m.buildTemporaries(plan, b)
+			res, err := m.buildTemporaries(plan, b, FailFast)
 			if err != nil {
 				return false, err
 			}

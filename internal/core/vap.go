@@ -35,8 +35,13 @@ type tempResult struct {
 	// serialization instant of the read (these become the ref components
 	// of the ongoing query transaction).
 	polledAt map[string]clock.Time
-	polls    int
-	tuples   int
+	// stale records, per source whose poll failed and was served from the
+	// raw poll cache instead, the cached answer's serialization instant.
+	// Empty for fail-fast builds. The query layer turns membership into
+	// the stamped staleness bound (Committed − Reflect[src]).
+	stale  map[string]clock.Time
+	polls  int
+	tuples int
 }
 
 // resolverFor resolves node states to temporaries first, then to the
@@ -59,12 +64,28 @@ func resolverFor(view store.View, temps map[string]*relation.Relation) vdp.Resol
 // plan (from vdp.PlanTemporaries), reading materialized state — and
 // compensating polls back to ref′ — from the given view. Safe to call
 // concurrently for distinct tempResults: the only shared state it touches
-// is the announcement log (under qmu) and atomic counters.
-func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View) (*tempResult, error) {
+// is the announcement log (under qmu), the poll cache (under cmu), and
+// atomic counters.
+//
+// degrade selects what happens when a source poll fails after the fault
+// boundary (retry, breaker, deadline) is exhausted: FailFast propagates
+// the error; ServeStale falls back to the raw answer cached from the last
+// successful poll of the same shape, recording the source in res.stale so
+// the query layer can stamp and enforce the staleness bound. The fallback
+// keeps the answer EXACT at its Reflect vector: for an announcing source
+// the cached answer is only usable when its instant is at or past the
+// view's ref′(src) — then every announcement in the compensation window
+// is still retained (it was unprocessed when the version was pinned), so
+// Eager Compensation rolls it back to ref′(src) as usual; for a virtual
+// contributor the cached instant simply becomes the poll instant. Update
+// transactions always build fail-fast: propagating source deltas onto
+// stale helper states would corrupt the store.
+func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, degrade DegradeMode) (*tempResult, error) {
 	res := &tempResult{
 		temps:    make(map[string]*relation.Relation),
 		conds:    make(map[string]algebra.Expr),
 		polledAt: make(map[string]clock.Time),
+		stale:    make(map[string]clock.Time),
 	}
 	// Split the plan: leaf-parent requirements are satisfied by polling;
 	// the rest bottom-up. Plan order is already children-first.
@@ -99,21 +120,32 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View) (*t
 	sort.Strings(sources)
 	for _, src := range sources {
 		items := bySource[src]
-		conn, ok := m.sources[src]
-		if !ok {
-			return nil, fmt.Errorf("core: no connection for source %q", src)
-		}
 		specs := make([]source.QuerySpec, len(items))
 		for i, it := range items {
 			specs[i] = source.QuerySpec{Rel: it.spec.Leaf, Attrs: it.spec.Attrs, Cond: it.spec.Cond}
 		}
-		answers, asOf, err := conn.QueryMulti(specs)
-		if err != nil {
-			return nil, fmt.Errorf("core: polling %s: %w", src, err)
-		}
-		res.polls++
-		m.stats.sourcePolls.Add(1)
 		announcing := m.contributors[src] != VirtualContributor
+		key := pollKey(src, specs)
+		answers, asOf, err := m.pollSource(src, specs, false)
+		if err == nil {
+			res.polls++
+			m.stats.sourcePolls.Add(1)
+			// Cache the raw answers before compensation mutates them.
+			m.cachePoll(key, answers, asOf)
+		} else {
+			if degrade != ServeStale {
+				return nil, fmt.Errorf("core: polling %s: %w", src, err)
+			}
+			cached, cachedAsOf, ok := m.cachedAnswers(key)
+			if !ok {
+				return nil, fmt.Errorf("core: polling %s (no cached answer to degrade to): %w", src, err)
+			}
+			if announcing && cachedAsOf < view.RefOf(src) {
+				return nil, fmt.Errorf("core: polling %s (cached answer predates the materialized state): %w", src, err)
+			}
+			answers, asOf = cached, cachedAsOf
+			res.stale[src] = cachedAsOf
+		}
 		if !announcing {
 			res.polledAt[src] = asOf
 		}
@@ -175,6 +207,14 @@ func (m *Mediator) compensate(answer *relation.Relation, src string, spec vdp.Po
 		}
 	}
 	m.qmu.Lock()
+	if base < m.resyncBarrier[src] {
+		// The view predates a resync of src: the announcement gap lost
+		// deltas inside the compensation window, so rolling back to this
+		// ref′ is impossible. Refuse rather than answer wrong; the caller
+		// retries against the current version.
+		m.qmu.Unlock()
+		return fmt.Errorf("core: pinned state for %q predates its resync; retry against the current version", src)
+	}
 	collect(m.done)
 	collect(m.queue)
 	m.qmu.Unlock()

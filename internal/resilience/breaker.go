@@ -1,0 +1,180 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState uint8
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: requests fast-fail without touching the source.
+	Open
+	// HalfOpen: a bounded number of probe requests are let through; one
+	// success closes the breaker, one failure re-opens it.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerPolicy configures a per-source circuit breaker. The zero value
+// (Failures <= 0) disables the breaker entirely.
+type BreakerPolicy struct {
+	// Failures is the number of consecutive failures that trips the
+	// breaker open; <= 0 disables it.
+	Failures int
+	// Cooldown is how long the breaker stays open before letting a
+	// half-open probe through (default 1s).
+	Cooldown time.Duration
+	// Probes is the number of concurrent probes allowed while half-open
+	// (default 1).
+	Probes int
+}
+
+// Enabled reports whether the policy trips at all.
+func (p BreakerPolicy) Enabled() bool { return p.Failures > 0 }
+
+// Breaker is a per-source circuit breaker. A nil *Breaker is valid and
+// always allows requests (the disabled configuration).
+type Breaker struct {
+	pol BreakerPolicy
+	now func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probes      int
+	trips       uint64
+}
+
+// NewBreaker builds a breaker for pol, or returns nil when the policy is
+// disabled (nil is safe to use everywhere).
+func NewBreaker(pol BreakerPolicy) *Breaker {
+	if !pol.Enabled() {
+		return nil
+	}
+	if pol.Cooldown <= 0 {
+		pol.Cooldown = time.Second
+	}
+	if pol.Probes <= 0 {
+		pol.Probes = 1
+	}
+	return &Breaker{pol: pol, now: time.Now}
+}
+
+// SetNow replaces the breaker's clock; for tests.
+func (b *Breaker) SetNow(now func() time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// Allow reports whether a request may proceed. While open it fast-fails
+// until the cooldown elapses, then transitions to half-open and admits up
+// to Probes probe requests.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.pol.Cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probes = 1
+		return true
+	case HalfOpen:
+		if b.probes >= b.pol.Probes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+	return true
+}
+
+// Success records a successful request; a half-open success closes the
+// breaker and resets the failure count.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = Closed
+	b.consecutive = 0
+	b.probes = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed request; enough consecutive failures (or any
+// half-open failure) opens the breaker.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.open()
+	case Closed:
+		b.consecutive++
+		if b.consecutive >= b.pol.Failures {
+			b.open()
+		}
+	}
+}
+
+func (b *Breaker) open() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.consecutive = 0
+	b.probes = 0
+	b.trips++
+}
+
+// State returns the current automaton state (Closed for a nil breaker).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface the cooldown expiry without requiring a probe first.
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.pol.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

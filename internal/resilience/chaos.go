@@ -1,0 +1,248 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+)
+
+// Faults configures the failure mix injected for one named target. All
+// probabilities are in [0,1] and evaluated per operation in the order
+// down → scripted → drop → hang → error → latency.
+type Faults struct {
+	// Down hard-fails every operation (the source is unreachable).
+	Down bool
+	// ErrProb injects a plain error return.
+	ErrProb float64
+	// DropProb simulates a mid-stream disconnect: the operation fails and,
+	// for net.Conn wrappers, the underlying connection is closed.
+	DropProb float64
+	// HangProb blocks the operation for Hang before failing it, modelling
+	// a stalled peer (exercises per-attempt deadlines).
+	HangProb float64
+	// Hang is the stall duration when HangProb fires (default 30s).
+	Hang time.Duration
+	// LatencyProb delays the operation by Latency, then lets it through.
+	LatencyProb float64
+	// Latency is the injected delay when LatencyProb fires.
+	Latency time.Duration
+}
+
+// outcome is the decision for a single operation.
+type outcome uint8
+
+const (
+	passThrough outcome = iota
+	failErr
+	failDrop
+	failHang
+	delay
+)
+
+// InjectedCounts reports how many faults of each kind fired for a target.
+type InjectedCounts struct {
+	Errors  uint64
+	Drops   uint64
+	Hangs   uint64
+	Delays  uint64
+	DownOps uint64
+}
+
+// Injector is a deterministic, seeded chaos source shared by any number
+// of wrappers. Each named target (usually a source name) carries its own
+// Faults mix plus a scripted fail-next counter for precise tests.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	faults   map[string]Faults
+	failNext map[string]int
+	dropNext map[string]int
+	hangNext map[string]int
+	hangDur  map[string]time.Duration
+	counts   map[string]*InjectedCounts
+
+	// Sleep is the blocking function used for hangs and latency;
+	// replaceable in tests. Defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// NewInjector builds an injector whose fault decisions are a pure
+// function of the seed and the operation order.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:      rand.New(rand.NewSource(seed)),
+		faults:   map[string]Faults{},
+		failNext: map[string]int{},
+		dropNext: map[string]int{},
+		hangNext: map[string]int{},
+		hangDur:  map[string]time.Duration{},
+		counts:   map[string]*InjectedCounts{},
+		Sleep:    time.Sleep,
+	}
+}
+
+// Set replaces the fault mix for a target.
+func (i *Injector) Set(target string, f Faults) {
+	i.mu.Lock()
+	i.faults[target] = f
+	i.mu.Unlock()
+}
+
+// SetDown marks a target hard-down (or back up), keeping the rest of its
+// fault mix.
+func (i *Injector) SetDown(target string, down bool) {
+	i.mu.Lock()
+	f := i.faults[target]
+	f.Down = down
+	i.faults[target] = f
+	i.mu.Unlock()
+}
+
+// FailNext scripts the next n operations on target to fail with plain
+// errors, regardless of probabilities; for deterministic tests.
+func (i *Injector) FailNext(target string, n int) {
+	i.mu.Lock()
+	i.failNext[target] = n
+	i.mu.Unlock()
+}
+
+// DropNext scripts the next n operations on target to fail as mid-stream
+// disconnects (net.Conn wrappers close the underlying connection).
+func (i *Injector) DropNext(target string, n int) {
+	i.mu.Lock()
+	i.dropNext[target] = n
+	i.mu.Unlock()
+}
+
+// HangNext scripts the next n operations on target to stall for d before
+// failing, regardless of probabilities; for deterministic deadline tests.
+func (i *Injector) HangNext(target string, n int, d time.Duration) {
+	i.mu.Lock()
+	i.hangNext[target] = n
+	i.hangDur[target] = d
+	i.mu.Unlock()
+}
+
+// Counts returns a copy of the injected-fault counters for target.
+func (i *Injector) Counts(target string) InjectedCounts {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if c := i.counts[target]; c != nil {
+		return *c
+	}
+	return InjectedCounts{}
+}
+
+func (i *Injector) count(target string) *InjectedCounts {
+	c := i.counts[target]
+	if c == nil {
+		c = &InjectedCounts{}
+		i.counts[target] = c
+	}
+	return c
+}
+
+// decide rolls the dice for one operation on target.
+func (i *Injector) decide(target string) (outcome, time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	// Scripted faults fire regardless of whether a probability mix has
+	// been configured for the target.
+	if n := i.failNext[target]; n > 0 {
+		i.failNext[target] = n - 1
+		i.count(target).Errors++
+		return failErr, 0
+	}
+	if n := i.dropNext[target]; n > 0 {
+		i.dropNext[target] = n - 1
+		i.count(target).Drops++
+		return failDrop, 0
+	}
+	if n := i.hangNext[target]; n > 0 {
+		i.hangNext[target] = n - 1
+		i.count(target).Hangs++
+		h := i.hangDur[target]
+		if h <= 0 {
+			h = 30 * time.Second
+		}
+		return failHang, h
+	}
+	f, ok := i.faults[target]
+	if !ok {
+		return passThrough, 0
+	}
+	if f.Down {
+		i.count(target).DownOps++
+		return failErr, 0
+	}
+	roll := i.rng.Float64()
+	if roll < f.DropProb {
+		i.count(target).Drops++
+		return failDrop, 0
+	}
+	roll -= f.DropProb
+	if roll < f.HangProb {
+		i.count(target).Hangs++
+		h := f.Hang
+		if h <= 0 {
+			h = 30 * time.Second
+		}
+		return failHang, h
+	}
+	roll -= f.HangProb
+	if roll < f.ErrProb {
+		i.count(target).Errors++
+		return failErr, 0
+	}
+	roll -= f.ErrProb
+	if roll < f.LatencyProb {
+		i.count(target).Delays++
+		return delay, f.Latency
+	}
+	return passThrough, 0
+}
+
+// Conn is the structural twin of core.SourceConn; declared locally so
+// this package stays a leaf (core is free to import it).
+type Conn interface {
+	Name() string
+	QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error)
+}
+
+// ChaosSource wraps a source connection and injects faults keyed by the
+// inner connection's name. It implements core.SourceConn.
+type ChaosSource struct {
+	Inner Conn
+	Inj   *Injector
+}
+
+// WrapSource is a convenience constructor.
+func WrapSource(inner Conn, inj *Injector) *ChaosSource {
+	return &ChaosSource{Inner: inner, Inj: inj}
+}
+
+// Name returns the inner connection's name.
+func (c *ChaosSource) Name() string { return c.Inner.Name() }
+
+// QueryMulti consults the injector before delegating to the inner
+// connection.
+func (c *ChaosSource) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	name := c.Inner.Name()
+	switch out, d := c.Inj.decide(name); out {
+	case failErr:
+		return nil, 0, fmt.Errorf("resilience: injected error on %q", name)
+	case failDrop:
+		return nil, 0, fmt.Errorf("resilience: injected disconnect on %q", name)
+	case failHang:
+		c.Inj.Sleep(d)
+		return nil, 0, fmt.Errorf("resilience: injected hang on %q elapsed", name)
+	case delay:
+		c.Inj.Sleep(d)
+	}
+	return c.Inner.QueryMulti(specs)
+}

@@ -1,0 +1,53 @@
+package resilience
+
+import (
+	"fmt"
+	"net"
+)
+
+// ChaosNetConn wraps a net.Conn, injecting faults on Read and Write keyed
+// by a label (typically the peer source's name). A drop closes the
+// underlying connection, modelling a mid-stream disconnect; a hang stalls
+// the call before failing it.
+type ChaosNetConn struct {
+	net.Conn
+	inj   *Injector
+	label string
+}
+
+// WrapNetConn wraps conn with fault injection under the given label.
+func WrapNetConn(conn net.Conn, inj *Injector, label string) *ChaosNetConn {
+	return &ChaosNetConn{Conn: conn, inj: inj, label: label}
+}
+
+func (c *ChaosNetConn) inject(op string) error {
+	switch out, d := c.inj.decide(c.label); out {
+	case failErr:
+		return fmt.Errorf("resilience: injected %s error on %q", op, c.label)
+	case failDrop:
+		c.Conn.Close()
+		return fmt.Errorf("resilience: injected disconnect on %q", c.label)
+	case failHang:
+		c.inj.Sleep(d)
+		return fmt.Errorf("resilience: injected hang on %q elapsed", c.label)
+	case delay:
+		c.inj.Sleep(d)
+	}
+	return nil
+}
+
+func (c *ChaosNetConn) Read(p []byte) (int, error) {
+	if err := c.inject("read"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *ChaosNetConn) Write(p []byte) (int, error) {
+	if err := c.inject("write"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+var _ net.Conn = (*ChaosNetConn)(nil)

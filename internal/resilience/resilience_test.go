@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	b := NewBackoff(pol, 1)
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w*time.Millisecond {
+			t.Errorf("Delay(%d)=%v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	if (RetryPolicy{}).Enabled() {
+		t.Error("zero policy must be disabled (fail-fast)")
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, JitterFrac: 0.5}
+	a := NewBackoff(pol, 42)
+	b := NewBackoff(pol, 42)
+	for i := 1; i <= 8; i++ {
+		da, db := a.Delay(i), b.Delay(i)
+		if da != db {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i, da, db)
+		}
+		// Jittered delay stays within [(1-j)d, d].
+		full := b.pol.BaseDelay
+		for k := 1; k < i && full < 16*b.pol.BaseDelay; k++ {
+			full *= 2
+		}
+		if full > 16*b.pol.BaseDelay {
+			full = 16 * b.pol.BaseDelay
+		}
+		if da < full/2 || da > full {
+			t.Errorf("retry %d: delay %v outside [%v,%v]", i, da, full/2, full)
+		}
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	br := NewBreaker(BreakerPolicy{Failures: 2, Cooldown: time.Minute})
+	now := time.Unix(0, 0)
+	br.SetNow(func() time.Time { return now })
+
+	if !br.Allow() || br.State() != Closed {
+		t.Fatal("new breaker must be closed")
+	}
+	br.Failure()
+	if br.State() != Closed {
+		t.Fatal("one failure must not trip a Failures=2 breaker")
+	}
+	br.Failure()
+	if br.State() != Open || br.Allow() {
+		t.Fatalf("two failures must open: state=%v", br.State())
+	}
+	if br.Trips() != 1 {
+		t.Fatalf("trips=%d", br.Trips())
+	}
+
+	// Cooldown expiry: one probe allowed, a second concurrent probe is not.
+	now = now.Add(2 * time.Minute)
+	if br.State() != HalfOpen {
+		t.Fatalf("after cooldown: state=%v", br.State())
+	}
+	if !br.Allow() {
+		t.Fatal("half-open must admit a probe")
+	}
+	if br.Allow() {
+		t.Fatal("half-open must reject a second concurrent probe")
+	}
+
+	// Probe failure re-opens; probe success closes.
+	br.Failure()
+	if br.State() != Open || br.Trips() != 2 {
+		t.Fatalf("half-open failure must re-open: state=%v trips=%d", br.State(), br.Trips())
+	}
+	now = now.Add(2 * time.Minute)
+	if !br.Allow() {
+		t.Fatal("second probe window")
+	}
+	br.Success()
+	if br.State() != Closed || !br.Allow() {
+		t.Fatal("half-open success must close")
+	}
+
+	// A disabled policy yields a nil breaker that always allows.
+	var nilBr *Breaker = NewBreaker(BreakerPolicy{})
+	if nilBr != nil {
+		t.Fatal("disabled policy must return nil")
+	}
+	if !nilBr.Allow() || nilBr.State() != Closed || nilBr.Trips() != 0 {
+		t.Fatal("nil breaker must be a no-op that always allows")
+	}
+	nilBr.Success()
+	nilBr.Failure()
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	mix := Faults{ErrProb: 0.3, DropProb: 0.1, HangProb: 0.05, Hang: time.Nanosecond, LatencyProb: 0.2, Latency: time.Nanosecond}
+	run := func(seed int64) []outcome {
+		inj := NewInjector(seed)
+		inj.Sleep = func(time.Duration) {}
+		inj.Set("s", mix)
+		var outs []outcome
+		for i := 0; i < 64; i++ {
+			o, _ := inj.decide("s")
+			outs = append(outs, o)
+		}
+		return outs
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-op traces")
+	}
+}
+
+func TestInjectorScriptedAndDown(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Sleep = func(time.Duration) {}
+
+	// Unknown targets always pass.
+	if o, _ := inj.decide("unknown"); o != passThrough {
+		t.Fatal("unconfigured target must pass through")
+	}
+
+	inj.Set("s", Faults{})
+	inj.FailNext("s", 2)
+	for i := 0; i < 2; i++ {
+		if o, _ := inj.decide("s"); o != failErr {
+			t.Fatalf("scripted op %d did not fail", i)
+		}
+	}
+	if o, _ := inj.decide("s"); o != passThrough {
+		t.Fatal("script exhausted, must pass")
+	}
+
+	inj.SetDown("s", true)
+	if o, _ := inj.decide("s"); o != failErr {
+		t.Fatal("down target must fail")
+	}
+	inj.SetDown("s", false)
+	if o, _ := inj.decide("s"); o != passThrough {
+		t.Fatal("recovered target must pass")
+	}
+	got := inj.Counts("s")
+	if got.Errors != 2 || got.DownOps != 1 {
+		t.Fatalf("counts: %+v", got)
+	}
+}

@@ -1,0 +1,89 @@
+// Package resilience provides the source fault-tolerance building blocks
+// of the mediator stack: capped exponential backoff with deterministic
+// jitter, a per-source circuit breaker (closed/open/half-open with probe),
+// and a seeded fault injector with wrappers at both the source-connection
+// and net.Conn layers. The paper's premise is mediation over *autonomous*
+// sources that can slow down, disconnect, or vanish; this package gives
+// the mediator an explicit fault boundary per source so one failed poll
+// does not abort a whole transaction, and so chaos can be injected
+// deterministically in tests.
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds repeated attempts against a failing source. The zero
+// value (MaxAttempts <= 1) means a single attempt: fail-fast, exactly the
+// pre-resilience behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	MaxAttempts int
+	// BaseDelay is the delay before the first retry; each subsequent retry
+	// doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 means 16×BaseDelay).
+	MaxDelay time.Duration
+	// JitterFrac in [0,1] is the portion of each delay drawn uniformly at
+	// random (seeded, deterministic): delay = (1-j)·d + rand(0, j·d).
+	JitterFrac float64
+}
+
+// Enabled reports whether the policy allows any retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// Backoff produces the delay schedule of a RetryPolicy with deterministic,
+// seeded jitter. Safe for concurrent use.
+type Backoff struct {
+	pol RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff builds a backoff schedule for pol; the seed makes the jitter
+// sequence reproducible.
+func NewBackoff(pol RetryPolicy, seed int64) *Backoff {
+	return &Backoff{pol: pol, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the pause before retry number `retry` (1-based: the delay
+// after the first failed attempt is Delay(1)).
+func (b *Backoff) Delay(retry int) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	d := b.pol.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	maxD := b.pol.MaxDelay
+	if maxD <= 0 {
+		maxD = 16 * b.pol.BaseDelay
+	}
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= maxD {
+			d = maxD
+			break
+		}
+	}
+	if d > maxD {
+		d = maxD
+	}
+	j := b.pol.JitterFrac
+	if j <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	jitterSpan := time.Duration(float64(d) * j)
+	fixed := d - jitterSpan
+	b.mu.Lock()
+	r := b.rng.Int63n(int64(jitterSpan) + 1)
+	b.mu.Unlock()
+	return fixed + time.Duration(r)
+}

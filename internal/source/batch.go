@@ -31,6 +31,8 @@ type BatchingAnnouncer struct {
 	pending   *delta.Delta
 	count     int
 	last      clock.Time
+	firstSeq  uint64
+	lastSeq   uint64
 	published clock.Time
 	handlers  []Handler
 }
@@ -56,6 +58,10 @@ func (ba *BatchingAnnouncer) onCommit(a Announcement) {
 	ba.pending.Smash(a.Delta)
 	ba.count++
 	ba.last = a.Time
+	if ba.firstSeq == 0 {
+		ba.firstSeq = a.FirstSeq
+	}
+	ba.lastSeq = a.Seq
 	flush := ba.every > 0 && ba.count >= ba.every
 	ba.mu.Unlock()
 	if flush {
@@ -73,9 +79,13 @@ func (ba *BatchingAnnouncer) Flush() {
 		ba.mu.Unlock()
 		return
 	}
-	out := Announcement{Source: ba.db.Name(), Time: ba.last, Delta: ba.pending}
+	out := Announcement{
+		Source: ba.db.Name(), Time: ba.last, Delta: ba.pending,
+		Seq: ba.lastSeq, FirstSeq: ba.firstSeq,
+	}
 	ba.pending = delta.New()
 	ba.count = 0
+	ba.firstSeq, ba.lastSeq = 0, 0
 	ba.published = ba.last
 	handlers := append([]Handler(nil), ba.handlers...)
 	ba.mu.Unlock()

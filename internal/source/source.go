@@ -23,10 +23,20 @@ import (
 )
 
 // Announcement is the net update of one committed transaction.
+//
+// Seq and FirstSeq carry the per-source commit sequence numbers covered by
+// this announcement: [FirstSeq, Seq] for a batch, FirstSeq == Seq for a
+// single commit. Sequence numbers start at 1 and are dense in commit
+// order, so a receiver that last saw seq n must see FirstSeq == n+1 next;
+// anything larger proves announcements were lost (a gap). Zero means
+// "unknown" — producers that predate sequencing — and disables gap
+// detection for that announcement.
 type Announcement struct {
-	Source string
-	Time   clock.Time
-	Delta  *delta.Delta
+	Source   string
+	Time     clock.Time
+	Delta    *delta.Delta
+	Seq      uint64
+	FirstSeq uint64
 }
 
 // Handler receives announcements; called synchronously at commit, in
@@ -165,7 +175,10 @@ func (db *DB) Apply(d *delta.Delta) (clock.Time, error) {
 	snapshot := d.Clone()
 	db.log = append(db.log, Commit{Time: t, Delta: snapshot})
 	db.stats.Commits++
-	ann := Announcement{Source: db.name, Time: t, Delta: snapshot}
+	// The commit's position in the log is its sequence number (1-based);
+	// ReplaySince recomputes the same numbers from log indices.
+	seq := uint64(len(db.log))
+	ann := Announcement{Source: db.name, Time: t, Delta: snapshot, Seq: seq, FirstSeq: seq}
 	for _, h := range db.handlers {
 		h(ann)
 	}
@@ -388,14 +401,18 @@ func (db *DB) Stats() Stats {
 // ref′) makes over-replay harmless.
 func (db *DB) ReplaySince(t clock.Time, h Handler) {
 	db.mu.Lock()
-	var replay []Commit
-	for _, c := range db.log {
+	var replay []Announcement
+	for i, c := range db.log {
 		if c.Time > t {
-			replay = append(replay, c)
+			seq := uint64(i + 1)
+			replay = append(replay, Announcement{
+				Source: db.name, Time: c.Time, Delta: c.Delta.Clone(),
+				Seq: seq, FirstSeq: seq,
+			})
 		}
 	}
 	db.mu.Unlock()
-	for _, c := range replay {
-		h(Announcement{Source: db.name, Time: c.Time, Delta: c.Delta.Clone()})
+	for _, a := range replay {
+		h(a)
 	}
 }

@@ -265,6 +265,13 @@ func (b *Builder) Build() (*VDP, error) {
 		n := b.nodes[name]
 		if !n.IsLeaf() && n.Ann == nil {
 			if ann, ok := b.annotations[name]; ok {
+				// Partial annotations (e.g. the CLI's -virtual NODE:attrs)
+				// default every unmentioned attribute to materialized.
+				for _, a := range n.Schema.AttrNames() {
+					if _, ok := ann[a]; !ok {
+						ann[a] = Materialized
+					}
+				}
 				n.Ann = ann
 			} else {
 				n.Ann = AllMaterialized(n.Schema)

@@ -13,14 +13,38 @@ import (
 	"squirrel/internal/source"
 )
 
+// DialOptions tune a source-client connection.
+type DialOptions struct {
+	// Reconnect redials automatically (with capped backoff) whenever the
+	// read loop exits on a broken connection. The server re-subscribes the
+	// new connection to the announcement feed; announcements committed
+	// during the outage are LOST, which is exactly what the mediator's
+	// sequence-gap detection + quarantine + resync exists to absorb — wire
+	// OnReconnect to Mediator.QuarantineSource so the resync is proactive
+	// rather than waiting for the next gap-revealing announcement.
+	Reconnect bool
+	// RetryBase/RetryMax bound the redial backoff (defaults 100ms / 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Timeout bounds each request round trip (0 = wait forever).
+	Timeout time.Duration
+	// WrapConn, if non-nil, wraps every new connection — the hook for
+	// resilience.WrapNetConn fault injection.
+	WrapConn func(net.Conn) net.Conn
+	// OnDrop runs when an established connection is lost (before any
+	// redial); OnReconnect runs after each successful redial + hello.
+	OnDrop      func(error)
+	OnReconnect func()
+}
+
 // Client connects a mediator to a remote source database served by
 // SourceServer. It implements core.SourceConn; announcements received on
 // the connection are forwarded, in order, to the handler registered with
 // OnAnnounce — and, crucially, before any query answer that follows them
 // on the wire, preserving the FIFO contract.
 type Client struct {
-	name string
-	conn net.Conn
+	addr string
+	opts DialOptions
 
 	// Timeout bounds each request round trip (0 = wait forever). Set it
 	// before issuing requests; a timed-out request leaves the connection
@@ -30,57 +54,105 @@ type Client struct {
 	wmu    sync.Mutex
 	writer *bufio.Writer
 
-	mu       sync.Mutex
-	nextID   uint64
-	waiters  map[uint64]chan Message
-	handler  func(source.Announcement)
-	closed   bool
-	readErr  error
-	readDone chan struct{}
+	mu      sync.Mutex
+	name    string
+	conn    net.Conn
+	nextID  uint64
+	waiters map[uint64]chan Message
+	handler func(source.Announcement)
+	closed  bool
+	readErr error
 }
 
 // Dial connects to a source server and waits for its hello.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects with explicit options.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 100 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 5 * time.Second
 	}
 	c := &Client{
-		conn:     conn,
-		writer:   bufio.NewWriter(conn),
-		waiters:  make(map[uint64]chan Message),
-		readDone: make(chan struct{}),
+		addr:    addr,
+		opts:    opts,
+		Timeout: opts.Timeout,
+		waiters: make(map[uint64]chan Message),
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials, installs the new connection, and waits for the server's
+// hello. On success the read loop is running against the new connection.
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	if c.opts.WrapConn != nil {
+		conn = c.opts.WrapConn(conn)
 	}
 	hello := make(chan string, 1)
+	done := make(chan struct{})
 	c.mu.Lock()
-	c.waiters[0] = nil // reserved
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("wire: client closed")
+	}
+	c.conn = conn
 	c.mu.Unlock()
-	go c.readLoop(hello)
+	c.wmu.Lock()
+	c.writer = bufio.NewWriter(conn)
+	c.wmu.Unlock()
+	go c.readLoop(conn, hello, done)
 	select {
 	case name := <-hello:
+		c.mu.Lock()
+		if c.name != "" && c.name != name {
+			c.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("wire: reconnected to %q, expected %q", name, c.name)
+		}
 		c.name = name
-		return c, nil
-	case <-c.readDone:
+		c.mu.Unlock()
+		return nil
+	case <-done:
 		conn.Close()
-		return nil, fmt.Errorf("wire: connection closed before hello: %v", c.readErr)
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return fmt.Errorf("wire: connection closed before hello: %v", err)
 	}
 }
 
 // Name returns the remote source database's name (core.SourceConn).
-func (c *Client) Name() string { return c.name }
+func (c *Client) Name() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.name
+}
 
 // OnAnnounce registers the announcement handler (call before the first
 // commit you care about; typically wired to Mediator.OnAnnouncement before
-// Initialize).
+// Initialize). The handler survives reconnects: the server re-subscribes
+// every new connection to its announcement feed.
 func (c *Client) OnAnnounce(h func(source.Announcement)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.handler = h
 }
 
-func (c *Client) readLoop(hello chan<- string) {
-	defer close(c.readDone)
-	scanner := bufio.NewScanner(c.conn)
+func (c *Client) readLoop(conn net.Conn, hello chan<- string, done chan struct{}) {
+	defer close(done)
+	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	for scanner.Scan() {
 		var m Message
@@ -94,15 +166,17 @@ func (c *Client) readLoop(hello chan<- string) {
 			default:
 			}
 		case "announce":
-			var d Message = m
 			c.mu.Lock()
 			h := c.handler
 			c.mu.Unlock()
-			if h != nil && d.Delta != nil {
-				dd, err := d.Delta.Decode()
+			if h != nil && m.Delta != nil {
+				dd, err := m.Delta.Decode()
 				if err == nil {
 					// Synchronous, in receive order: FIFO preserved.
-					h(source.Announcement{Source: d.Source, Time: d.Time, Delta: dd})
+					h(source.Announcement{
+						Source: m.Source, Time: m.Time, Delta: dd,
+						Seq: m.Seq, FirstSeq: m.FirstSeq,
+					})
 				}
 			}
 		case "answer", "error":
@@ -115,6 +189,10 @@ func (c *Client) readLoop(hello chan<- string) {
 			}
 		}
 	}
+	// Connection gone: fail every in-flight round trip, then (optionally)
+	// redial in the background. Requests issued while disconnected fail on
+	// write; the announcement handler stays registered for the new
+	// connection.
 	c.mu.Lock()
 	c.readErr = scanner.Err()
 	for id, ch := range c.waiters {
@@ -123,10 +201,50 @@ func (c *Client) readLoop(hello chan<- string) {
 		}
 		delete(c.waiters, id)
 	}
+	closed := c.closed
+	stale := c.conn != conn // a newer connection already took over
 	c.mu.Unlock()
+	if closed || stale {
+		return
+	}
+	if c.opts.OnDrop != nil {
+		c.opts.OnDrop(c.readErr)
+	}
+	if c.opts.Reconnect {
+		go c.reconnectLoop()
+	}
 }
 
-// roundTrip sends a request and waits for its matched reply.
+// reconnectLoop redials with capped exponential backoff until it succeeds
+// or the client is closed.
+func (c *Client) reconnectLoop() {
+	backoff := c.opts.RetryBase
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		if err := c.connect(); err == nil {
+			if c.opts.OnReconnect != nil {
+				c.opts.OnReconnect()
+			}
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > c.opts.RetryMax {
+			backoff = c.opts.RetryMax
+		}
+	}
+}
+
+// roundTrip sends a request and waits for its matched reply. The waiter
+// registered for the request is removed on EVERY exit path — encode
+// error, write error, timeout, reply — so shutdown never finds (and
+// closes) a channel its request already abandoned, and the map cannot
+// accumulate dead entries.
 func (c *Client) roundTrip(m Message) (Message, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -138,10 +256,16 @@ func (c *Client) roundTrip(m Message) (Message, error) {
 	ch := make(chan Message, 1)
 	c.waiters[id] = ch
 	c.mu.Unlock()
+	unregister := func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}
 
 	m.ID = id
 	b, err := encode(m)
 	if err != nil {
+		unregister()
 		return Message{}, err
 	}
 	c.wmu.Lock()
@@ -149,8 +273,22 @@ func (c *Client) roundTrip(m Message) (Message, error) {
 	if werr == nil {
 		werr = c.writer.Flush()
 	}
+	if werr != nil {
+		// A write error poisons a bufio.Writer permanently (it returns the
+		// cached error forever after). Reset it against the current
+		// connection so a transient fault doesn't outlive itself; if the
+		// transport really is broken, the read loop notices and tears the
+		// connection down anyway.
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		if conn != nil {
+			c.writer = bufio.NewWriter(conn)
+		}
+	}
 	c.wmu.Unlock()
 	if werr != nil {
+		unregister()
 		return Message{}, werr
 	}
 	var timeout <-chan time.Time
@@ -169,11 +307,16 @@ func (c *Client) roundTrip(m Message) (Message, error) {
 		}
 		return reply, nil
 	case <-timeout:
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
+		unregister()
 		return Message{}, fmt.Errorf("wire: request %d timed out after %s", id, c.Timeout)
 	}
+}
+
+// WaiterCount reports the number of registered reply waiters (tests).
+func (c *Client) WaiterCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
 }
 
 // QueryMulti implements core.SourceConn over the wire.
@@ -210,12 +353,16 @@ func (c *Client) Apply(d Delta) (clock.Time, error) {
 	return reply.AsOf, nil
 }
 
-// Close tears the connection down.
+// Close tears the connection down and disables reconnection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	conn := c.conn
 	c.mu.Unlock()
-	return c.conn.Close()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }
 
 // Catalog fetches the source's relation schemas (for mediators assembled

@@ -355,6 +355,19 @@ type Message struct {
 	Source string     `json:"source,omitempty"`
 	Time   clock.Time `json:"time,omitempty"`
 	Delta  *Delta     `json:"delta,omitempty"`
+	// type "announce": dense per-source sequence numbers for mediator-side
+	// gap detection (source.Announcement semantics; 0 = sender does not
+	// number its announcements, which disables detection).
+	Seq      uint64 `json:"seq,omitempty"`
+	FirstSeq uint64 `json:"fseq,omitempty"`
+	// type "medquery": degradation policy ("" / "failfast" / "stale") and
+	// the client's maximum tolerable staleness bound (0 = unbounded).
+	Degrade  string     `json:"degrade,omitempty"`
+	MaxStale clock.Time `json:"maxstale,omitempty"`
+	// type "answer" to "medquery": set when the answer was served from
+	// cached data for the listed sources (per-source staleness bounds).
+	Degraded  bool         `json:"degraded,omitempty"`
+	Staleness clock.Vector `json:"staleness,omitempty"`
 	// type "answer" to "medquery"/"medversion": the published store
 	// version the answer was computed against.
 	Version uint64 `json:"version,omitempty"`
@@ -364,6 +377,9 @@ type Message struct {
 	Name string `json:"name,omitempty"`
 	// type "catalog" (reply): the source's relation schemas.
 	Schemas []Schema `json:"schemas,omitempty"`
+	// type "answer" to "medstats": the mediator's operation counters and
+	// per-source health (core.Stats marshals as plain JSON).
+	Stats *StatsPayload `json:"stats,omitempty"`
 }
 
 // encode marshals a message plus newline.

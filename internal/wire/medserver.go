@@ -13,6 +13,10 @@ import (
 	"squirrel/internal/relation"
 )
 
+// StatsPayload is the wire form of the mediator's counters — core.Stats
+// marshals directly (all fields exported, health values string-typed).
+type StatsPayload = core.Stats
+
 // MediatorServer exposes a mediator's Query Processor over TCP, completing
 // the Figure 3 deployment: applications connect to the mediator exactly as
 // the mediator connects to its sources. Each connection is served on its
@@ -102,7 +106,11 @@ func (s *MediatorServer) serveConn(conn net.Conn) {
 				}
 				continue
 			}
-			res, err := s.med.QueryOpts(m.Specs[0].Rel, m.Specs[0].Attrs, cond, core.QueryOptions{})
+			opts := core.QueryOptions{MaxStaleness: m.MaxStale}
+			if m.Degrade == "stale" {
+				opts.Degrade = core.ServeStale
+			}
+			res, err := s.med.QueryOpts(m.Specs[0].Rel, m.Specs[0].Attrs, cond, opts)
 			if err != nil {
 				if !send(Message{Type: "error", ID: m.ID, Error: err.Error()}) {
 					return
@@ -110,12 +118,18 @@ func (s *MediatorServer) serveConn(conn net.Conn) {
 				continue
 			}
 			if !send(Message{Type: "answer", ID: m.ID, AsOf: res.Committed,
-				Answers: []Relation{EncodeRelation(res.Answer)},
-				Version: res.Version}) {
+				Answers:  []Relation{EncodeRelation(res.Answer)},
+				Version:  res.Version,
+				Degraded: res.Degraded, Staleness: res.Staleness}) {
 				return
 			}
 		case "medversion":
 			if !send(Message{Type: "answer", ID: m.ID, Version: s.med.StoreVersion()}) {
+				return
+			}
+		case "medstats":
+			st := s.med.Stats()
+			if !send(Message{Type: "answer", ID: m.ID, Stats: &st}) {
 				return
 			}
 		case "sync":
@@ -263,6 +277,39 @@ func (c *MediatorClient) QueryVersioned(export string, attrs []string, cond alge
 		return nil, 0, 0, err
 	}
 	return ans, reply.AsOf, reply.Version, nil
+}
+
+// QueryStale is Query under the ServeStale degradation policy: if a
+// polled source is down, the mediator may answer from cached data, and
+// the returned vector carries the per-source staleness bounds (nil when
+// nothing was degraded). maxStale > 0 refuses answers staler than that
+// bound (Theorem 7.2's f̄ as a client-side contract); 0 accepts any age.
+func (c *MediatorClient) QueryStale(export string, attrs []string, cond algebra.Expr, maxStale clock.Time) (*relation.Relation, clock.Time, clock.Vector, error) {
+	reply, err := c.roundTrip(Message{Type: "medquery", Degrade: "stale", MaxStale: maxStale,
+		Specs: []QuerySpec{{Rel: export, Attrs: attrs, Cond: EncodeExpr(cond)}}})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if len(reply.Answers) != 1 {
+		return nil, 0, nil, fmt.Errorf("wire: expected one answer, got %d", len(reply.Answers))
+	}
+	ans, err := reply.Answers[0].Decode()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return ans, reply.AsOf, reply.Staleness, nil
+}
+
+// Stats fetches the mediator's operation counters and per-source health.
+func (c *MediatorClient) Stats() (*StatsPayload, error) {
+	reply, err := c.roundTrip(Message{Type: "medstats"})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Stats == nil {
+		return nil, fmt.Errorf("wire: stats reply without payload")
+	}
+	return reply.Stats, nil
 }
 
 // StoreVersion returns the mediator's currently published store version.

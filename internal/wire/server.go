@@ -72,7 +72,8 @@ func (s *SourceServer) Serve(ln net.Listener) error {
 	s.mu.Unlock()
 	// One subscription on the database fans out to all live connections.
 	s.db.Subscribe(func(a source.Announcement) {
-		msg := Message{Type: "announce", Source: a.Source, Time: a.Time}
+		msg := Message{Type: "announce", Source: a.Source, Time: a.Time,
+			Seq: a.Seq, FirstSeq: a.FirstSeq}
 		d := EncodeDelta(a.Delta)
 		msg.Delta = &d
 		s.mu.Lock()

@@ -34,6 +34,7 @@ import (
 	"squirrel/internal/core"
 	"squirrel/internal/delta"
 	"squirrel/internal/relation"
+	"squirrel/internal/resilience"
 	"squirrel/internal/source"
 	"squirrel/internal/store"
 	"squirrel/internal/trace"
@@ -187,6 +188,51 @@ type (
 	// CheckerEnvironment verifies consistency and freshness (§3, §7).
 	CheckerEnvironment = checker.Environment
 )
+
+// Fault tolerance (retry, circuit breaking, degraded answers, chaos).
+type (
+	// ResilienceConfig tunes the mediator's source fault boundary: poll
+	// timeouts, retry/backoff, and per-source circuit breakers. The zero
+	// value preserves strict fail-fast behavior.
+	ResilienceConfig = core.ResilienceConfig
+	// RetryPolicy caps attempts and bounds the exponential backoff.
+	RetryPolicy = resilience.RetryPolicy
+	// BreakerPolicy configures the per-source circuit breaker.
+	BreakerPolicy = resilience.BreakerPolicy
+	// DegradeMode selects what a query does when a polled source is down:
+	// FailFast (default) or ServeStale.
+	DegradeMode = core.DegradeMode
+	// SourceHealth is the per-source slice of Stats: breaker state, trips,
+	// quarantine reason, last contact, announcement cursor.
+	SourceHealth = core.SourceHealth
+	// FaultInjector drives deterministic, seeded fault injection.
+	FaultInjector = resilience.Injector
+	// Faults is one source's fault profile (down, error/drop/hang/latency
+	// probabilities).
+	Faults = resilience.Faults
+	// ChaosSource wraps a SourceConn with fault injection.
+	ChaosSource = resilience.ChaosSource
+)
+
+// Degradation modes.
+const (
+	// FailFast propagates source failures as query errors.
+	FailFast = core.FailFast
+	// ServeStale answers from cached/materialized data when a source is
+	// down, stamping the answer with a per-source staleness bound
+	// (refused above QueryOptions.MaxStaleness — Theorem 7.2's f̄ as a
+	// runtime contract).
+	ServeStale = core.ServeStale
+)
+
+// NewFaultInjector creates a deterministic seeded fault injector; wrap
+// source connections with WrapChaos and script outages with SetDown/Set.
+var NewFaultInjector = resilience.NewInjector
+
+// WrapChaos wraps a source connection with fault injection.
+func WrapChaos(conn SourceConn, inj *FaultInjector) SourceConn {
+	return resilience.WrapSource(conn, inj)
+}
 
 // Mediator/query-mode constants.
 const (

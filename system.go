@@ -26,6 +26,7 @@ type System struct {
 	order   []string
 	med     *Mediator
 	plan    *VDP
+	resil   ResilienceConfig
 	started bool
 }
 
@@ -166,6 +167,16 @@ func (s *System) AnnotateAllVirtual(node string, attrs []string) {
 	s.builder.Annotate(node, Ann(nil, attrs))
 }
 
+// SetResilience configures the mediator's source fault boundary (poll
+// timeouts, retry/backoff, circuit breakers). Call before Start; the zero
+// config (the default) is strict fail-fast.
+func (s *System) SetResilience(cfg ResilienceConfig) {
+	if s.started {
+		panic("squirrel: SetResilience after Start")
+	}
+	s.resil = cfg
+}
+
 // Start validates the plan, builds the mediator, connects announcement
 // feeds, and initializes the materialized store from the sources.
 func (s *System) Start() error {
@@ -180,7 +191,7 @@ func (s *System) Start() error {
 	for name, src := range s.sources {
 		conns[name] = core.LocalSource{DB: src.db}
 	}
-	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec})
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec, Resilience: s.resil})
 	if err != nil {
 		return err
 	}
@@ -394,7 +405,7 @@ func (s *System) StartFromState(r io.Reader) error {
 	for name, src := range s.sources {
 		conns[name] = core.LocalSource{DB: src.db}
 	}
-	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec})
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec, Resilience: s.resil})
 	if err != nil {
 		return err
 	}
