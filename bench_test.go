@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"squirrel"
 	"squirrel/internal/algebra"
@@ -708,5 +709,133 @@ func BenchmarkE15ConcurrentReads(b *testing.B) {
 				churn.Wait()
 			})
 		}
+	}
+}
+
+// benchWidePropagationMediator assembles the wide-VDP benchmark topology
+// for the staged kernel: `units` independent join views T0..T{units-1},
+// each R{i} ⋈ S{i}. All R leaves live on one shared source ("upd") so a
+// single source transaction announces work for every unit at once; each
+// S{i} lives on its own source ("pol{i}") wrapped with deterministic
+// injected latency, modelling the network round trip of a real remote
+// database. S{i}' and T{i} are hybrid with the S-payload virtual — the
+// same shape as the fault-tolerance chaos environment — so maintaining
+// T{i} after an R commit forces an Eager-Compensated poll of pol{i}.
+// Update-transaction latency is then dominated by the `units` polls: the
+// serial executor pays them in sequence, the staged executor overlaps
+// them on its worker pool.
+func benchWidePropagationMediator(b *testing.B, units, workers int, latency time.Duration) (*squirrel.Mediator, *squirrel.SourceDB) {
+	b.Helper()
+	clk := &squirrel.LogicalClock{}
+	rng := rand.New(rand.NewSource(7))
+	builder := squirrel.NewVDPBuilder()
+	inj := squirrel.NewFaultInjector(7)
+	conns := map[string]squirrel.SourceConn{}
+
+	upd := squirrel.NewSourceDB("upd", clk)
+	conns["upd"] = squirrel.LocalConn(upd)
+	var polls []*squirrel.SourceDB
+	for i := 0; i < units; i++ {
+		rs := squirrel.MustSchema(fmt.Sprintf("R%d", i), []squirrel.Attribute{
+			{Name: fmt.Sprintf("ra%d", i), Type: squirrel.KindInt},
+			{Name: fmt.Sprintf("rb%d", i), Type: squirrel.KindInt},
+			{Name: fmt.Sprintf("rc%d", i), Type: squirrel.KindInt}}, fmt.Sprintf("ra%d", i))
+		r := squirrel.NewRelation(rs, squirrel.Set)
+		for k := 1; k <= 8; k++ {
+			r.Insert(squirrel.T(int64(k), int64(1+rng.Intn(4)), int64(rng.Intn(50))))
+		}
+		if err := upd.LoadRelation(r); err != nil {
+			b.Fatal(err)
+		}
+		if err := builder.AddSource("upd", rs); err != nil {
+			b.Fatal(err)
+		}
+
+		src := fmt.Sprintf("pol%d", i)
+		db := squirrel.NewSourceDB(src, clk)
+		ss := squirrel.MustSchema(fmt.Sprintf("S%d", i), []squirrel.Attribute{
+			{Name: fmt.Sprintf("sa%d", i), Type: squirrel.KindInt},
+			{Name: fmt.Sprintf("sb%d", i), Type: squirrel.KindInt}}, fmt.Sprintf("sa%d", i))
+		s := squirrel.NewRelation(ss, squirrel.Set)
+		for k := 1; k <= 4; k++ {
+			s.Insert(squirrel.T(int64(k), int64(rng.Intn(100))))
+		}
+		if err := db.LoadRelation(s); err != nil {
+			b.Fatal(err)
+		}
+		if err := builder.AddSource(src, ss); err != nil {
+			b.Fatal(err)
+		}
+		polls = append(polls, db)
+		conns[src] = squirrel.WrapChaos(squirrel.LocalConn(db), inj)
+
+		if err := builder.AddViewSQL(fmt.Sprintf("T%d", i),
+			fmt.Sprintf("SELECT ra%d, rc%d, sa%d, sb%d FROM R%d JOIN S%d ON rb%d = sa%d",
+				i, i, i, i, i, i, i, i)); err != nil {
+			b.Fatal(err)
+		}
+		builder.Annotate(fmt.Sprintf("S%d'", i),
+			squirrel.Ann([]string{fmt.Sprintf("sa%d", i)}, []string{fmt.Sprintf("sb%d", i)}))
+		builder.Annotate(fmt.Sprintf("T%d", i), squirrel.Ann(
+			[]string{fmt.Sprintf("ra%d", i), fmt.Sprintf("rc%d", i), fmt.Sprintf("sa%d", i)},
+			[]string{fmt.Sprintf("sb%d", i)}))
+	}
+	plan, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	med, err := squirrel.NewMediator(squirrel.MediatorConfig{
+		VDP: plan, Sources: conns, Clock: clk, PropagateWorkers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	squirrel.ConnectLocal(med, upd)
+	for _, db := range polls {
+		squirrel.ConnectLocal(med, db)
+	}
+	if err := med.Initialize(); err != nil {
+		b.Fatal(err)
+	}
+	// Inject the poll latency only after the initial full load.
+	for i := 0; i < units; i++ {
+		inj.Set(fmt.Sprintf("pol%d", i), squirrel.Faults{LatencyProb: 1, Latency: latency})
+	}
+	return med, upd
+}
+
+// BenchmarkParallelPropagation measures one update transaction over the
+// wide topology above (8 units, 2ms injected poll latency) as the worker
+// count grows. Each iteration commits one insert per R leaf in a single
+// source transaction, then runs the update transaction that maintains all
+// 8 join views. On a single-CPU host the kernel's compute cannot speed
+// up; the win measured here is poll-latency overlap in the VAP, which is
+// where a latency-dominated wide propagation spends its time (workers=1
+// pays 8 round trips in sequence, workers=4 pays ~2).
+func BenchmarkParallelPropagation(b *testing.B) {
+	const units = 8
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			med, upd := benchWidePropagationMediator(b, units, workers, 2*time.Millisecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := squirrel.NewDelta()
+				for u := 0; u < units; u++ {
+					nextKey++
+					d.Insert(fmt.Sprintf("R%d", u),
+						squirrel.T(nextKey, int64(1+i%4), int64(i%50)))
+				}
+				if _, err := upd.Apply(d); err != nil {
+					b.Fatal(err)
+				}
+				ran, err := med.RunUpdateTransaction()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ran {
+					b.Fatal("update transaction had nothing to do")
+				}
+			}
+		})
 	}
 }

@@ -53,8 +53,13 @@ func cmdServeMediator(args []string) error {
 	breaker := fs.String("breaker", "", "circuit breaker FAILURES:COOLDOWN (e.g. 5:2s; empty = disabled)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for deterministic fault injection on source links (0 = off)")
 	chaosErr := fs.Float64("chaos-err", 0.1, "per-operation error probability when -chaos-seed is set")
+	workers := fs.Int("propagate-workers", 0,
+		"staged-kernel worker pool for update propagation (0 = serial reference kernel)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("bad -propagate-workers %d (want >= 0)", *workers)
 	}
 	resil := core.ResilienceConfig{
 		PollTimeout: *pollTimeout,
@@ -155,9 +160,14 @@ func cmdServeMediator(args []string) error {
 	fmt.Println("\nannotated VDP:")
 	fmt.Print(plan)
 
-	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: clk, Resilience: resil})
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: clk,
+		Resilience: resil, PropagateWorkers: *workers})
 	if err != nil {
 		return err
+	}
+	if *workers >= 1 {
+		fmt.Printf("staged kernel: %d worker(s), %d stages, widest stage %d node(s)\n",
+			*workers, plan.StageCount(), plan.MaxStageWidth())
 	}
 	for _, c := range clients {
 		c.OnAnnounce(med.OnAnnouncement)
@@ -306,6 +316,8 @@ func cmdStats(args []string) error {
 		st.UpdateTxns, st.QueryTxns, st.KeyBasedTemps, st.Resyncs)
 	fmt.Printf("propagation:    %d atoms, %d source polls, %d tuples polled\n",
 		st.AtomsPropagated, st.SourcePolls, st.TuplesPolled)
+	fmt.Printf("staged kernel:  %d stages run, %d nodes maintained, %d txn retries\n",
+		st.KernelStages, st.KernelStageNodes, st.UpdateTxnRetries)
 	fmt.Printf("fault boundary: %d poll failures, %d retries, %d breaker fast-fails\n",
 		st.PollFailures, st.PollRetries, st.BreakerFastFails)
 	fmt.Printf("degradation:    %d degraded queries, %d gaps detected\n",

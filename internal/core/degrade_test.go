@@ -29,8 +29,8 @@ type triEnv struct {
 	med *Mediator
 	v   *vdp.VDP
 
-	mu       sync.Mutex
-	swallow  map[string]int // announcements to drop, per source
+	mu      sync.Mutex
+	swallow map[string]int // announcements to drop, per source
 }
 
 var triAttrs = []string{"ka", "av", "bv", "cv"}

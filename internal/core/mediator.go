@@ -115,6 +115,15 @@ type Stats struct {
 	DegradedQueries  int
 	GapsDetected     int
 	Resyncs          int
+	// Staged-kernel counters (parallel.go): stages that had dirty nodes
+	// to process, dirty nodes processed across those stages, and update
+	// transactions retried because a concurrent resync published while
+	// the transaction was polling outside the store mutex. All zero when
+	// PropagateWorkers is 0 (serial kernel) — except UpdateTxnRetries,
+	// which the serial path can also record.
+	KernelStages     int
+	KernelStageNodes int
+	UpdateTxnRetries int
 	// Sources is the per-source health view (breaker state, quarantine,
 	// last contact).
 	Sources map[string]SourceHealth
@@ -137,6 +146,9 @@ type counters struct {
 	degradedQueries  atomic.Int64
 	gapsDetected     atomic.Int64
 	resyncs          atomic.Int64
+	kernelStages     atomic.Int64
+	kernelStageNodes atomic.Int64
+	txnRetries       atomic.Int64
 }
 
 // Config assembles a Mediator.
@@ -153,6 +165,14 @@ type Config struct {
 	// Resilience tunes the per-source fault boundary (health.go). The
 	// zero value means fail-fast: one attempt, no timeout, no breaker.
 	Resilience ResilienceConfig
+	// PropagateWorkers selects the kernel executor for update
+	// transactions. 0 (the default) runs the serial reference kernel —
+	// the ground truth the differential oracle checks the staged kernel
+	// against. Any n >= 1 runs the staged kernel (parallel.go): the
+	// topological order is partitioned into antichain stages and each
+	// stage's node maintenance and VAP polls run on at most n worker
+	// goroutines (n = 1 exercises the staged path single-threaded).
+	PropagateWorkers int
 }
 
 // versionPin tracks how many in-flight query transactions are reading a
@@ -171,12 +191,23 @@ type Mediator struct {
 	clk      clock.Clock
 	recorder *trace.Recorder
 
-	// mu serializes update transactions (Initialize, Restore,
-	// RunUpdateTransaction) — the single-writer side of the versioned
-	// store. Query transactions do NOT take it: they pin a published
+	// txnMu serializes RunUpdateTransaction end to end: one update
+	// transaction at a time, held across its VAP polls and kernel run.
+	// Nothing else takes it. Lock order: txnMu before mu before qmu.
+	txnMu sync.Mutex
+	// mu guards the store's write side (Begin/Publish and the state they
+	// must agree with). Initialize, Restore, and ResyncSource hold it for
+	// their whole run; RunUpdateTransaction holds it only to snapshot the
+	// queue + begin the builder and again to commit, so a slow source
+	// poll no longer blocks resyncs or anything else that needs mu. A
+	// commit whose builder base is no longer the current version (a
+	// resync published meanwhile) is discarded and the transaction
+	// retried. Query transactions do NOT take mu: they pin a published
 	// version from vstore instead.
 	mu     sync.Mutex
 	vstore *store.Store
+	// workers is Config.PropagateWorkers, fixed at construction.
+	workers int
 
 	contributors map[string]ContributorKind
 	leafSchemas  map[string]*relation.Schema
@@ -255,6 +286,7 @@ func New(cfg Config) (*Mediator, error) {
 		gapPen:        make(map[string][]source.Announcement),
 		resyncBarrier: make(clock.Vector),
 		resil:         cfg.Resilience,
+		workers:       cfg.PropagateWorkers,
 	}
 	for _, s := range cfg.VDP.Sources() {
 		conn, ok := cfg.Sources[s]
@@ -344,6 +376,9 @@ func (m *Mediator) Stats() Stats {
 		DegradedQueries:  int(m.stats.degradedQueries.Load()),
 		GapsDetected:     int(m.stats.gapsDetected.Load()),
 		Resyncs:          int(m.stats.resyncs.Load()),
+		KernelStages:     int(m.stats.kernelStages.Load()),
+		KernelStageNodes: int(m.stats.kernelStageNodes.Load()),
+		UpdateTxnRetries: int(m.stats.txnRetries.Load()),
 	}
 	s.Sources = m.sourceHealthStats()
 	s.QueueHighWater = m.queueStats()

@@ -1,0 +1,20 @@
+package core
+
+import "testing"
+
+// TestParallelSoak re-runs the full chaos soak of fault_soak_test.go with
+// the staged parallel kernel (8 workers): committers churn both sources,
+// update transactions run the antichain stages on a worker pool with
+// concurrent VAP polls, and ServeStale readers race against them under
+// -race. The invariants are unchanged — every answer exact at its Reflect
+// vector, degraded answers bounded, stores converging to ground truth,
+// no pin or announcement leaks — because the staged executor must be
+// observationally identical to the serial reference kernel.
+func TestParallelSoak(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			runFaultSoak(t, seed, 8)
+		})
+	}
+}

@@ -38,6 +38,15 @@ type randPlan struct {
 // conditions, projections, and annotations.
 func buildRandomPlan(t *testing.T, rng *rand.Rand) *randPlan {
 	t.Helper()
+	return buildRandomPlanWorkers(t, rng, 0)
+}
+
+// buildRandomPlanWorkers is buildRandomPlan with the kernel executor
+// selected. It consumes rng identically for every workers value, so two
+// calls with equally-seeded rngs produce byte-identical environments that
+// differ only in the executor — the setup the differential oracle needs.
+func buildRandomPlanWorkers(t *testing.T, rng *rand.Rand, workers int) *randPlan {
+	t.Helper()
 	clk := &clock.Logical{}
 	nLeaves := 2 + rng.Intn(2) // 2 or 3 leaves
 	var nodes []*vdp.Node
@@ -179,7 +188,7 @@ func buildRandomPlan(t *testing.T, rng *rand.Rand) *randPlan {
 		t.Fatalf("generated plan invalid: %v\nshape=%d", err, shape)
 	}
 	rec := trace.NewRecorder()
-	med, err := New(Config{VDP: plan, Sources: conns, Clock: clk, Recorder: rec})
+	med, err := New(Config{VDP: plan, Sources: conns, Clock: clk, Recorder: rec, PropagateWorkers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,12 @@ import (
 // the u_hold_delay policy of §7 as a deployable component. Queries go
 // straight to the mediator (its transactions are internally serialized);
 // the runtime only owns the flush loop.
+//
+// The loop's resync-then-drain ordering relies on the mediator's narrow
+// store mutex: an update transaction stuck polling a slow source holds
+// only txnMu, so a tick's ResyncSource calls proceed regardless, and the
+// transaction detects their publishes at commit (via the builder's base
+// version) and retries rather than clobbering the resynced state.
 type Runtime struct {
 	med    *Mediator
 	period time.Duration

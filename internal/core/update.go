@@ -23,56 +23,72 @@ import (
 // nodes are cloned copy-on-write, untouched relations stay shared — and
 // the commit publishes the builder as the next version in one atomic
 // swap, so concurrent readers never observe a partially propagated state.
+//
+// Locking: the transaction holds txnMu end to end (one update transaction
+// at a time) but holds the store mutex mu only to prepare (queue snapshot
+// + Begin) and to commit. The VAP polls and the kernel run outside mu, so
+// a slow or hung source stalls only this transaction — queries were
+// always lock-free, and now resyncs and sync'd readers stay unblocked
+// too. The price is a race with ResyncSource, the one other post-init
+// publisher: if it publishes while this transaction is in flight, the
+// builder extends a superseded version and the commit-time base check
+// discards it and retries the whole transaction against the new state.
+
+// maxUpdateRetries bounds how often one RunUpdateTransaction call may be
+// overtaken by concurrent publishes before giving up. Each retry means a
+// ResyncSource committed during our poll window; back-to-back resyncs are
+// pathological, so a small bound suffices.
+const maxUpdateRetries = 8
 
 // RunUpdateTransaction drains the update queue (the snapshot present when
 // the transaction starts) and propagates the combined delta through the
 // VDP. It reports whether a transaction ran (false when the queue was
 // empty).
 func (m *Mediator) RunUpdateTransaction() (bool, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.vstore.Current() == nil {
-		return false, fmt.Errorf("core: mediator not initialized")
+	m.txnMu.Lock()
+	defer m.txnMu.Unlock()
+	for attempt := 0; ; attempt++ {
+		ran, retry, err := m.runUpdateOnce()
+		if err != nil || !retry {
+			return ran, err
+		}
+		if attempt == maxUpdateRetries {
+			return false, fmt.Errorf("core: update transaction overtaken by %d concurrent publishes; giving up", attempt+1)
+		}
+		m.stats.txnRetries.Add(1)
 	}
+}
 
-	// Snapshot the queue: this transaction covers exactly this prefix
-	// (empty_queue time); later arrivals wait for the next transaction.
+// runUpdateOnce is one attempt: prepare under mu, poll and propagate
+// outside it, commit under mu. retry reports that a concurrent publish
+// superseded the builder's base and the caller should start over.
+func (m *Mediator) runUpdateOnce() (ran, retry bool, err error) {
+	// Prepare: the queue prefix this transaction covers (empty_queue
+	// time) and the builder's base version must name the same state, so
+	// both are captured under mu — the lock every publisher holds.
+	m.mu.Lock()
+	if m.vstore.Current() == nil {
+		m.mu.Unlock()
+		return false, false, fmt.Errorf("core: mediator not initialized")
+	}
 	m.qmu.Lock()
 	snapshot := append([]source.Announcement(nil), m.queue...)
 	m.qmu.Unlock()
-	if len(snapshot) == 0 {
-		return false, nil
-	}
-
-	// Combine the announcements into one delta per VDP leaf, tracking the
-	// latest announcement time per source (the new ref′ components).
-	combined := delta.New()
-	newRef := make(clock.Vector)
-	for _, a := range snapshot {
-		for _, relName := range a.Delta.Relations() {
-			leaf := m.v.Node(relName)
-			if leaf == nil || !leaf.IsLeaf() || leaf.Source != a.Source {
-				continue // irrelevant to this mediator
-			}
-			combined.Rel(relName).Smash(a.Delta.Get(relName))
-		}
-		if a.Time > newRef[a.Source] {
-			newRef[a.Source] = a.Time
-		}
-	}
-
 	b := m.vstore.Begin()
+	m.mu.Unlock()
+	if len(snapshot) == 0 {
+		return false, false, nil
+	}
+
+	combined, newRef := m.coalesceAnnouncements(snapshot)
 	var temps *tempResult
 	polled := 0
-	var dirty []string
-	for _, relName := range combined.Relations() {
-		dirty = append(dirty, relName)
-	}
+	dirty := combined.Relations()
 	if len(dirty) > 0 {
 		// Phase (a): which node states will the rules read?
 		reqs, err := m.v.KernelRequirements(dirty)
 		if err != nil {
-			return false, err
+			return false, false, err
 		}
 		var needed []vdp.Requirement
 		for _, r := range reqs {
@@ -87,27 +103,37 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 		if len(needed) > 0 {
 			plan, err := m.v.PlanTemporaries(needed)
 			if err != nil {
-				return false, err
+				return false, false, err
 			}
 			res, err := m.buildTemporaries(plan, b, FailFast)
 			if err != nil {
-				return false, err
+				return false, false, err
 			}
 			temps = res
 			polled = res.polls
 		}
 		// Phase (c): the Kernel Algorithm, writing copy-on-write into b.
-		if err := m.kernel(b, combined, temps); err != nil {
-			return false, err
+		if err := m.runKernel(b, combined, temps); err != nil {
+			return false, false, err
 		}
 	}
 
 	// Commit: remove the processed prefix, advance ref′, and publish the
-	// new version — all under qmu, so a query pinning a version always
-	// sees a queue/done state consistent with it. If some older version is
-	// pinned by an in-flight polling query, the processed announcements
-	// move to the done log (Eager Compensation against that version still
-	// needs their deltas); otherwise they are dropped.
+	// new version. mu first: if another writer published while we were
+	// polling, the builder extends a superseded version — applying it
+	// would resurrect pre-resync state — so discard it and retry. While
+	// the base is unchanged the snapshot is still exactly the queue's
+	// prefix: only publishers remove queue entries, and they all hold mu.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.vstore.Current() != b.Base() {
+		return false, true, nil
+	}
+	// Under qmu, so a query pinning a version always sees a queue/done
+	// state consistent with it. If some older version is pinned by an
+	// in-flight polling query, the processed announcements move to the
+	// done log (Eager Compensation against that version still needs their
+	// deltas); otherwise they are dropped.
 	m.qmu.Lock()
 	if len(m.pins) > 0 {
 		m.done = append(m.done, snapshot...)
@@ -134,14 +160,51 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 		Atoms:     combined.Card(),
 		Polled:    polled,
 	})
-	return true, nil
+	return true, false, nil
+}
+
+// coalesceAnnouncements combines a queue snapshot into one net delta per
+// VDP leaf, tracking the latest announcement time per source (the new
+// ref′ components). Multi-source announcements for the same relation
+// smash additively, so duplicate or self-cancelling updates annihilate
+// here — one combined RelDelta per leaf enters the kernel, and a fully
+// cancelled queue still commits (advancing ref′) while propagating
+// nothing.
+func (m *Mediator) coalesceAnnouncements(snapshot []source.Announcement) (*delta.Delta, clock.Vector) {
+	combined := delta.New()
+	newRef := make(clock.Vector)
+	for _, a := range snapshot {
+		for _, relName := range a.Delta.Relations() {
+			leaf := m.v.Node(relName)
+			if leaf == nil || !leaf.IsLeaf() || leaf.Source != a.Source {
+				continue // irrelevant to this mediator
+			}
+			combined.Rel(relName).Smash(a.Delta.Get(relName))
+		}
+		if a.Time > newRef[a.Source] {
+			newRef[a.Source] = a.Time
+		}
+	}
+	return combined.Compact(), newRef
+}
+
+// runKernel dispatches phase (c) to the configured executor: the serial
+// reference kernel (PropagateWorkers == 0, the differential oracle's
+// ground truth) or the staged kernel (parallel.go).
+func (m *Mediator) runKernel(b *store.Builder, combined *delta.Delta, temps *tempResult) error {
+	if m.workers >= 1 {
+		return m.kernelStaged(b, combined, temps, m.workers)
+	}
+	return m.kernel(b, combined, temps)
 }
 
 // kernel runs the IUP Kernel Algorithm (§6.4) over the combined leaf delta
 // with the given temporaries standing in for virtual/hybrid node states.
 // All materialized reads and writes go through the builder, whose reads
 // see the transaction's own writes first — the sibling-state discipline
-// the in-place store used to provide.
+// the in-place store used to provide. This serial form is the reference
+// implementation: the staged kernel must produce byte-identical stores
+// (randplan_test.go's differential oracle enforces it).
 func (m *Mediator) kernel(b *store.Builder, combined *delta.Delta, temps *tempResult) error {
 	var tempRels map[string]*relation.Relation
 	if temps != nil {

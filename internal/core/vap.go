@@ -112,52 +112,82 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, deg
 
 	// Poll each source once, packaging all its reads into a single
 	// transaction (§6.3's requirement for virtual contributors; harmless
-	// and efficient for hybrid contributors too).
+	// and efficient for hybrid contributors too). Distinct sources share
+	// no poll state — the fault boundary is per source, and the poll
+	// cache and announcement log sit behind leaf locks — so when the
+	// mediator is configured with a worker pool (PropagateWorkers > 1)
+	// the polls issue concurrently and their latencies overlap. Answers
+	// are then compensated and merged serially in sorted source order,
+	// which keeps the constructed temporaries (and the first reported
+	// error) deterministic regardless of poll completion order.
 	sources := make([]string, 0, len(bySource))
 	for s := range bySource {
 		sources = append(sources, s)
 	}
 	sort.Strings(sources)
-	for _, src := range sources {
-		items := bySource[src]
-		specs := make([]source.QuerySpec, len(items))
-		for i, it := range items {
-			specs[i] = source.QuerySpec{Rel: it.spec.Leaf, Attrs: it.spec.Attrs, Cond: it.spec.Cond}
+	type pollOut struct {
+		items   []pollItem
+		answers []*relation.Relation
+		asOf    clock.Time
+		stale   bool
+	}
+	outs := make([]pollOut, len(sources))
+	pollWorkers := 1
+	if m.workers > 1 {
+		pollWorkers = m.workers
+	}
+	if err := runBounded(pollWorkers, len(sources), func(i int) error {
+		src := sources[i]
+		o := &outs[i]
+		o.items = bySource[src]
+		specs := make([]source.QuerySpec, len(o.items))
+		for j, it := range o.items {
+			specs[j] = source.QuerySpec{Rel: it.spec.Leaf, Attrs: it.spec.Attrs, Cond: it.spec.Cond}
 		}
-		announcing := m.contributors[src] != VirtualContributor
 		key := pollKey(src, specs)
 		answers, asOf, err := m.pollSource(src, specs, false)
 		if err == nil {
-			res.polls++
-			m.stats.sourcePolls.Add(1)
 			// Cache the raw answers before compensation mutates them.
 			m.cachePoll(key, answers, asOf)
+			o.answers, o.asOf = answers, asOf
+			return nil
+		}
+		if degrade != ServeStale {
+			return fmt.Errorf("core: polling %s: %w", src, err)
+		}
+		cached, cachedAsOf, ok := m.cachedAnswers(key)
+		if !ok {
+			return fmt.Errorf("core: polling %s (no cached answer to degrade to): %w", src, err)
+		}
+		if m.contributors[src] != VirtualContributor && cachedAsOf < view.RefOf(src) {
+			return fmt.Errorf("core: polling %s (cached answer predates the materialized state): %w", src, err)
+		}
+		o.answers, o.asOf, o.stale = cached, cachedAsOf, true
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, src := range sources {
+		o := &outs[i]
+		announcing := m.contributors[src] != VirtualContributor
+		if o.stale {
+			res.stale[src] = o.asOf
 		} else {
-			if degrade != ServeStale {
-				return nil, fmt.Errorf("core: polling %s: %w", src, err)
-			}
-			cached, cachedAsOf, ok := m.cachedAnswers(key)
-			if !ok {
-				return nil, fmt.Errorf("core: polling %s (no cached answer to degrade to): %w", src, err)
-			}
-			if announcing && cachedAsOf < view.RefOf(src) {
-				return nil, fmt.Errorf("core: polling %s (cached answer predates the materialized state): %w", src, err)
-			}
-			answers, asOf = cached, cachedAsOf
-			res.stale[src] = cachedAsOf
+			res.polls++
+			m.stats.sourcePolls.Add(1)
 		}
 		if !announcing {
-			res.polledAt[src] = asOf
+			res.polledAt[src] = o.asOf
 		}
-		for i, it := range items {
-			ans := answers[i]
+		for j, it := range o.items {
+			ans := o.answers[j]
 			res.tuples += ans.Len()
 			m.stats.tuplesPolled.Add(int64(ans.Len()))
 			if announcing {
 				// Eager Compensation: roll the answer back to the view's
 				// ref′(src) by undoing every announced update from this
 				// source that the answer reflects but the view does not.
-				if err := m.compensate(ans, src, it.spec, asOf, view); err != nil {
+				if err := m.compensate(ans, src, it.spec, o.asOf, view); err != nil {
 					return nil, err
 				}
 			}

@@ -1,0 +1,123 @@
+package delta
+
+import (
+	"testing"
+
+	"squirrel/internal/relation"
+)
+
+// These tests pin down the edge cases of coalescing several announced
+// deltas into one combined delta before kernel propagation (the smash of
+// a queued announcement prefix): annihilation, updates expressed as
+// delete+insert, and duplicate announcements netting out.
+
+func TestCoalesceInsertThenDelete(t *testing.T) {
+	// Source txn 1 inserts a tuple, txn 2 deletes it. The smash must
+	// annihilate entirely: no atoms, Relations() must not list the shell,
+	// and Compact must remove the empty per-relation entry.
+	a := New()
+	a.Insert("R", relation.T(1, 2))
+	b := New()
+	b.Delete("R", relation.T(1, 2))
+
+	combined := Smashed(a, b)
+	if !combined.IsEmpty() {
+		t.Fatalf("insert-then-delete should annihilate, got:\n%s", combined)
+	}
+	if rels := combined.Relations(); len(rels) != 0 {
+		t.Fatalf("Relations() lists annihilated relation: %v", rels)
+	}
+	if combined.Get("R") != nil {
+		t.Fatalf("Get(R) returned a fully-cancelled delta")
+	}
+	// The empty shell exists internally until Compact removes it.
+	combined.Compact()
+	if _, ok := combined.rels["R"]; ok {
+		t.Fatalf("Compact left the empty RelDelta shell")
+	}
+	if combined.Compact() != combined {
+		t.Fatalf("Compact must return its receiver for chaining")
+	}
+}
+
+func TestCoalesceDeleteThenInsertIsUpdate(t *testing.T) {
+	// An update announced as -R(old) then +R(new) must coalesce to a
+	// two-atom delta carrying both halves, not cancel.
+	old := relation.T(1, 10)
+	new_ := relation.T(1, 20)
+	a := New()
+	a.Delete("R", old)
+	b := New()
+	b.Insert("R", new_)
+
+	combined := Smashed(a, b)
+	rd := combined.Get("R")
+	if rd == nil {
+		t.Fatalf("update coalesced to nothing")
+	}
+	if rd.Count(old) != -1 || rd.Count(new_) != 1 {
+		t.Fatalf("want -1 old / +1 new, got %d / %d:\n%s",
+			rd.Count(old), rd.Count(new_), rd)
+	}
+	if rd.Card() != 2 {
+		t.Fatalf("Card = %d, want 2", rd.Card())
+	}
+
+	// Applying the coalesced delta performs the in-place update.
+	s := relation.MustSchema("R",
+		[]relation.Attribute{{Name: "a", Type: relation.KindInt}, {Name: "b", Type: relation.KindInt}}, "a")
+	r := relation.NewBag(s)
+	r.Add(old, 1)
+	if err := rd.ApplyTo(r, true); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count(old) != 0 || r.Count(new_) != 1 || r.Len() != 1 {
+		t.Fatalf("apply of coalesced update wrong: %v", r)
+	}
+}
+
+func TestCoalesceDuplicateAnnouncementsNetOut(t *testing.T) {
+	// Two sources announcing opposing deltas for different relations of
+	// the same combined delta: the R atoms net to a no-op while the S
+	// atoms survive, so the coalesced delta touches only S.
+	a := New()
+	a.Add("R", relation.T(7, 7), 2)
+	a.Insert("S", relation.T(3))
+	b := New()
+	b.Add("R", relation.T(7, 7), -2)
+	b.Insert("S", relation.T(4))
+
+	combined := Smashed(a, b).Compact()
+	if rels := combined.Relations(); len(rels) != 1 || rels[0] != "S" {
+		t.Fatalf("Relations() = %v, want [S]", combined.Relations())
+	}
+	if combined.Get("R") != nil {
+		t.Fatalf("netted-out relation still reachable via Get")
+	}
+	sd := combined.Get("S")
+	if sd == nil || sd.Count(relation.T(3)) != 1 || sd.Count(relation.T(4)) != 1 {
+		t.Fatalf("surviving S atoms wrong:\n%s", combined)
+	}
+	// Smashing never mutated the inputs.
+	if a.Card() != 3 || b.Card() != 3 {
+		t.Fatalf("Smashed mutated its arguments: a=%d b=%d atoms", a.Card(), b.Card())
+	}
+}
+
+func TestCoalesceEmptyStillWellFormed(t *testing.T) {
+	// A queue whose announcements fully cancel produces an empty combined
+	// delta; the core commits it anyway (ref′ advances). The delta value
+	// must behave like a genuine empty delta everywhere.
+	a := New()
+	a.Insert("R", relation.T(9, 9))
+	combined := Smashed(a, a.Inverse()).Compact()
+	if !combined.IsEmpty() || combined.Card() != 0 {
+		t.Fatalf("want empty, got:\n%s", combined)
+	}
+	if got := combined.String(); got != "Δ∅\n" {
+		t.Fatalf("empty rendering = %q", got)
+	}
+	if !combined.Equal(New()) {
+		t.Fatalf("empty coalesced delta != New()")
+	}
+}

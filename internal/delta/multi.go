@@ -117,6 +117,21 @@ func (d *Delta) Equal(o *Delta) bool {
 	return true
 }
 
+// Compact drops per-relation deltas whose atoms have fully annihilated
+// (an insert-then-delete of the same tuple smashes to a zero count and
+// vanishes entry by entry; Compact removes the empty shell that remains).
+// Coalescing a queue of announcements can legitimately net out to an
+// empty delta — the transaction still commits and advances ref′, it just
+// propagates nothing. Returns d for chaining.
+func (d *Delta) Compact() *Delta {
+	for name, rd := range d.rels {
+		if rd.IsEmpty() {
+			delete(d.rels, name)
+		}
+	}
+	return d
+}
+
 // Smash combines o into d (additively, per relation): apply(db, d ! o) =
 // apply(apply(db, d), o).
 func (d *Delta) Smash(o *Delta) {

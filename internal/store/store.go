@@ -21,10 +21,13 @@
 //     the property the mediator's global mutex used to buy behaviorally
 //     and the version now buys structurally.
 //
-// Concurrency contract: exactly one goroutine may Begin/Publish at a time
-// (the mediator's update mutex enforces this); any number of goroutines
-// may call Current concurrently. Relations reachable from a published
-// Version are read-only — mutating one is a bug in the caller.
+// Concurrency contract: Begin and Publish calls are serialized (the
+// mediator's store mutex enforces this), but a builder may live across a
+// window in which another writer publishes — whoever reaches Publish
+// first wins, and the loser detects the conflict by comparing
+// Builder.Base against Current and discards its builder. Any number of
+// goroutines may call Current concurrently. Relations reachable from a
+// published Version are read-only — mutating one is a bug in the caller.
 package store
 
 import (
@@ -179,9 +182,23 @@ func (b *Builder) RefOf(src string) clock.Time {
 	return b.base.reflect[src]
 }
 
+// Base returns the published version this builder was begun from (nil
+// before initialization). The mediator's commit compares it against the
+// store's current version: a mismatch means another writer published
+// while the transaction ran outside the store mutex, so the builder
+// extends a superseded state and must be discarded.
+func (b *Builder) Base() *Version { return b.base }
+
 // Mutable returns a writable relation for the node, cloning the base
 // version's relation on first touch. Returns nil if the node has no
 // materialized portion in the base and none was Set.
+//
+// Concurrency: the builder's own bookkeeping (the dirty map) is
+// single-writer — Mutable/Set/Rel calls must stay on one goroutine. The
+// *relation.Relation a call returns, however, is exclusively owned by
+// this builder for its node, so the staged kernel may hand distinct
+// nodes' clones to distinct workers and mutate them concurrently, as
+// long as no builder method is called until the workers are joined.
 func (b *Builder) Mutable(node string) *relation.Relation {
 	if r, ok := b.dirty[node]; ok {
 		return r

@@ -286,14 +286,7 @@ func (v *VDP) PlanTemporaries(initial []Requirement) ([]Requirement, error) {
 	return processed, nil
 }
 
-func (v *VDP) topoIndex(name string) int {
-	for i, n := range v.order {
-		if n == name {
-			return i
-		}
-	}
-	return -1
-}
+func (v *VDP) topoIndex(name string) int { return v.TopoIndex(name) }
 
 func copySet(s map[string]bool) map[string]bool {
 	out := make(map[string]bool, len(s))

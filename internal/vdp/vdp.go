@@ -97,6 +97,8 @@ func (n *Node) VirtualAttrs() []string {
 type VDP struct {
 	nodes    map[string]*Node
 	order    []string            // topological order, children before parents
+	topo     map[string]int      // node -> index in order
+	stages   [][]string          // antichain partition of order (stages.go)
 	parents  map[string][]string // node -> parents (sorted)
 	children map[string][]string // node -> distinct children (sorted)
 	relevant map[string]bool     // see MaterializationRelevant
@@ -139,6 +141,7 @@ func New(nodes ...*Node) (*VDP, error) {
 			return nil, fmt.Errorf("vdp: leaf %q cannot be an export relation", name)
 		}
 	}
+	v.computeStages()
 	v.computeRelevance()
 	return v, nil
 }
@@ -379,30 +382,41 @@ func (v *VDP) buildOrder() error {
 	for name, kids := range v.children {
 		indeg[name] = len(kids)
 	}
-	var ready []string
+	var wave []string
 	for name, d := range indeg {
 		if d == 0 {
-			ready = append(ready, name)
+			wave = append(wave, name)
 		}
 	}
-	sort.Strings(ready)
+	sort.Strings(wave)
 	var order []string
-	for len(ready) > 0 {
-		cur := ready[0]
-		ready = ready[1:]
-		order = append(order, cur)
-		for _, p := range v.parents[cur] {
-			indeg[p]--
-			if indeg[p] == 0 {
-				ready = append(ready, p)
+	// Emit ready nodes in whole waves (sorted within each wave) rather
+	// than one at a time: the order stays deterministic and topological,
+	// and simultaneously-ready nodes land adjacently, so the antichain
+	// chunking of stages.go cuts wide stages instead of interleaving
+	// parents with unrelated leaves.
+	for len(wave) > 0 {
+		var next []string
+		for _, cur := range wave {
+			order = append(order, cur)
+			for _, p := range v.parents[cur] {
+				indeg[p]--
+				if indeg[p] == 0 {
+					next = append(next, p)
+				}
 			}
 		}
-		sort.Strings(ready)
+		sort.Strings(next)
+		wave = next
 	}
 	if len(order) != len(v.nodes) {
 		return fmt.Errorf("vdp: the graph contains a cycle")
 	}
 	v.order = order
+	v.topo = make(map[string]int, len(order))
+	for i, name := range order {
+		v.topo[name] = i
+	}
 	return nil
 }
 

@@ -27,6 +27,7 @@ type System struct {
 	med     *Mediator
 	plan    *VDP
 	resil   ResilienceConfig
+	workers int
 	started bool
 }
 
@@ -177,6 +178,21 @@ func (s *System) SetResilience(cfg ResilienceConfig) {
 	s.resil = cfg
 }
 
+// SetPropagateWorkers selects the mediator's update-propagation executor:
+// 0 (the default) runs the serial reference kernel; n >= 1 runs the
+// staged kernel, which partitions the VDP's topological order into
+// antichain stages and maintains each stage's nodes — and issues its
+// VAP source polls — on at most n worker goroutines. Both executors
+// produce identical stores (the staged kernel replays the serial
+// sibling-state discipline); n > 1 buys throughput on wide plans. Call
+// before Start.
+func (s *System) SetPropagateWorkers(n int) {
+	if s.started {
+		panic("squirrel: SetPropagateWorkers after Start")
+	}
+	s.workers = n
+}
+
 // Start validates the plan, builds the mediator, connects announcement
 // feeds, and initializes the materialized store from the sources.
 func (s *System) Start() error {
@@ -191,7 +207,8 @@ func (s *System) Start() error {
 	for name, src := range s.sources {
 		conns[name] = core.LocalSource{DB: src.db}
 	}
-	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec, Resilience: s.resil})
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec,
+		Resilience: s.resil, PropagateWorkers: s.workers})
 	if err != nil {
 		return err
 	}
@@ -405,7 +422,8 @@ func (s *System) StartFromState(r io.Reader) error {
 	for name, src := range s.sources {
 		conns[name] = core.LocalSource{DB: src.db}
 	}
-	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec, Resilience: s.resil})
+	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec,
+		Resilience: s.resil, PropagateWorkers: s.workers})
 	if err != nil {
 		return err
 	}
