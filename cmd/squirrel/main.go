@@ -40,6 +40,10 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "events":
+		err = cmdEvents(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -67,6 +71,8 @@ commands:
                              fault boundary: per-attempt poll deadline, retry
                              with backoff, per-source circuit breaker, and
                              deterministic fault injection on source links
+      [-metrics-addr :9090]  observability HTTP endpoint: /metrics (Prometheus
+                             text), /debug/vars (JSON snapshot), /debug/pprof
   query -addr HOST:PORT ...  one-shot snapshot query against a source server
   query-view -addr ... -export V [-attrs a,b] [-where 'a = 1'] [-sync]
       [-stale [-max-staleness N]]
@@ -74,6 +80,11 @@ commands:
                              degraded answer (bounded staleness) if a source
                              is down
   stats -addr HOST:PORT      print a mediator's counters and source health
+  metrics -addr HOST:PORT [-prom]
+                             print a mediator's latency histograms and
+                             counters (-prom: raw Prometheus exposition)
+  events -addr HOST:PORT [-n N] [-type T]
+                             tail a mediator's structured event ring buffer
 `)
 }
 

@@ -55,6 +55,8 @@ func cmdServeMediator(args []string) error {
 	chaosErr := fs.Float64("chaos-err", 0.1, "per-operation error probability when -chaos-seed is set")
 	workers := fs.Int("propagate-workers", 0,
 		"staged-kernel worker pool for update propagation (0 = serial reference kernel)")
+	metricsAddr := fs.String("metrics-addr", "",
+		"observability HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,6 +213,16 @@ func cmdServeMediator(args []string) error {
 	}
 	defer srv.Close()
 	fmt.Printf("\nmediator serving on %s (flush every %s; ctrl-c to stop)\n", bound, *flush)
+
+	if *metricsAddr != "" {
+		msrv := wire.NewMetricsServer(med)
+		mbound, err := msrv.Start(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Printf("observability on http://%s (/metrics, /debug/vars, /debug/pprof)\n", mbound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"squirrel/internal/metrics"
+	"squirrel/internal/wire"
+)
+
+// cmdMetrics fetches a mediator server's instrument snapshot over the
+// query protocol and renders it — as a human-readable latency table by
+// default, or the raw Prometheus exposition with -prom (identical to a
+// /metrics scrape, for piping into promtool and friends).
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7080", "mediator server address")
+	prom := fs.Bool("prom", false, "print the raw Prometheus text exposition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := wire.DialMediator(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	snap, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	if *prom {
+		return metrics.WriteSnapshotPrometheus(os.Stdout, *snap)
+	}
+	printSnapshot(snap)
+	return nil
+}
+
+func printSnapshot(snap *metrics.Snapshot) {
+	if len(snap.Histograms) > 0 {
+		fmt.Printf("%-60s %10s %12s %12s %12s\n", "latency", "count", "mean", "p50", "p99")
+		for _, name := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-60s %10d %12s %12s %12s\n", name, h.Count,
+				formatSeconds(name, h.Mean()), formatSeconds(name, h.Quantile(0.5)),
+				formatSeconds(name, h.Quantile(0.99)))
+		}
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Printf("\n%-60s %10s\n", "counter", "value")
+		for _, name := range sortedKeys(snap.Counters) {
+			fmt.Printf("%-60s %10d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Printf("\n%-60s %10s\n", "gauge", "value")
+		for _, name := range sortedKeys(snap.Gauges) {
+			fmt.Printf("%-60s %10d\n", name, snap.Gauges[name])
+		}
+	}
+	fmt.Printf("\nevents: %d retained of %d emitted (squirrel events to list)\n",
+		len(snap.Events), snap.EventsTotal)
+}
+
+// formatSeconds renders a histogram statistic: as a duration for the
+// *_seconds families, as a plain number for tick-valued ones.
+func formatSeconds(series string, v float64) string {
+	if strings.Contains(series, "_seconds") {
+		return fmt.Sprintf("%.3fms", v*1000)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cmdEvents tails a mediator server's structured event ring buffer.
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7080", "mediator server address")
+	n := fs.Int("n", 50, "how many recent events to fetch")
+	typ := fs.String("type", "", "only events of this type (e.g. poll, breaker, resync)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := wire.DialMediator(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	evs, total, err := c.Events(*n)
+	if err != nil {
+		return err
+	}
+	shown := 0
+	for _, ev := range evs {
+		if *typ != "" && ev.Type != *typ {
+			continue
+		}
+		fmt.Println(ev)
+		shown++
+	}
+	fmt.Printf("(%d shown, %d emitted since start)\n", shown, total)
+	return nil
+}

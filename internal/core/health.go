@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"squirrel/internal/clock"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 	"squirrel/internal/resilience"
 	"squirrel/internal/source"
@@ -84,21 +85,36 @@ func (m *Mediator) pollSource(src string, specs []source.QuerySpec, allowQuarant
 	}
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
+		// Capture the breaker state around every interaction so
+		// transitions (open → half-open happens inside Allow) become
+		// events.
+		before := h.breaker.State().String()
 		if !h.breaker.Allow() {
 			m.stats.breakerFastFails.Add(1)
+			if c := m.obs.fastFails[src]; c != nil {
+				c.Inc()
+			}
+			m.obs.observeBreaker(src, before, h.breaker.State().String(), h.breaker.Trips())
 			if lastErr != nil {
 				return nil, 0, fmt.Errorf("core: source %q circuit open after %w", src, lastErr)
 			}
 			return nil, 0, fmt.Errorf("core: source %q circuit open", src)
 		}
+		m.obs.observeBreaker(src, before, h.breaker.State().String(), h.breaker.Trips())
+		start := time.Now()
 		answers, asOf, err := m.callSource(conn, specs)
+		m.obs.observePollAttempt(src, start, err)
 		if err == nil {
+			before = h.breaker.State().String()
 			h.breaker.Success()
+			m.obs.observeBreaker(src, before, h.breaker.State().String(), h.breaker.Trips())
 			m.noteContact(src, asOf)
 			return answers, asOf, nil
 		}
 		lastErr = err
+		before = h.breaker.State().String()
 		h.breaker.Failure()
+		m.obs.observeBreaker(src, before, h.breaker.State().String(), h.breaker.Trips())
 		m.stats.pollFailures.Add(1)
 		if attempt < attempts {
 			m.stats.pollRetries.Add(1)
@@ -179,13 +195,15 @@ func (m *Mediator) QuarantineSource(src, reason string) {
 	m.quarantineLocked(src, reason)
 }
 
-// quarantineLocked requires qmu.
+// quarantineLocked requires qmu. The event log's mutex is a strict
+// leaf, so emitting under qmu is safe.
 func (m *Mediator) quarantineLocked(src, reason string) {
 	if m.quarantined[src] != "" {
 		return
 	}
 	m.quarantined[src] = reason
 	m.stats.gapsDetected.Add(1)
+	m.obs.reg.Emit(metrics.Event{Type: metrics.EventQuarantine, Subject: src, Err: reason})
 }
 
 // QuarantinedSources lists the currently quarantined sources, sorted.
@@ -343,7 +361,20 @@ type SourceHealth struct {
 	LastSeq uint64
 	// PennedAnnouncements counts announcements held back by quarantine.
 	PennedAnnouncements int
+	// ResyncOvertaken counts consecutive resync attempts that failed
+	// because penned announcements outran the snapshot poll (see
+	// ErrResyncOvertaken); reset by a successful resync. ResyncStuck is
+	// set once the count reaches resyncStuckThreshold — the source keeps
+	// committing faster than it can be snapshotted, and retrying on the
+	// same cadence will never converge without operator action (pause
+	// the source's writes, or poll it with a longer window).
+	ResyncOvertaken int
+	ResyncStuck     bool
 }
+
+// resyncStuckThreshold is how many consecutive overtaken resyncs flag a
+// source as stuck.
+const resyncStuckThreshold = 3
 
 // sourceHealthStats assembles the per-source health map for Stats.
 // Breaker state is read before taking qmu (qmu stays a leaf lock).
@@ -364,6 +395,8 @@ func (m *Mediator) sourceHealthStats() map[string]SourceHealth {
 		sh.LastContact = m.lastContact[src]
 		sh.LastSeq = m.lastSeq[src]
 		sh.PennedAnnouncements = len(m.gapPen[src])
+		sh.ResyncOvertaken = m.resyncOvertaken[src]
+		sh.ResyncStuck = sh.ResyncOvertaken >= resyncStuckThreshold
 		out[src] = sh
 	}
 	m.qmu.Unlock()

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"squirrel/internal/clock"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 	"squirrel/internal/source"
 	"squirrel/internal/store"
@@ -115,6 +116,10 @@ type Stats struct {
 	DegradedQueries  int
 	GapsDetected     int
 	Resyncs          int
+	// ResyncsStuck counts sources currently flagged ResyncStuck (their
+	// consecutive overtaken-resync count reached the threshold); see
+	// SourceHealth.ResyncStuck for the per-source condition.
+	ResyncsStuck int
 	// Staged-kernel counters (parallel.go): stages that had dirty nodes
 	// to process, dirty nodes processed across those stages, and update
 	// transactions retried because a concurrent resync published while
@@ -173,6 +178,11 @@ type Config struct {
 	// stage's node maintenance and VAP polls run on at most n worker
 	// goroutines (n = 1 exercises the staged path single-threaded).
 	PropagateWorkers int
+	// Metrics, if non-nil, is the registry the mediator instruments
+	// itself into (observe.go) — share one registry across components to
+	// scrape them from a single endpoint. Nil means a private registry,
+	// still reachable via Mediator.Metrics().
+	Metrics *metrics.Registry
 }
 
 // versionPin tracks how many in-flight query transactions are reading a
@@ -248,6 +258,10 @@ type Mediator struct {
 	quarantined   map[string]string
 	gapPen        map[string][]source.Announcement
 	resyncBarrier clock.Vector
+	// resyncOvertaken counts consecutive ErrResyncOvertaken failures per
+	// source (reset on success) — the basis of the ResyncStuck health
+	// condition.
+	resyncOvertaken map[string]int
 
 	// Per-source fault boundary (health.go). resil and health are fixed
 	// at construction; sleep is the retry-backoff pause, replaceable in
@@ -260,6 +274,10 @@ type Mediator struct {
 	// leaf lock, never held while acquiring any other.
 	cmu       sync.Mutex
 	pollCache map[string]*cachedPoll
+
+	// obs caches the metrics instruments (observe.go); fixed at
+	// construction, never nil.
+	obs *mediatorObs
 }
 
 // New builds a mediator from the configuration. Call Initialize before
@@ -272,21 +290,22 @@ func New(cfg Config) (*Mediator, error) {
 		return nil, fmt.Errorf("core: config needs a clock")
 	}
 	m := &Mediator{
-		v:             cfg.VDP,
-		sources:       make(map[string]SourceConn),
-		clk:           cfg.Clock,
-		recorder:      cfg.Recorder,
-		vstore:        store.New(),
-		pins:          make(map[uint64]*versionPin),
-		lastProcessed: make(clock.Vector),
-		leafSchemas:   make(map[string]*relation.Schema),
-		lastContact:   make(clock.Vector),
-		lastSeq:       make(map[string]uint64),
-		quarantined:   make(map[string]string),
-		gapPen:        make(map[string][]source.Announcement),
-		resyncBarrier: make(clock.Vector),
-		resil:         cfg.Resilience,
-		workers:       cfg.PropagateWorkers,
+		v:               cfg.VDP,
+		sources:         make(map[string]SourceConn),
+		clk:             cfg.Clock,
+		recorder:        cfg.Recorder,
+		vstore:          store.New(),
+		pins:            make(map[uint64]*versionPin),
+		lastProcessed:   make(clock.Vector),
+		leafSchemas:     make(map[string]*relation.Schema),
+		lastContact:     make(clock.Vector),
+		lastSeq:         make(map[string]uint64),
+		quarantined:     make(map[string]string),
+		gapPen:          make(map[string][]source.Announcement),
+		resyncBarrier:   make(clock.Vector),
+		resyncOvertaken: make(map[string]int),
+		resil:           cfg.Resilience,
+		workers:         cfg.PropagateWorkers,
 	}
 	for _, s := range cfg.VDP.Sources() {
 		conn, ok := cfg.Sources[s]
@@ -300,6 +319,11 @@ func New(cfg Config) (*Mediator, error) {
 	}
 	m.classifyContributors()
 	m.initHealth()
+	srcNames := make([]string, 0, len(m.sources))
+	for src := range m.sources {
+		srcNames = append(srcNames, src)
+	}
+	m.obs = newMediatorObs(cfg.Metrics, srcNames)
 	return m, nil
 }
 
@@ -381,6 +405,11 @@ func (m *Mediator) Stats() Stats {
 		UpdateTxnRetries: int(m.stats.txnRetries.Load()),
 	}
 	s.Sources = m.sourceHealthStats()
+	for _, sh := range s.Sources {
+		if sh.ResyncStuck {
+			s.ResyncsStuck++
+		}
+	}
 	s.QueueHighWater = m.queueStats()
 	if v := m.vstore.Current(); v != nil {
 		s.CurrentVersion = v.Seq()
@@ -603,6 +632,7 @@ func (m *Mediator) Initialize() error {
 	m.viewInit = m.clk.Now()
 	m.vstore.Publish(b, m.lastProcessed.Clone(), m.viewInit)
 	m.qmu.Unlock()
+	m.obs.reg.Emit(metrics.Event{Type: metrics.EventPublish, Subject: "v1", Fields: map[string]int64{"version": 1}})
 	return nil
 }
 
@@ -659,6 +689,7 @@ func (m *Mediator) OnAnnouncement(a source.Announcement) {
 	if len(m.queue) > m.queueHighWater {
 		m.queueHighWater = len(m.queue)
 	}
+	m.obs.queueLen.Set(int64(len(m.queue)))
 }
 
 // QueueLen reports the number of pending announcements.

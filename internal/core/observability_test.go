@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/metrics"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+)
+
+// newWorkersEnv is newEnv with the staged kernel enabled.
+func newWorkersEnv(t *testing.T, workers int) *testEnv {
+	t.Helper()
+	clk := &clock.Logical{}
+	db1 := source.NewDB("db1", clk)
+	db2 := source.NewDB("db2", clk)
+	r := relation.NewSet(rSchema())
+	r.Insert(relation.T(1, 10, 5, 100))
+	r.Insert(relation.T(2, 10, 120, 100))
+	r.Insert(relation.T(3, 20, 7, 100))
+	s := relation.NewSet(sSchema())
+	s.Insert(relation.T(10, 1, 20))
+	s.Insert(relation.T(20, 2, 40))
+	if err := db1.LoadRelation(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.LoadRelation(s); err != nil {
+		t.Fatal(err)
+	}
+	v := paperPlan(t, nil, nil, nil)
+	rec := trace.NewRecorder()
+	med, err := New(Config{
+		VDP:              v,
+		Sources:          map[string]SourceConn{"db1": LocalSource{DB: db1}, "db2": LocalSource{DB: db2}},
+		Clock:            clk,
+		Recorder:         rec,
+		PropagateWorkers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ConnectLocal(med, db1)
+	ConnectLocal(med, db2)
+	if err := med.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{clk: clk, db1: db1, db2: db2, med: med, rec: rec, vdp_: v}
+}
+
+// assertHistogramsConsistent checks the metrics contract every snapshot
+// guarantees: a histogram's bucket counts sum exactly to its Count.
+func assertHistogramsConsistent(t *testing.T, snap metrics.Snapshot) {
+	t.Helper()
+	for name, h := range snap.Histograms {
+		var sum uint64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != h.Count {
+			t.Errorf("histogram %s: Σbuckets = %d, Count = %d", name, sum, h.Count)
+		}
+	}
+}
+
+// Hammers Stats() and MetricsSnapshot() from several goroutines while
+// update transactions commit under the staged kernel, asserting the
+// snapshot invariants hold throughout: counters are monotone and every
+// histogram's bucket counts sum to its Count. Run with -race.
+func TestStatsAndMetricsConcurrentWithUpdates(t *testing.T) {
+	e := newWorkersEnv(t, 2)
+	const txns = 150
+	const readers = 4
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastTxns int64
+			var lastPolls int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := e.med.Stats()
+				if st.UpdateTxns < 0 || st.SourcePolls < 0 {
+					t.Error("negative stats counter")
+				}
+				snap := e.med.MetricsSnapshot()
+				assertHistogramsConsistent(t, snap)
+				if n := snap.Counters[MetricUpdateTxnsTotal]; n < lastTxns {
+					t.Errorf("update txn counter went backwards: %d -> %d", lastTxns, n)
+				} else {
+					lastTxns = n
+				}
+				if p := st.SourcePolls; p < lastPolls {
+					t.Errorf("source poll counter went backwards: %d -> %d", lastPolls, p)
+				} else {
+					lastPolls = p
+				}
+			}
+		}()
+	}
+
+	// One query goroutine exercises the query instruments concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.med.QueryOpts("T", []string{"r1"}, nil, QueryOptions{}); err != nil {
+				t.Errorf("query under load: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < txns; i++ {
+		d := delta.New()
+		d.Insert("R", relation.T(100+i, 10*(i%3+1), i, 100))
+		e.db1.MustApply(d)
+		if _, err := e.med.RunUpdateTransaction(); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final snapshot: every committed transaction observed exactly once
+	// in both the counter and the phase=total histogram.
+	snap := e.med.MetricsSnapshot()
+	assertHistogramsConsistent(t, snap)
+	if n := snap.Counters[MetricUpdateTxnsTotal]; n != txns {
+		t.Errorf("final txn counter = %d, want %d", n, txns)
+	}
+	total := snap.Histograms[metrics.SeriesName(MetricUpdateTxnSeconds, "phase", "total")]
+	if total.Count != txns {
+		t.Errorf("phase=total histogram count = %d, want %d", total.Count, txns)
+	}
+	if stages := snap.Histograms[metrics.SeriesName(MetricKernelStageSeconds, "phase", "total")]; stages.Count == 0 {
+		t.Errorf("staged kernel ran but recorded no stage timings")
+	}
+	if snap.EventsTotal == 0 {
+		t.Errorf("no events emitted under load")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"time"
+
+	"squirrel/internal/metrics"
+)
+
+// observe.go wires the mediator into internal/metrics. All instruments
+// are resolved once at construction and cached here, so hot paths touch
+// only an atomic (counters, gauges) or one short mutex-protected
+// critical section (histograms) — the registry lock is never on a
+// steady-state path. Event emission goes to the registry's bounded ring
+// buffer; its mutex is a strict leaf (the log never acquires another
+// lock), so emitting while holding qmu or mu cannot deadlock.
+
+// Metric family names exposed on /metrics. Kept as constants so the
+// smoke tests and the CLI renderer spell them identically.
+const (
+	MetricUpdateTxnSeconds    = "squirrel_update_txn_seconds" // labeled phase=prepare|polls|propagate|commit|total
+	MetricUpdateTxnsTotal     = "squirrel_update_txns_total"  // committed update transactions
+	MetricUpdateTxnRetries    = "squirrel_update_txn_retries_total"
+	MetricKernelStageSeconds  = "squirrel_kernel_stage_seconds"    // labeled phase=apply|rules|total
+	MetricSourcePollSeconds   = "squirrel_source_poll_seconds"     // labeled source=...,outcome=ok|error
+	MetricBreakerFastFails    = "squirrel_breaker_fastfails_total" // labeled source=...
+	MetricCompensationSeconds = "squirrel_compensation_seconds"
+	MetricQuerySeconds        = "squirrel_query_seconds" // labeled path=fast|polling
+	MetricQueryErrors         = "squirrel_query_errors_total"
+	MetricVersionAgeTicks     = "squirrel_query_version_age_ticks" // logical clock distance commit − version stamp
+	MetricQueueLen            = "squirrel_queue_len"
+	MetricFlushSeconds        = "squirrel_flush_seconds" // runtime flushAll duration
+)
+
+// mediatorObs caches the mediator's instruments. Per-source series are
+// pre-resolved for the fixed source set; the maps are read-only after
+// construction.
+type mediatorObs struct {
+	reg *metrics.Registry
+
+	txnPrepare   *metrics.Histogram
+	txnPolls     *metrics.Histogram
+	txnPropagate *metrics.Histogram
+	txnCommit    *metrics.Histogram
+	txnTotal     *metrics.Histogram
+	txnsTotal    *metrics.Counter
+	txnRetries   *metrics.Counter
+
+	stageApply *metrics.Histogram
+	stageRules *metrics.Histogram
+	stageTotal *metrics.Histogram
+
+	compensation *metrics.Histogram
+
+	queryFast    *metrics.Histogram
+	queryPolling *metrics.Histogram
+	queryErrors  *metrics.Counter
+	versionAge   *metrics.Histogram
+
+	queueLen *metrics.Gauge
+
+	pollOK    map[string]*metrics.Histogram
+	pollErr   map[string]*metrics.Histogram
+	fastFails map[string]*metrics.Counter
+}
+
+func newMediatorObs(reg *metrics.Registry, sources []string) *mediatorObs {
+	if reg == nil {
+		reg = metrics.NewRegistry(0)
+	}
+	txnHist := func(phase string) *metrics.Histogram {
+		return reg.Histogram(metrics.SeriesName(MetricUpdateTxnSeconds, "phase", phase), metrics.DefLatencyBuckets)
+	}
+	stageHist := func(phase string) *metrics.Histogram {
+		return reg.Histogram(metrics.SeriesName(MetricKernelStageSeconds, "phase", phase), metrics.DefLatencyBuckets)
+	}
+	o := &mediatorObs{
+		reg:          reg,
+		txnPrepare:   txnHist("prepare"),
+		txnPolls:     txnHist("polls"),
+		txnPropagate: txnHist("propagate"),
+		txnCommit:    txnHist("commit"),
+		txnTotal:     txnHist("total"),
+		txnsTotal:    reg.Counter(MetricUpdateTxnsTotal),
+		txnRetries:   reg.Counter(MetricUpdateTxnRetries),
+		stageApply:   stageHist("apply"),
+		stageRules:   stageHist("rules"),
+		stageTotal:   stageHist("total"),
+		compensation: reg.Histogram(MetricCompensationSeconds, metrics.DefLatencyBuckets),
+		queryFast:    reg.Histogram(metrics.SeriesName(MetricQuerySeconds, "path", "fast"), metrics.DefLatencyBuckets),
+		queryPolling: reg.Histogram(metrics.SeriesName(MetricQuerySeconds, "path", "polling"), metrics.DefLatencyBuckets),
+		queryErrors:  reg.Counter(MetricQueryErrors),
+		versionAge:   reg.Histogram(MetricVersionAgeTicks, metrics.DefTickBuckets),
+		queueLen:     reg.Gauge(MetricQueueLen),
+		pollOK:       make(map[string]*metrics.Histogram, len(sources)),
+		pollErr:      make(map[string]*metrics.Histogram, len(sources)),
+		fastFails:    make(map[string]*metrics.Counter, len(sources)),
+	}
+	for _, src := range sources {
+		o.pollOK[src] = reg.Histogram(metrics.SeriesName(MetricSourcePollSeconds, "source", src, "outcome", "ok"), metrics.DefLatencyBuckets)
+		o.pollErr[src] = reg.Histogram(metrics.SeriesName(MetricSourcePollSeconds, "source", src, "outcome", "error"), metrics.DefLatencyBuckets)
+		o.fastFails[src] = reg.Counter(metrics.SeriesName(MetricBreakerFastFails, "source", src))
+	}
+	return o
+}
+
+// observePollAttempt records one source round trip's latency under its
+// outcome series and emits a poll event for failures (success polls are
+// summarized by the per-transaction events; failures are rare and worth
+// a line each).
+func (o *mediatorObs) observePollAttempt(src string, start time.Time, err error) {
+	d := time.Since(start)
+	if err == nil {
+		if h := o.pollOK[src]; h != nil {
+			h.Observe(d.Seconds())
+		}
+		return
+	}
+	if h := o.pollErr[src]; h != nil {
+		h.Observe(d.Seconds())
+	}
+	o.reg.Emit(metrics.Event{Type: metrics.EventPoll, Subject: src, Dur: d, Err: err.Error()})
+}
+
+// observeBreaker emits a breaker-transition event when the state changed
+// across one breaker interaction.
+func (o *mediatorObs) observeBreaker(src, before, after string, trips uint64) {
+	if before == after {
+		return
+	}
+	o.reg.Emit(metrics.Event{
+		Type:    metrics.EventBreaker,
+		Subject: src + " " + before + "->" + after,
+		Fields:  map[string]int64{"trips": int64(trips)},
+	})
+}
+
+// Metrics returns the mediator's metrics registry. Always non-nil: when
+// Config.Metrics is unset the mediator creates a private registry, so
+// instrumentation is unconditional (its cost is the overhead budget
+// DESIGN.md documents, not a mode).
+func (m *Mediator) Metrics() *metrics.Registry { return m.obs.reg }
+
+// MetricsSnapshot captures every instrument and the retained events; see
+// metrics.Registry.Snapshot for the consistency contract.
+func (m *Mediator) MetricsSnapshot() metrics.Snapshot { return m.obs.reg.Snapshot() }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"squirrel/internal/algebra"
 	"squirrel/internal/delta"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 	"squirrel/internal/store"
 	"squirrel/internal/vdp"
@@ -76,7 +78,7 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 	base := resolverFor(b, tempRels)
 	pending := make(map[string]*delta.RelDelta)
 
-	for _, stage := range m.v.Stages() {
+	for stageIdx, stage := range m.v.Stages() {
 		// Collect the stage's dirty nodes, in topological order.
 		var work []*stageNode
 		for _, name := range stage {
@@ -95,6 +97,7 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 		if len(work) == 0 {
 			continue
 		}
+		stageStart := time.Now()
 
 		// Setup: reserve state serially — Builder.Mutable and the temps
 		// map are single-writer structures; afterwards each worker only
@@ -112,13 +115,16 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 		}
 
 		// Phase 1: apply each node's delta to its own post-state.
+		applyStart := time.Now()
 		if err := runBounded(workers, len(work), func(i int) error {
 			return m.applyStageDelta(work[i], temps)
 		}); err != nil {
 			return err
 		}
+		m.obs.stageApply.ObserveSince(applyStart)
 
 		// Phase 2: fire the rules against the captured snapshots.
+		rulesStart := time.Now()
 		byName := make(map[string]*stageNode, len(work))
 		for _, w := range work {
 			byName[w.name] = w
@@ -140,6 +146,7 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 		}); err != nil {
 			return err
 		}
+		m.obs.stageRules.ObserveSince(rulesStart)
 
 		// Merge: install post-state temporaries so later stages resolve
 		// them, and smash the contributions (additive, hence
@@ -158,6 +165,11 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 		}
 		m.stats.kernelStages.Add(1)
 		m.stats.kernelStageNodes.Add(int64(len(work)))
+		m.obs.stageTotal.ObserveSince(stageStart)
+		m.obs.reg.Emit(metrics.Event{
+			Type: metrics.EventStage, Dur: time.Since(stageStart),
+			Fields: map[string]int64{"stage": int64(stageIdx), "nodes": int64(len(work)), "workers": int64(workers)},
+		})
 	}
 	return nil
 }

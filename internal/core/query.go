@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"squirrel/internal/algebra"
 	"squirrel/internal/clock"
@@ -157,6 +158,15 @@ func (m *Mediator) reflectFor(v *store.Version, res *tempResult, committed clock
 // everything referenced is materialized, coordinating only on the queue
 // lock (for Eager Compensation) when the VAP must poll.
 func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, opts QueryOptions) (*QueryResult, error) {
+	start := time.Now()
+	res0, err := m.queryOpts(export, attrs, cond, opts, start)
+	if err != nil {
+		m.obs.queryErrors.Inc()
+	}
+	return res0, err
+}
+
+func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, opts QueryOptions, start time.Time) (*QueryResult, error) {
 	n := m.v.Node(export)
 	if n == nil || !n.Export {
 		return nil, fmt.Errorf("core: %q is not an export relation", export)
@@ -257,6 +267,17 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 	polls := 0
 	if res != nil {
 		polls = res.polls
+	}
+	// Latency by path, and how far (in logical ticks) the answer's
+	// version lagged the query's commit instant — the freshness the
+	// u_hold_delay / MaxStaleness knobs trade away.
+	if req.NeedsVirtual(m.v) {
+		m.obs.queryPolling.ObserveSince(start)
+	} else {
+		m.obs.queryFast.ObserveSince(start)
+	}
+	if age := committed - v.Stamp(); age >= 0 {
+		m.obs.versionAge.Observe(float64(age))
 	}
 	m.recorder.RecordQuery(trace.QueryTxn{
 		Committed: committed,

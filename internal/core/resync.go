@@ -1,15 +1,28 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"squirrel/internal/clock"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 	"squirrel/internal/source"
 	"squirrel/internal/store"
 	"squirrel/internal/vdp"
 )
+
+// ErrResyncOvertaken classifies a resync failure: the snapshot poll
+// completed, but announcements penned during the quarantine carry times
+// past the poll instant, so the snapshot cannot vouch for the commits
+// the gap may have lost after it. This is NOT a "source still down"
+// failure — the source answered — and unlike one it will never succeed
+// while the source keeps committing ahead of every poll; consecutive
+// occurrences raise the ResyncStuck health condition. Test with
+// errors.Is.
+var ErrResyncOvertaken = errors.New("resync overtaken by newer penned announcements")
 
 // Resync re-establishes materialized consistency for a source whose
 // announcement stream broke (a detected sequence gap, or a transport
@@ -124,6 +137,7 @@ func (m *Mediator) ResyncSource(src string) error {
 	if m.contributors[src] == VirtualContributor {
 		return nil
 	}
+	start := time.Now()
 
 	affected, needEval, leaves := m.resyncClosure(src)
 	bySource := make(map[string][]string)
@@ -153,7 +167,9 @@ func (m *Mediator) ResyncSource(src string) error {
 		}
 		answers, asOf, err := m.pollSource(s, specs, true)
 		if err != nil {
-			return fmt.Errorf("core: resync poll of %s: %w", s, err)
+			err = fmt.Errorf("core: resync poll of %s: %w", s, err)
+			m.obs.reg.Emit(metrics.Event{Type: metrics.EventResync, Subject: src, Dur: time.Since(start), Err: err.Error()})
+			return err
 		}
 		m.stats.sourcePolls.Add(1)
 		if s == src {
@@ -196,9 +212,17 @@ func (m *Mediator) ResyncSource(src string) error {
 	// publish — all under qmu, like every other publish.
 	m.qmu.Lock()
 	if !m.resolveSourceLocked(src, asOfSrc) {
+		m.resyncOvertaken[src]++
+		overtaken := m.resyncOvertaken[src]
 		m.qmu.Unlock()
-		return fmt.Errorf("core: resync of %q overtaken by newer penned announcements; retry", src)
+		err := fmt.Errorf("core: resync of %q: %w; retry", src, ErrResyncOvertaken)
+		m.obs.reg.Emit(metrics.Event{
+			Type: metrics.EventResync, Subject: src, Dur: time.Since(start), Err: err.Error(),
+			Fields: map[string]int64{"overtaken": int64(overtaken)},
+		})
+		return err
 	}
+	delete(m.resyncOvertaken, src)
 	if asOfSrc > m.lastProcessed[src] {
 		m.lastProcessed[src] = asOfSrc
 	}
@@ -207,5 +231,14 @@ func (m *Mediator) ResyncSource(src string) error {
 	m.pruneDoneLocked()
 	m.qmu.Unlock()
 	m.stats.resyncs.Add(1)
+	m.obs.reg.Emit(metrics.Event{Type: metrics.EventResync, Subject: src, Dur: time.Since(start)})
+	seq := uint64(0)
+	if v := m.vstore.Current(); v != nil {
+		seq = v.Seq()
+	}
+	m.obs.reg.Emit(metrics.Event{
+		Type: metrics.EventPublish, Subject: fmt.Sprintf("v%d", seq),
+		Fields: map[string]int64{"version": int64(seq)},
+	})
 	return nil
 }

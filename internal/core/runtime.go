@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"squirrel/internal/metrics"
 )
 
 // Runtime drives a mediator's update transactions on a wall-clock period —
@@ -20,11 +22,20 @@ type Runtime struct {
 	med    *Mediator
 	period time.Duration
 
-	mu      sync.Mutex
-	stop    chan struct{}
-	done    chan struct{}
-	lastErr error
-	flushes int
+	flushHist *metrics.Histogram
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+	// lastErr is the loop's CURRENT error condition: set when a tick's
+	// resync or drain fails, cleared when a later tick drains the queue
+	// with no failure at all — Err() reporting a long-recovered failure
+	// forever made health checks permanently red. History survives in
+	// lastFailure/errCount.
+	lastErr     error
+	lastFailure error
+	errCount    int
+	flushes     int
 }
 
 // NewRuntime wraps a mediator with a periodic flush loop; call Start.
@@ -35,7 +46,11 @@ func NewRuntime(med *Mediator, period time.Duration) (*Runtime, error) {
 	if period <= 0 {
 		return nil, fmt.Errorf("core: runtime period must be positive")
 	}
-	return &Runtime{med: med, period: period}, nil
+	return &Runtime{
+		med:       med,
+		period:    period,
+		flushHist: med.obs.reg.Histogram(MetricFlushSeconds, metrics.DefLatencyBuckets),
+	}, nil
 }
 
 // Start launches the flush loop. It is an error to start a running
@@ -68,33 +83,67 @@ func (r *Runtime) loop(stop <-chan struct{}, done chan<- struct{}) {
 	}
 }
 
+// noteErr records a tick failure: it both latches the current condition
+// and appends to the history.
+func (r *Runtime) noteErr(err error) {
+	r.mu.Lock()
+	r.lastErr = err
+	r.lastFailure = err
+	r.errCount++
+	r.mu.Unlock()
+}
+
 func (r *Runtime) flushAll() {
+	start := time.Now()
+	clean := true
+	committed := 0
+	var tickErr error
 	// Attempt to repair quarantined sources first: their penned
 	// announcements rejoin the queue on success, and the flush below
-	// then drains everything. A failed resync (source still down, or
-	// overtaken by new announcements) is retried next tick.
+	// then drains everything. A failed resync is retried next tick —
+	// unless it was overtaken by newer penned announcements
+	// (ErrResyncOvertaken), which retrying on the same cadence will
+	// never fix; the mediator's ResyncStuck health condition flags that
+	// case for the operator.
 	for _, src := range r.med.QuarantinedSources() {
 		if err := r.med.ResyncSource(src); err != nil {
-			r.mu.Lock()
-			r.lastErr = err
-			r.mu.Unlock()
+			clean = false
+			tickErr = err
+			r.noteErr(err)
 		}
 	}
 	for {
 		ran, err := r.med.RunUpdateTransaction()
 		if err != nil {
-			r.mu.Lock()
-			r.lastErr = err
-			r.mu.Unlock()
-			return
+			clean = false
+			tickErr = err
+			r.noteErr(err)
+			break
 		}
 		if !ran {
-			return
+			break
 		}
+		committed++
 		r.mu.Lock()
 		r.flushes++
 		r.mu.Unlock()
 	}
+	if clean {
+		// The queue drained with no failure: whatever condition a past
+		// tick latched is over.
+		r.mu.Lock()
+		r.lastErr = nil
+		r.mu.Unlock()
+	}
+	r.flushHist.ObserveSince(start)
+	ev := metrics.Event{
+		Type: metrics.EventFlush, Dur: time.Since(start),
+		Fields: map[string]int64{"txns": int64(committed)},
+	}
+	if tickErr != nil {
+		ev.Err = tickErr.Error()
+	}
+	r.med.obs.reg.Emit(ev)
 }
 
 // Flush runs update transactions until the queue is empty, synchronously
@@ -111,9 +160,10 @@ func (r *Runtime) Flush() error {
 	}
 }
 
-// Stop terminates the loop after a final drain and reports any error the
-// loop hit. Stopping a never-started or already-stopped runtime is a
-// no-op returning the last error.
+// Stop terminates the loop after a final drain and reports the current
+// error condition (nil when the final drain was clean). Stopping a
+// never-started or already-stopped runtime is a no-op returning the
+// current condition.
 func (r *Runtime) Stop() error {
 	r.mu.Lock()
 	stop, done := r.stop, r.done
@@ -135,10 +185,26 @@ func (r *Runtime) Flushes() int {
 	return r.flushes
 }
 
-// Err reports the most recent loop error (nil if none). A loop error
-// stops further automatic flushing until the next tick retries.
+// Err reports the loop's current error condition: the most recent tick
+// failure not yet followed by a fully clean drain (nil when healthy —
+// including after recovery). Use LastErr/ErrCount for history.
 func (r *Runtime) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.lastErr
+}
+
+// LastErr reports the most recent tick failure ever, surviving recovery
+// (nil if the loop never failed).
+func (r *Runtime) LastErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastFailure
+}
+
+// ErrCount reports how many tick failures the loop has recorded.
+func (r *Runtime) ErrCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errCount
 }

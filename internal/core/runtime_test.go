@@ -84,6 +84,51 @@ func TestRuntimeFlushSynchronous(t *testing.T) {
 	}
 }
 
+func TestRuntimeErrClearsAfterRecovery(t *testing.T) {
+	e, flaky := flakyEnv(t, 0, nil)
+	if err := e.med.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(e.med, time.Hour) // ticks driven by hand
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ΔS forces a poll of db1 (R' virtual); make that poll fail.
+	d := delta.New()
+	d.Insert("S", relation.T(40, 4, 10))
+	e.db2.MustApply(d)
+	flaky.failures = flaky.calls + 1
+
+	rt.flushAll()
+	if rt.Err() == nil {
+		t.Fatalf("failed tick must latch an error")
+	}
+	if e.med.QueueLen() != 1 {
+		t.Fatalf("queue must survive the failed tick: %d", e.med.QueueLen())
+	}
+
+	// The source recovers; the next fully clean drain must clear the
+	// CURRENT condition (Err) while preserving the history (LastErr,
+	// ErrCount) — the old behavior latched Err forever, keeping health
+	// checks red long after recovery.
+	rt.flushAll()
+	if err := rt.Err(); err != nil {
+		t.Errorf("Err() after clean drain = %v, want nil", err)
+	}
+	if rt.LastErr() == nil {
+		t.Errorf("LastErr() must retain the recovered failure")
+	}
+	if n := rt.ErrCount(); n != 1 {
+		t.Errorf("ErrCount() = %d, want 1", n)
+	}
+	if e.med.QueueLen() != 0 {
+		t.Errorf("clean tick must drain the queue")
+	}
+	if err := rt.Stop(); err != nil {
+		t.Errorf("Stop() after recovery = %v, want nil", err)
+	}
+}
+
 func TestRuntimeErrors(t *testing.T) {
 	e := newEnv(t, nil, nil, nil)
 	if _, err := NewRuntime(nil, time.Second); err == nil {

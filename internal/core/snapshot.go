@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"squirrel/internal/clock"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 )
 
@@ -108,5 +109,9 @@ func (m *Mediator) Restore(snap *StateSnapshot) error {
 	m.viewInit = snap.ViewInit
 	m.vstore.PublishAt(b, seq, m.lastProcessed.Clone(), snap.ViewInit)
 	m.qmu.Unlock()
+	m.obs.reg.Emit(metrics.Event{
+		Type: metrics.EventPublish, Subject: fmt.Sprintf("v%d", seq),
+		Fields: map[string]int64{"version": int64(seq)},
+	})
 	return nil
 }

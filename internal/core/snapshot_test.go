@@ -81,6 +81,75 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+// A snapshot is a COPY of the durable state: mutating what it hands out
+// must never reach back into the mediator's published store or its ref′
+// vector.
+func TestSnapshotIsolatedFromMediator(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	snap, err := e.med.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.med.StoreSnapshot("T")
+	lpBefore := e.med.LastProcessed()
+
+	// Trash everything the snapshot handed out.
+	for _, rel := range snap.Store {
+		rel.Clear()
+	}
+	for src := range snap.LastProcessed {
+		snap.LastProcessed[src] = 999999
+	}
+
+	if got := e.med.StoreSnapshot("T"); !got.Equal(before) {
+		t.Fatalf("mutating a snapshot reached the mediator store:\n%swant\n%s", got, before)
+	}
+	lpAfter := e.med.LastProcessed()
+	for src, want := range lpBefore {
+		if lpAfter[src] != want {
+			t.Errorf("mutating snapshot.LastProcessed reached ref′: %s = %d, want %d",
+				src, lpAfter[src], want)
+		}
+	}
+	// The mediator still answers correctly.
+	truth := e.groundTruth(t)
+	if got := e.med.StoreSnapshot("T"); !got.Equal(truth["T"]) {
+		t.Errorf("store diverged from ground truth after snapshot mutation")
+	}
+}
+
+// Restore must deep-copy the snapshot it installs: the caller keeps
+// ownership and may reuse or mutate it (e.g. restoring the same snapshot
+// into a second mediator).
+func TestRestoreIsolatedFromCaller(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	snap, err := e.med.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	med2 := restoreEnv(t, e, snap)
+	before := med2.StoreSnapshot("T")
+	lpBefore := med2.LastProcessed()
+
+	for _, rel := range snap.Store {
+		rel.Clear()
+	}
+	for src := range snap.LastProcessed {
+		snap.LastProcessed[src] = 999999
+	}
+
+	if got := med2.StoreSnapshot("T"); !got.Equal(before) {
+		t.Fatalf("mutating the snapshot after Restore reached the mediator:\n%swant\n%s", got, before)
+	}
+	lpAfter := med2.LastProcessed()
+	for src, want := range lpBefore {
+		if lpAfter[src] != want {
+			t.Errorf("mutating snapshot.LastProcessed after Restore reached ref′: %s = %d, want %d",
+				src, lpAfter[src], want)
+		}
+	}
+}
+
 func TestSnapshotReplayDedup(t *testing.T) {
 	// Over-replay (from time zero) must be harmless: the dedup drops
 	// announcements at or before ref′.

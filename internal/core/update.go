@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"squirrel/internal/algebra"
 	"squirrel/internal/clock"
 	"squirrel/internal/delta"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 	"squirrel/internal/source"
 	"squirrel/internal/store"
@@ -48,7 +50,7 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 	m.txnMu.Lock()
 	defer m.txnMu.Unlock()
 	for attempt := 0; ; attempt++ {
-		ran, retry, err := m.runUpdateOnce()
+		ran, retry, err := m.runUpdateOnce(attempt)
 		if err != nil || !retry {
 			return ran, err
 		}
@@ -56,13 +58,16 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 			return false, fmt.Errorf("core: update transaction overtaken by %d concurrent publishes; giving up", attempt+1)
 		}
 		m.stats.txnRetries.Add(1)
+		m.obs.txnRetries.Inc()
 	}
 }
 
 // runUpdateOnce is one attempt: prepare under mu, poll and propagate
 // outside it, commit under mu. retry reports that a concurrent publish
 // superseded the builder's base and the caller should start over.
-func (m *Mediator) runUpdateOnce() (ran, retry bool, err error) {
+// attempt is the retry ordinal, recorded on the commit event.
+func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
+	start := time.Now()
 	// Prepare: the queue prefix this transaction covers (empty_queue
 	// time) and the builder's base version must name the same state, so
 	// both are captured under mu — the lock every publisher holds.
@@ -79,6 +84,7 @@ func (m *Mediator) runUpdateOnce() (ran, retry bool, err error) {
 	if len(snapshot) == 0 {
 		return false, false, nil
 	}
+	m.obs.txnPrepare.ObserveSince(start)
 
 	combined, newRef := m.coalesceAnnouncements(snapshot)
 	var temps *tempResult
@@ -101,6 +107,7 @@ func (m *Mediator) runUpdateOnce() (ran, retry bool, err error) {
 		// Always fail-fast: propagating deltas onto stale helper states
 		// would corrupt the store; the queue survives for a later retry.
 		if len(needed) > 0 {
+			pollStart := time.Now()
 			plan, err := m.v.PlanTemporaries(needed)
 			if err != nil {
 				return false, false, err
@@ -111,11 +118,14 @@ func (m *Mediator) runUpdateOnce() (ran, retry bool, err error) {
 			}
 			temps = res
 			polled = res.polls
+			m.obs.txnPolls.ObserveSince(pollStart)
 		}
 		// Phase (c): the Kernel Algorithm, writing copy-on-write into b.
+		propStart := time.Now()
 		if err := m.runKernel(b, combined, temps); err != nil {
 			return false, false, err
 		}
+		m.obs.txnPropagate.ObserveSince(propStart)
 	}
 
 	// Commit: remove the processed prefix, advance ref′, and publish the
@@ -124,6 +134,7 @@ func (m *Mediator) runUpdateOnce() (ran, retry bool, err error) {
 	// would resurrect pre-resync state — so discard it and retry. While
 	// the base is unchanged the snapshot is still exactly the queue's
 	// prefix: only publishers remove queue entries, and they all hold mu.
+	commitStart := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.vstore.Current() != b.Base() {
@@ -150,10 +161,30 @@ func (m *Mediator) runUpdateOnce() (ran, retry bool, err error) {
 	committed := m.clk.Now()
 	m.vstore.Publish(b, reflect, committed)
 	m.pruneDoneLocked()
+	m.obs.queueLen.Set(int64(len(m.queue)))
 	m.qmu.Unlock()
 
 	m.stats.updateTxns.Add(1)
 	m.stats.atomsPropagated.Add(int64(combined.Card()))
+	m.obs.txnCommit.ObserveSince(commitStart)
+	m.obs.txnTotal.ObserveSince(start)
+	m.obs.txnsTotal.Inc()
+	seq := uint64(0)
+	if v := m.vstore.Current(); v != nil {
+		seq = v.Seq()
+	}
+	m.obs.reg.Emit(metrics.Event{
+		Type: metrics.EventUpdateTxn, Dur: time.Since(start),
+		Fields: map[string]int64{
+			"atoms": int64(combined.Card()), "polls": int64(polled),
+			"announcements": int64(len(snapshot)), "attempt": int64(attempt),
+			"version": int64(seq),
+		},
+	})
+	m.obs.reg.Emit(metrics.Event{
+		Type: metrics.EventPublish, Subject: fmt.Sprintf("v%d", seq),
+		Fields: map[string]int64{"version": int64(seq)},
+	})
 	m.recorder.RecordUpdate(trace.UpdateTxn{
 		Committed: committed,
 		Reflect:   reflect.Clone(),

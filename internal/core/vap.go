@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"squirrel/internal/algebra"
 	"squirrel/internal/clock"
@@ -224,6 +225,8 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, deg
 // and the live queue, so a query pinned to an older version still rolls
 // its polls all the way back to that version's ref′.
 func (m *Mediator) compensate(answer *relation.Relation, src string, spec vdp.PollSpec, asOf clock.Time, view store.View) error {
+	start := time.Now()
+	defer func() { m.obs.compensation.ObserveSince(start) }()
 	base := view.RefOf(src)
 	pending := delta.NewRel(spec.Leaf)
 	collect := func(list []source.Announcement) {

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the mediator stack. The set is open — these
+// constants just keep producers and consumers spelling them the same way.
+const (
+	EventUpdateTxn  = "update-txn"   // one committed update transaction
+	EventPoll       = "poll"         // one source poll attempt
+	EventBreaker    = "breaker"      // circuit-breaker transition
+	EventQuarantine = "quarantine"   // source quarantined
+	EventResync     = "resync"       // source resync attempt
+	EventPublish    = "publish"      // store version published
+	EventStage      = "kernel-stage" // one staged-kernel stage
+	EventFlush      = "flush"        // one runtime flush tick
+	EventQuery      = "query"        // one query transaction
+)
+
+// DefEventCapacity is the default ring-buffer size of an EventLog.
+const DefEventCapacity = 1024
+
+// Event is one structured observability record. Numeric payload rides in
+// Fields (atoms, polls, version seq, stage index...), keeping the struct
+// JSON-friendly and allocation-light.
+type Event struct {
+	// Seq is a monotone sequence number stamped by the log.
+	Seq uint64 `json:"seq"`
+	// Wall is the wall-clock emission time stamped by the log.
+	Wall time.Time `json:"wall"`
+	// Type is one of the Event* constants (or a producer-defined string).
+	Type string `json:"type"`
+	// Subject names what the event is about: a source, a node, a phase.
+	Subject string `json:"subject,omitempty"`
+	// Dur is the measured duration, when the event times something.
+	Dur time.Duration `json:"dur,omitempty"`
+	// Err carries the error text for failure events.
+	Err string `json:"err,omitempty"`
+	// Fields is a small numeric payload.
+	Fields map[string]int64 `json:"fields,omitempty"`
+}
+
+// String renders the event compactly for CLI output.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %s", e.Seq, e.Wall.Format("15:04:05.000"), e.Type)
+	if e.Subject != "" {
+		fmt.Fprintf(&b, " %s", e.Subject)
+	}
+	if e.Dur > 0 {
+		fmt.Fprintf(&b, " dur=%s", e.Dur)
+	}
+	if len(e.Fields) > 0 {
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, e.Fields[k])
+		}
+	}
+	if e.Err != "" {
+		fmt.Fprintf(&b, " err=%q", e.Err)
+	}
+	return b.String()
+}
+
+// EventLog is a bounded ring buffer of events. Emission is a short
+// mutex-protected append; when full, the oldest event is overwritten.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // buf index the next event lands in
+	total uint64 // events ever emitted
+}
+
+// NewEventLog creates a log retaining up to capacity events (<= 0 means
+// DefEventCapacity).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefEventCapacity
+	}
+	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+// Emit stamps Seq and Wall and appends the event, evicting the oldest
+// when the buffer is full.
+func (l *EventLog) Emit(e Event) {
+	l.mu.Lock()
+	l.total++
+	e.Seq = l.total
+	e.Wall = time.Now()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.mu.Unlock()
+}
+
+// Recent returns up to n retained events, oldest first (n <= 0 means
+// all), plus the total number of events ever emitted.
+func (l *EventLog) Recent(n int) ([]Event, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	if len(l.buf) < cap(l.buf) {
+		out = append(out, l.buf...)
+	} else {
+		out = append(out, l.buf[l.next:]...)
+		out = append(out, l.buf[:l.next]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out, l.total
+}
+
+// Len reports how many events are currently retained.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Total reports how many events were ever emitted.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

@@ -1,0 +1,263 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry(0)
+	c := r.Counter("squirrel_update_txns_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("squirrel_update_txns_total") != c {
+		t.Fatal("Counter not idempotent: second lookup returned a different instrument")
+	}
+	g := r.Gauge("squirrel_queue_len")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry(0)
+	h := r.Histogram("lat", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 0.5, 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket counts sum to %d, count is %d", sum, s.Count)
+	}
+	want := []uint64{1, 2, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if math.Abs(s.Sum-(0.0005+0.002+0.002+0.05+0.5+3)) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	if m := s.Mean(); math.Abs(m-s.Sum/6) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	// p50 lands in the (0.001, 0.01] bucket, p99 in +Inf which reports
+	// the highest finite bound.
+	if q := s.Quantile(0.5); q <= 0.001 || q > 0.01+1e-12 {
+		t.Fatalf("p50 = %v, want in (0.001, 0.01]", q)
+	}
+	if q := s.Quantile(0.99); q != 1 {
+		t.Fatalf("p99 = %v, want 1 (highest finite bound)", q)
+	}
+}
+
+func TestHistogramEmptyAndBoundaryValues(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot should report zeros")
+	}
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on a bound: counted at or below that bound
+	s = h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Fatalf("boundary value landed in %v", s.Counts)
+	}
+}
+
+func TestHistogramFamilyBoundsShared(t *testing.T) {
+	r := NewRegistry(0)
+	a := r.Histogram(`poll{source="db1"}`, []float64{1, 2, 3})
+	b := r.Histogram(`poll{source="db2"}`, nil)
+	if len(a.Snapshot().Bounds) != 3 || len(b.Snapshot().Bounds) != 3 {
+		t.Fatalf("labeled series of one family should share bounds: %v vs %v",
+			a.Snapshot().Bounds, b.Snapshot().Bounds)
+	}
+}
+
+func TestEventLogRingBuffer(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Type: EventPoll, Subject: "db1", Fields: map[string]int64{"i": int64(i)}})
+	}
+	events, total := l.Recent(0)
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+	if len(events) != 4 {
+		t.Fatalf("retained %d, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("events[%d].Seq = %d, want %d (oldest first)", i, e.Seq, want)
+		}
+	}
+	recent, _ := l.Recent(2)
+	if len(recent) != 2 || recent[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", recent)
+	}
+	if l.Len() != 4 || l.Total() != 10 {
+		t.Fatalf("Len=%d Total=%d", l.Len(), l.Total())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Seq: 3, Wall: time.Date(2026, 1, 1, 12, 30, 45, 0, time.UTC),
+		Type: EventUpdateTxn, Subject: "T", Dur: 2 * time.Millisecond,
+		Fields: map[string]int64{"atoms": 5, "polls": 2}, Err: "boom",
+	}
+	s := e.String()
+	for _, want := range []string{"#3", "update-txn", "T", "dur=2ms", "atoms=5", "polls=2", `err="boom"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestSeriesNameAndLabelSplit(t *testing.T) {
+	name := SeriesName("squirrel_source_poll_seconds", "source", "db1", "outcome", "ok")
+	if name != `squirrel_source_poll_seconds{source="db1",outcome="ok"}` {
+		t.Fatalf("SeriesName = %q", name)
+	}
+	if familyOf(name) != "squirrel_source_poll_seconds" {
+		t.Fatalf("familyOf = %q", familyOf(name))
+	}
+	if labelsOf(name) != `source="db1",outcome="ok"` {
+		t.Fatalf("labelsOf = %q", labelsOf(name))
+	}
+	if familyOf("plain") != "plain" || labelsOf("plain") != "" {
+		t.Fatal("unlabeled split broken")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry(8)
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	r.Emit(Event{Type: EventPublish, Subject: "v2"})
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c"] != 3 || back.Gauges["g"] != -2 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	if back.Histograms["h"].Count != 1 || back.EventsTotal != 1 || len(back.Events) != 1 {
+		t.Fatalf("round trip lost histogram/events: %+v", back)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(0)
+	r.Counter("squirrel_update_txns_total").Add(2)
+	r.Gauge("squirrel_queue_len").Set(3)
+	h := r.Histogram(`squirrel_source_poll_seconds{source="db1",outcome="ok"}`, []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.Histogram("squirrel_query_seconds", []float64{0.25}).Observe(0.1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE squirrel_update_txns_total counter\nsquirrel_update_txns_total 2\n",
+		"# TYPE squirrel_queue_len gauge\nsquirrel_queue_len 3\n",
+		"# TYPE squirrel_source_poll_seconds histogram\n",
+		`squirrel_source_poll_seconds_bucket{source="db1",outcome="ok",le="0.01"} 1`,
+		`squirrel_source_poll_seconds_bucket{source="db1",outcome="ok",le="0.1"} 2`,
+		`squirrel_source_poll_seconds_bucket{source="db1",outcome="ok",le="+Inf"} 3`,
+		`squirrel_source_poll_seconds_count{source="db1",outcome="ok"} 3`,
+		`squirrel_query_seconds_bucket{le="0.25"} 1`,
+		`squirrel_query_seconds_bucket{le="+Inf"} 1`,
+		"squirrel_query_seconds_sum 0.1\n",
+		"squirrel_query_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render must be byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("prometheus output not deterministic")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1.0",
+		0.5:     "0.5",
+		0.00005: "5e-05",
+		10:      "10.0",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises get-or-create races and concurrent
+// observation under -race; it also pins the snapshot consistency
+// contract (bucket counts sum to Count) while observers are running.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry(64)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", DefLatencyBuckets).Observe(0.001)
+				r.Emit(Event{Type: EventPoll})
+				s := r.Snapshot()
+				h := s.Histograms["h"]
+				var sum uint64
+				for _, c := range h.Counts {
+					sum += c
+				}
+				if sum != h.Count {
+					t.Errorf("inconsistent snapshot: buckets sum %d, count %d", sum, h.Count)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Events().Total(); got != goroutines*perG {
+		t.Fatalf("events total = %d, want %d", got, goroutines*perG)
+	}
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as the conventional _bucket/_sum/_count series
+// with cumulative "le" buckets. Series of one family are grouped under a
+// single # TYPE line and emitted in sorted order, so scrapes are
+// deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	return WriteSnapshotPrometheus(w, s)
+}
+
+// WriteSnapshotPrometheus renders an already-taken snapshot (events are
+// not exported — Prometheus has no event type; use /debug/vars or the
+// events CLI for those).
+func WriteSnapshotPrometheus(w io.Writer, s Snapshot) error {
+	type sample struct {
+		name  string
+		value string
+	}
+	families := make(map[string][]sample) // family -> samples
+	kinds := make(map[string]string)      // family -> TYPE
+
+	add := func(family, series, value, kind string) {
+		if _, seen := kinds[family]; !seen {
+			kinds[family] = kind
+		}
+		families[family] = append(families[family], sample{series, value})
+	}
+	for name, v := range s.Counters {
+		add(familyOf(name), name, strconv.FormatInt(v, 10), "counter")
+	}
+	for name, v := range s.Gauges {
+		add(familyOf(name), name, strconv.FormatInt(v, 10), "gauge")
+	}
+	for name, h := range s.Histograms {
+		family := familyOf(name)
+		labels := labelsOf(name)
+		kinds[family] = "histogram"
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			families[family] = append(families[family], sample{
+				family + "_bucket{" + joinLabels(labels, `le="`+le+`"`) + "}",
+				strconv.FormatUint(cum, 10),
+			})
+		}
+		sumSeries, countSeries := family+"_sum", family+"_count"
+		if labels != "" {
+			sumSeries += "{" + labels + "}"
+			countSeries += "{" + labels + "}"
+		}
+		families[family] = append(families[family],
+			sample{sumSeries, formatFloat(h.Sum)},
+			sample{countSeries, strconv.FormatUint(h.Count, 10)})
+	}
+
+	names := make([]string, 0, len(families))
+	for f := range families {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f, kinds[f]); err != nil {
+			return err
+		}
+		samples := families[f]
+		sort.SliceStable(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+		for _, sm := range samples {
+			if _, err := fmt.Fprintf(w, "%s %s\n", sm.name, sm.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// joinLabels concatenates two label bodies with a comma, tolerating an
+// empty first part.
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// formatFloat renders a float the Prometheus way: shortest representation
+// that round-trips, no exponent for typical bucket bounds.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	out := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(out, ".e") {
+		out += ".0"
+	}
+	return out
+}

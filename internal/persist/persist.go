@@ -37,9 +37,12 @@ func Save(w io.Writer, snap *core.StateSnapshot) error {
 		return fmt.Errorf("persist: nil snapshot")
 	}
 	env := envelope{
-		Version:       Version,
-		Store:         make(map[string]wire.Relation, len(snap.Store)),
-		LastProcessed: snap.LastProcessed,
+		Version: Version,
+		Store:   make(map[string]wire.Relation, len(snap.Store)),
+		// Clone: the envelope must not alias the caller's snapshot — a
+		// concurrent mutation of snap.LastProcessed mid-encode would
+		// corrupt the written ref′ vector.
+		LastProcessed: snap.LastProcessed.Clone(),
 		ViewInit:      snap.ViewInit,
 		StoreVersion:  snap.StoreVersion,
 	}

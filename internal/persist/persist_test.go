@@ -53,6 +53,58 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// The envelope must not alias the caller's snapshot: what Save wrote is
+// fixed at the call, regardless of what the caller does to the snapshot
+// afterwards (the regression was the envelope sharing snap.LastProcessed,
+// so a concurrent mutation mid-encode could corrupt the written ref′).
+func TestSaveIsolatedFromLaterMutation(t *testing.T) {
+	snap := sampleSnapshot(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.LastProcessed["db1"] = 999999
+	snap.LastProcessed["db3"] = 1
+	snap.Store["T"].Clear()
+
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastProcessed["db1"] != 17 || got.LastProcessed["db2"] != 23 {
+		t.Errorf("saved ref′ corrupted by later mutation: %v", got.LastProcessed)
+	}
+	if _, leaked := got.LastProcessed["db3"]; leaked {
+		t.Errorf("later vector insert leaked into the saved envelope")
+	}
+	if got.Store["T"].Len() != 2 {
+		t.Errorf("saved store corrupted by later mutation: %d rows", got.Store["T"].Len())
+	}
+}
+
+// Load hands back freshly decoded state: mutating one loaded snapshot
+// must not affect a second load of the same bytes.
+func TestLoadReturnsIndependentCopies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	first, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Store["T"].Clear()
+	first.LastProcessed["db1"] = 0
+	second, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Store["T"].Len() != 2 || second.LastProcessed["db1"] != 17 {
+		t.Errorf("loads share state: %d rows, ref′ %v", second.Store["T"].Len(), second.LastProcessed)
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load(strings.NewReader("not json")); err == nil {
 		t.Errorf("garbage must fail")

@@ -13,6 +13,7 @@ import (
 	"squirrel/internal/algebra"
 	"squirrel/internal/clock"
 	"squirrel/internal/delta"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 	"squirrel/internal/source"
 )
@@ -380,6 +381,15 @@ type Message struct {
 	// type "answer" to "medstats": the mediator's operation counters and
 	// per-source health (core.Stats marshals as plain JSON).
 	Stats *StatsPayload `json:"stats,omitempty"`
+	// type "medevents": cap on the number of returned events (0 = server
+	// default).
+	Limit int `json:"limit,omitempty"`
+	// type "answer" to "medmetrics": a full instrument snapshot.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// type "answer" to "medevents": the retained events, oldest first,
+	// plus the total ever emitted (retained or evicted).
+	Events      []metrics.Event `json:"events,omitempty"`
+	EventsTotal uint64          `json:"events_total,omitempty"`
 }
 
 // encode marshals a message plus newline.

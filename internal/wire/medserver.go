@@ -10,6 +10,7 @@ import (
 	"squirrel/internal/algebra"
 	"squirrel/internal/clock"
 	"squirrel/internal/core"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 )
 
@@ -130,6 +131,20 @@ func (s *MediatorServer) serveConn(conn net.Conn) {
 		case "medstats":
 			st := s.med.Stats()
 			if !send(Message{Type: "answer", ID: m.ID, Stats: &st}) {
+				return
+			}
+		case "medmetrics":
+			snap := s.med.MetricsSnapshot()
+			if !send(Message{Type: "answer", ID: m.ID, Metrics: &snap}) {
+				return
+			}
+		case "medevents":
+			n := m.Limit
+			if n <= 0 {
+				n = 100
+			}
+			evs, total := s.med.Metrics().Events().Recent(n)
+			if !send(Message{Type: "answer", ID: m.ID, Events: evs, EventsTotal: total}) {
 				return
 			}
 		case "sync":
@@ -310,6 +325,29 @@ func (c *MediatorClient) Stats() (*StatsPayload, error) {
 		return nil, fmt.Errorf("wire: stats reply without payload")
 	}
 	return reply.Stats, nil
+}
+
+// Metrics fetches a full snapshot of the mediator's instruments (latency
+// histograms, counters, gauges) and its retained events.
+func (c *MediatorClient) Metrics() (*metrics.Snapshot, error) {
+	reply, err := c.roundTrip(Message{Type: "medmetrics"})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Metrics == nil {
+		return nil, fmt.Errorf("wire: metrics reply without payload")
+	}
+	return reply.Metrics, nil
+}
+
+// Events fetches up to n recent structured events (oldest first; n <= 0
+// uses the server default) plus the total number ever emitted.
+func (c *MediatorClient) Events(n int) ([]metrics.Event, uint64, error) {
+	reply, err := c.roundTrip(Message{Type: "medevents", Limit: n})
+	if err != nil {
+		return nil, 0, err
+	}
+	return reply.Events, reply.EventsTotal, nil
 }
 
 // StoreVersion returns the mediator's currently published store version.

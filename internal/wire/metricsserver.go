@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"squirrel/internal/core"
+)
+
+// MetricsServer exposes a mediator's instruments over HTTP for scraping
+// and ad-hoc inspection:
+//
+//	/metrics       Prometheus text exposition format (0.0.4)
+//	/debug/vars    the full metrics.Snapshot as JSON (instruments + events)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// It is deliberately separate from MediatorServer: the query protocol
+// listens on the application port, observability on an operator port, so
+// a firewall can keep profiling endpoints off the application network.
+type MetricsServer struct {
+	med *core.Mediator
+
+	mu  sync.Mutex
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewMetricsServer wraps a mediator.
+func NewMetricsServer(med *core.Mediator) *MetricsServer {
+	return &MetricsServer{med: med}
+}
+
+// Handler returns the server's HTTP handler, for embedding in an existing
+// mux instead of a dedicated listener.
+func (s *MetricsServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.med.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(s.med.MetricsSnapshot())
+	})
+	// The pprof handlers are mounted on this private mux explicitly (not
+	// via the package's DefaultServeMux side effect), so importing this
+	// package never exposes profiling on a mux we don't own.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (":0" for ephemeral) and serves in the
+// background, returning the bound address.
+func (s *MetricsServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and shuts the server down.
+func (s *MetricsServer) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.ln, s.srv = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

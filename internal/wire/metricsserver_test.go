@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"squirrel/internal/delta"
+	"squirrel/internal/metrics"
+	"squirrel/internal/relation"
+)
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// The end-to-end observability smoke: drive a served mediator through
+// update transactions and queries, then scrape /metrics and check the
+// key series an operator's dashboard would be built on.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	db, med, addr := startMediator(t)
+	msrv := NewMetricsServer(med)
+	maddr, err := msrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer msrv.Close()
+
+	// Generate traffic: a few update transactions and queries.
+	c, err := DialMediator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		d := delta.New()
+		d.Insert("A", relation.T(100+i, 10*i))
+		db.MustApply(d)
+		if _, err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Query("V", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := httpGet(t, "http://"+maddr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE squirrel_update_txn_seconds histogram",
+		`squirrel_update_txn_seconds_bucket{phase="total",le="+Inf"} 5`,
+		`squirrel_update_txn_seconds_bucket{phase="polls",le=`,
+		`squirrel_update_txn_seconds_bucket{phase="commit",le="+Inf"} 5`,
+		"squirrel_update_txns_total 5",
+		`squirrel_source_poll_seconds_bucket{source="db",outcome="ok",le="+Inf"}`,
+		`squirrel_query_seconds_bucket{path="fast",le="+Inf"} 5`,
+		"# TYPE squirrel_query_version_age_ticks histogram",
+		"squirrel_queue_len 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n--- scrape ---\n%s", want, body)
+		}
+	}
+
+	// /debug/vars is the same snapshot as JSON, events included.
+	code, vars := httpGet(t, "http://"+maddr+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(vars), &snap); err != nil {
+		t.Fatalf("/debug/vars is not a metrics.Snapshot: %v", err)
+	}
+	if snap.Counters["squirrel_update_txns_total"] != 5 {
+		t.Errorf("/debug/vars txn counter = %d", snap.Counters["squirrel_update_txns_total"])
+	}
+	if snap.EventsTotal == 0 || len(snap.Events) == 0 {
+		t.Errorf("/debug/vars carries no events")
+	}
+
+	// pprof answers on the operator port.
+	if code, _ := httpGet(t, "http://"+maddr+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	// The same snapshot is reachable over the query protocol.
+	wsnap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wsnap.Counters["squirrel_update_txns_total"] != 5 {
+		t.Errorf("wire metrics txn counter = %d", wsnap.Counters["squirrel_update_txns_total"])
+	}
+	evs, total, err := c.Events(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || len(evs) == 0 || len(evs) > 10 {
+		t.Errorf("wire events: %d of %d", len(evs), total)
+	}
+	// Publish events carry the version sequence.
+	found := false
+	for _, ev := range evs {
+		if ev.Type == metrics.EventPublish {
+			found = true
+		}
+	}
+	// The ring may have evicted publishes behind newer events; fetch all.
+	if !found {
+		all, _, err := c.Events(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range all {
+			if ev.Type == metrics.EventPublish {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no publish events after %d update transactions", 5)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/core"
 	"squirrel/internal/delta"
+	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
 	"squirrel/internal/resilience"
 	"squirrel/internal/source"
@@ -213,6 +214,35 @@ type (
 	// ChaosSource wraps a SourceConn with fault injection.
 	ChaosSource = resilience.ChaosSource
 )
+
+// Observability (latency histograms, structured events, /metrics).
+type (
+	// MetricsRegistry holds the mediator's instruments and event log;
+	// obtain it with System.Metrics or Mediator.Metrics, render it with
+	// WritePrometheus. Pass a shared one via MediatorConfig.Metrics to
+	// aggregate several mediators into one scrape.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a consistent-per-instrument copy of every
+	// instrument plus the retained events; marshals directly to JSON.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsEvent is one structured observability record (poll failure,
+	// breaker transition, version publish, flush tick...).
+	MetricsEvent = metrics.Event
+	// LatencySnapshot is one histogram's state: cumulative buckets plus
+	// Mean and Quantile estimation.
+	LatencySnapshot = metrics.HistogramSnapshot
+)
+
+// NewMetricsRegistry creates a metrics registry with an event ring buffer
+// of the given capacity (0 = default).
+var NewMetricsRegistry = metrics.NewRegistry
+
+// ErrResyncOvertaken marks a failed resync whose snapshot poll was
+// overtaken by announcements newer than the poll — retrying on the same
+// cadence will not converge; the mediator flags the source's health as
+// ResyncStuck after a few consecutive occurrences. Distinguish it from
+// "source still down" with errors.Is.
+var ErrResyncOvertaken = core.ErrResyncOvertaken
 
 // Degradation modes.
 const (

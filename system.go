@@ -304,6 +304,26 @@ func (s *System) Advise(p WorkloadProfile) (Advice, error) {
 // Mediator exposes the underlying mediator.
 func (s *System) Mediator() *Mediator { return s.med }
 
+// Metrics exposes the mediator's metrics registry (nil before Start):
+// latency histograms for update-transaction phases, kernel stages, source
+// polls and queries, plus the structured event log. Render it with
+// (*MetricsRegistry).WritePrometheus or snapshot it with MetricsSnapshot.
+func (s *System) Metrics() *MetricsRegistry {
+	if !s.started {
+		return nil
+	}
+	return s.med.Metrics()
+}
+
+// MetricsSnapshot captures every instrument and the retained events (the
+// zero Snapshot before Start).
+func (s *System) MetricsSnapshot() MetricsSnapshot {
+	if !s.started {
+		return MetricsSnapshot{}
+	}
+	return s.med.MetricsSnapshot()
+}
+
 // StoreVersion returns the sequence number of the mediator's currently
 // published store version (0 before Start). Each committed update
 // transaction publishes the next version; every query answer carries the
