@@ -103,11 +103,11 @@ func cmdFigure2(args []string) error {
 	return nil
 }
 
-// cmdServeSource serves the demo source databases over TCP (one listener
-// per database), for use with `squirrel query` and examples/netmediator.
+// cmdServeSource serves the demo source database db1 (relation R) over
+// TCP, for use with `squirrel query` and `squirrel serve-mediator`.
 func cmdServeSource(args []string) error {
 	fs := flag.NewFlagSet("serve-source", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:7070", "listen address for db1 (db2 uses port+1)")
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address for the demo source database")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

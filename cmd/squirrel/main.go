@@ -1,11 +1,15 @@
 // Command squirrel is the CLI for the Squirrel data-integration
 // reproduction (Hull & Zhou, SIGMOD 1996):
 //
-//	squirrel bench [-e E1,...]   regenerate the experiment tables (E1–E11)
+//	squirrel bench [-e E1,...]   regenerate the experiment tables (E1–E18)
 //	squirrel demo                run the paper's running example end to end
 //	squirrel figure2             print the Figure 2 scenario and verdicts
 //	squirrel serve-source        serve a demo source database over TCP
+//	squirrel serve-mediator      assemble and serve a mediator over TCP sources
 //	squirrel query               one-shot query against TCP-served sources
+//	squirrel query-view          query a running mediator's exports
+//	squirrel readvise            trigger one annotation-advisor round
+//	squirrel stats|metrics|events  operator introspection of a mediator
 package main
 
 import (
@@ -38,6 +42,8 @@ func main() {
 		err = cmdQueryView(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "readvise":
+		err = cmdReadvise(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "metrics":
@@ -64,7 +70,7 @@ commands:
   bench [-e E1,E4,...]       run the reproduction experiments (default: all)
   demo                       run the paper's running example (Examples 2.1-2.3)
   figure2                    print the Figure 2 scenario and its verdicts
-  serve-source -addr :7070   serve the demo source databases over TCP
+  serve-source -addr :7070   serve the demo source database over TCP
   serve-mediator ...         assemble and serve a mediator over TCP sources
       [-poll-timeout D] [-retry N] [-retry-base D] [-breaker N:COOLDOWN]
       [-chaos-seed S [-chaos-err P]]
@@ -73,12 +79,19 @@ commands:
                              deterministic fault injection on source links
       [-metrics-addr :9090]  observability HTTP endpoint: /metrics (Prometheus
                              text), /debug/vars (JSON snapshot), /debug/pprof
+      [-adapt [-adapt-interval D] [-adapt-cooldown D]]
+                             online annotation advisor loop: observe the live
+                             workload and re-annotate without downtime
   query -addr HOST:PORT ...  one-shot snapshot query against a source server
   query-view -addr ... -export V [-attrs a,b] [-where 'a = 1'] [-sync]
       [-stale [-max-staleness N]]
                              query a running mediator; -stale accepts a
                              degraded answer (bounded staleness) if a source
                              is down
+  readvise -addr HOST:PORT [-dry-run]
+                             trigger one advisor round on a running mediator:
+                             observe, advise, and apply (or preview) the
+                             annotation flips
   stats -addr HOST:PORT      print a mediator's counters and source health
   metrics -addr HOST:PORT [-prom]
                              print a mediator's latency histograms and

@@ -57,6 +57,12 @@ func cmdServeMediator(args []string) error {
 		"staged-kernel worker pool for update propagation (0 = serial reference kernel)")
 	metricsAddr := fs.String("metrics-addr", "",
 		"observability HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = disabled)")
+	adapt := fs.Bool("adapt", false,
+		"run the online annotation advisor loop (observe workload, re-annotate live)")
+	adaptInterval := fs.Duration("adapt-interval", core.DefAdaptInterval,
+		"advisor loop period when -adapt is set")
+	adaptCooldown := fs.Duration("adapt-cooldown", 0,
+		"minimum wall time between applied re-annotations (0 = twice -adapt-interval)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -189,6 +195,10 @@ func cmdServeMediator(args []string) error {
 			}
 			restored = true
 			fmt.Printf("restored state from %s (ref′ %v)\n", *state, med.LastProcessed())
+			if !vdp.AnnotationsEqual(med.Annotations(), plan.Annotations()) {
+				fmt.Println("restored annotation differs from the construction default:")
+				fmt.Print(med.VDP())
+			}
 		}
 	}
 	if !restored {
@@ -207,12 +217,33 @@ func cmdServeMediator(args []string) error {
 	defer rt.Stop()
 
 	srv := wire.NewMediatorServer(med)
+
+	// Attach an adaptive-annotation controller either way, so the readvise
+	// subcommand always finds a workload window that opened at serve start:
+	// with -adapt it also runs the closed loop; without, it is manual and
+	// only acts when an operator asks.
+	ctrl := core.NewAdaptController(med, core.AdaptConfig{
+		Interval: *adaptInterval,
+		Cooldown: *adaptCooldown,
+		Manual:   !*adapt,
+	})
+	srv.SetAdaptController(ctrl)
+	if *adapt {
+		if err := ctrl.Start(); err != nil {
+			return err
+		}
+		defer ctrl.Stop()
+	}
+
 	bound, err := srv.Start(*listen)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("\nmediator serving on %s (flush every %s; ctrl-c to stop)\n", bound, *flush)
+	if *adapt {
+		fmt.Printf("adaptive annotation: advising every %s\n", *adaptInterval)
+	}
 
 	if *metricsAddr != "" {
 		msrv := wire.NewMetricsServer(med)
@@ -304,6 +335,73 @@ func cmdQueryView(args []string) error {
 		return err
 	}
 	fmt.Printf("query transaction t=%d:\n%s", committed, ans)
+	return nil
+}
+
+// cmdReadvise triggers one on-demand advisor round on a running mediator
+// (the §5.3 loop, operator-paced): observe the workload window since the
+// last round, ask the advisor, and apply the implied annotation flips —
+// or, with -dry-run, only report them with their justifications.
+func cmdReadvise(args []string) error {
+	fs := flag.NewFlagSet("readvise", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7080", "mediator server address")
+	dry := fs.Bool("dry-run", false, "report what would change without applying anything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := wire.DialMediator(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	dec, err := c.Readvise(*dry)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("window: %d query transaction(s)\n", dec.Queries)
+	if len(dec.Profile.AccessFreq) > 0 {
+		attrs := make([]string, 0, len(dec.Profile.AccessFreq))
+		for a := range dec.Profile.AccessFreq {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		parts := make([]string, len(attrs))
+		for i, a := range attrs {
+			parts[i] = fmt.Sprintf("%s=%.2f", a, dec.Profile.AccessFreq[a])
+		}
+		fmt.Printf("access freq:  %s\n", strings.Join(parts, " "))
+	}
+	if len(dec.Profile.UpdateShare) > 0 {
+		srcs := make([]string, 0, len(dec.Profile.UpdateShare))
+		for s := range dec.Profile.UpdateShare {
+			srcs = append(srcs, s)
+		}
+		sort.Strings(srcs)
+		parts := make([]string, len(srcs))
+		for i, s := range srcs {
+			parts[i] = fmt.Sprintf("%s=%.2f", s, dec.Profile.UpdateShare[s])
+		}
+		fmt.Printf("update share: %s\n", strings.Join(parts, " "))
+	}
+	for _, r := range dec.Reasons {
+		fmt.Printf("advisor: %s\n", r)
+	}
+	if len(dec.Flips) == 0 {
+		fmt.Println("no changes: advice matches the live annotation")
+		return nil
+	}
+	for _, f := range dec.Flips {
+		fmt.Printf("flip: %s\n", f)
+	}
+	switch {
+	case dec.Applied:
+		fmt.Printf("APPLIED %d flip(s)\n", len(dec.Flips))
+	case *dry:
+		fmt.Printf("dry run: %d flip(s) would be applied\n", len(dec.Flips))
+	default:
+		fmt.Printf("not applied: %s\n", dec.Skipped)
+	}
 	return nil
 }
 

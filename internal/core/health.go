@@ -184,7 +184,7 @@ func (m *Mediator) quarantineReason(src string) string {
 // contributors (nothing materialized depends on their announcements) and
 // for already-quarantined sources.
 func (m *Mediator) QuarantineSource(src, reason string) {
-	if m.contributors[src] == VirtualContributor {
+	if m.Contributor(src) == VirtualContributor && !m.announcingAnywhere(src) {
 		return
 	}
 	if _, ok := m.sources[src]; !ok {
@@ -380,10 +380,11 @@ const resyncStuckThreshold = 3
 // Breaker state is read before taking qmu (qmu stays a leaf lock).
 func (m *Mediator) sourceHealthStats() map[string]SourceHealth {
 	out := make(map[string]SourceHealth, len(m.sources))
+	contribs := m.epoch().contributors
 	for src := range m.sources {
 		h := m.health[src]
 		out[src] = SourceHealth{
-			Contributor: m.contributors[src].String(),
+			Contributor: contribs[src].String(),
 			Breaker:     h.breaker.State().String(),
 			Trips:       h.breaker.Trips(),
 		}

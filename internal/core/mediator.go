@@ -129,6 +129,9 @@ type Stats struct {
 	KernelStages     int
 	KernelStageNodes int
 	UpdateTxnRetries int
+	// AnnotationSwitches counts attribute materialization flips applied by
+	// re-annotation transactions (reannotate.go).
+	AnnotationSwitches int
 	// Sources is the per-source health view (breaker state, quarantine,
 	// last contact).
 	Sources map[string]SourceHealth
@@ -138,22 +141,23 @@ type Stats struct {
 // transactions running concurrently outside the update mutex can bump them
 // without coordination.
 type counters struct {
-	updateTxns       atomic.Int64
-	queryTxns        atomic.Int64
-	atomsPropagated  atomic.Int64
-	sourcePolls      atomic.Int64
-	tuplesPolled     atomic.Int64
-	tempsBuilt       atomic.Int64
-	keyBasedTemps    atomic.Int64
-	pollFailures     atomic.Int64
-	pollRetries      atomic.Int64
-	breakerFastFails atomic.Int64
-	degradedQueries  atomic.Int64
-	gapsDetected     atomic.Int64
-	resyncs          atomic.Int64
-	kernelStages     atomic.Int64
-	kernelStageNodes atomic.Int64
-	txnRetries       atomic.Int64
+	updateTxns         atomic.Int64
+	queryTxns          atomic.Int64
+	atomsPropagated    atomic.Int64
+	sourcePolls        atomic.Int64
+	tuplesPolled       atomic.Int64
+	tempsBuilt         atomic.Int64
+	keyBasedTemps      atomic.Int64
+	pollFailures       atomic.Int64
+	pollRetries        atomic.Int64
+	breakerFastFails   atomic.Int64
+	degradedQueries    atomic.Int64
+	gapsDetected       atomic.Int64
+	resyncs            atomic.Int64
+	kernelStages       atomic.Int64
+	kernelStageNodes   atomic.Int64
+	txnRetries         atomic.Int64
+	annotationSwitches atomic.Int64
 }
 
 // Config assembles a Mediator.
@@ -194,9 +198,32 @@ type versionPin struct {
 	refs int
 }
 
+// planEpoch is one annotated plan together with everything derived from
+// the annotation: the contributor classification and the first store
+// version sequence the plan governs. Re-annotation (reannotate.go) pushes
+// a new epoch onto an intrusive chain; queries resolve the epoch that
+// matches their pinned version via planFor, so a transaction never mixes
+// one epoch's plan with another epoch's store layout. Epochs whose
+// versions can no longer be pinned are pruned (pruneEpochsLocked).
+type planEpoch struct {
+	v            *vdp.VDP
+	contributors map[string]ContributorKind
+	// since is the first store version seq this epoch's annotation
+	// applies to (0 for the construction epoch).
+	since uint64
+	// prev links to the epoch governing versions before since. Atomic so
+	// lock-free readers can walk the chain while the pruner unlinks
+	// tails.
+	prev atomic.Pointer[planEpoch]
+}
+
 // Mediator is a Squirrel integration mediator.
 type Mediator struct {
-	v        *vdp.VDP
+	// plan is the head of the epoch chain: the current annotated plan
+	// plus the contributor classification derived from it. Swapped only
+	// by Reannotate (under txnMu+mu+qmu) and Restore; read lock-free
+	// everywhere else. Holders of txnMu or mu see a stable head.
+	plan     atomic.Pointer[planEpoch]
 	sources  map[string]SourceConn
 	clk      clock.Clock
 	recorder *trace.Recorder
@@ -219,8 +246,7 @@ type Mediator struct {
 	// workers is Config.PropagateWorkers, fixed at construction.
 	workers int
 
-	contributors map[string]ContributorKind
-	leafSchemas  map[string]*relation.Schema
+	leafSchemas map[string]*relation.Schema
 
 	// viewInit is written (under mu) before the first version is
 	// published; readers access it only after observing a published
@@ -262,6 +288,12 @@ type Mediator struct {
 	// source (reset on success) — the basis of the ResyncStuck health
 	// condition.
 	resyncOvertaken map[string]int
+	// capture marks sources whose announcements must be queued even
+	// though every retained epoch classifies them as virtual
+	// contributors: a re-annotation transaction that is about to make
+	// the source announcing sets the flag before its backfill poll, so
+	// no commit between the poll and the epoch swap can be lost.
+	capture map[string]bool
 
 	// Per-source fault boundary (health.go). resil and health are fixed
 	// at construction; sleep is the retry-backoff pause, replaceable in
@@ -290,7 +322,6 @@ func New(cfg Config) (*Mediator, error) {
 		return nil, fmt.Errorf("core: config needs a clock")
 	}
 	m := &Mediator{
-		v:               cfg.VDP,
 		sources:         make(map[string]SourceConn),
 		clk:             cfg.Clock,
 		recorder:        cfg.Recorder,
@@ -304,9 +335,11 @@ func New(cfg Config) (*Mediator, error) {
 		gapPen:          make(map[string][]source.Announcement),
 		resyncBarrier:   make(clock.Vector),
 		resyncOvertaken: make(map[string]int),
+		capture:         make(map[string]bool),
 		resil:           cfg.Resilience,
 		workers:         cfg.PropagateWorkers,
 	}
+	m.plan.Store(&planEpoch{v: cfg.VDP, contributors: classifyContributors(cfg.VDP)})
 	for _, s := range cfg.VDP.Sources() {
 		conn, ok := cfg.Sources[s]
 		if !ok {
@@ -317,22 +350,17 @@ func New(cfg Config) (*Mediator, error) {
 	for _, leaf := range cfg.VDP.Leaves() {
 		m.leafSchemas[leaf] = cfg.VDP.Node(leaf).Schema
 	}
-	m.classifyContributors()
 	m.initHealth()
-	srcNames := make([]string, 0, len(m.sources))
-	for src := range m.sources {
-		srcNames = append(srcNames, src)
-	}
-	m.obs = newMediatorObs(cfg.Metrics, srcNames)
+	m.obs = newMediatorObs(cfg.Metrics, cfg.VDP)
 	return m, nil
 }
 
 // classifyContributors implements the §4 taxonomy by reachability: a
 // source contributes to the materialized (virtual) portion iff some node
 // reachable from one of its leaves has a materialized (virtual) attribute.
-func (m *Mediator) classifyContributors() {
-	m.contributors = make(map[string]ContributorKind, len(m.sources))
-	for src := range m.sources {
+func classifyContributors(v *vdp.VDP) map[string]ContributorKind {
+	out := make(map[string]ContributorKind)
+	for _, src := range v.Sources() {
 		mat, virt := false, false
 		reach := make(map[string]bool)
 		var walk func(name string)
@@ -341,15 +369,15 @@ func (m *Mediator) classifyContributors() {
 				return
 			}
 			reach[name] = true
-			for _, p := range m.v.Parents(name) {
+			for _, p := range v.Parents(name) {
 				walk(p)
 			}
 		}
-		for _, leaf := range m.v.LeavesOf(src) {
+		for _, leaf := range v.LeavesOf(src) {
 			walk(leaf)
 		}
 		for name := range reach {
-			n := m.v.Node(name)
+			n := v.Node(name)
 			if n.IsLeaf() {
 				continue
 			}
@@ -363,23 +391,91 @@ func (m *Mediator) classifyContributors() {
 		}
 		switch {
 		case mat && virt:
-			m.contributors[src] = HybridContributor
+			out[src] = HybridContributor
 		case virt:
-			m.contributors[src] = VirtualContributor
+			out[src] = VirtualContributor
 		default:
-			m.contributors[src] = MaterializedContributor
+			out[src] = MaterializedContributor
+		}
+	}
+	return out
+}
+
+// epoch returns the current plan epoch (the chain head). Lock-free; the
+// head is stable for holders of txnMu or mu, because every epoch swap
+// happens under both.
+func (m *Mediator) epoch() *planEpoch { return m.plan.Load() }
+
+// curVDP returns the current epoch's plan. See epoch for stability.
+func (m *Mediator) curVDP() *vdp.VDP { return m.epoch().v }
+
+// planFor resolves the epoch governing store version seq: the newest
+// epoch whose since ≤ seq. Returns nil when that epoch has been pruned
+// (its versions can no longer be pinned) — callers retry with a fresh
+// version. Lock-free.
+func (m *Mediator) planFor(seq uint64) *planEpoch {
+	for ep := m.plan.Load(); ep != nil; ep = ep.prev.Load() {
+		if ep.since <= seq {
+			return ep
+		}
+	}
+	return nil
+}
+
+// announcingAnywhere reports whether any retained epoch classifies src as
+// an announcing (non-virtual) contributor. While an old epoch is
+// retained, a query pinned to one of its versions may still need to
+// compensate src's polls, so src's announcements keep flowing into the
+// queue even after a re-annotation made it virtual. Lock-free.
+func (m *Mediator) announcingAnywhere(src string) bool {
+	for ep := m.plan.Load(); ep != nil; ep = ep.prev.Load() {
+		if k, ok := ep.contributors[src]; ok && k != VirtualContributor {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneEpochsLocked unlinks epochs no pinnable version can resolve
+// anymore: the newest epoch whose since is ≤ every pinned (and the
+// current) version's seq covers everything reachable, so its prev chain
+// is dropped. Caller holds qmu.
+func (m *Mediator) pruneEpochsLocked() {
+	cur := m.vstore.Current()
+	if cur == nil {
+		return
+	}
+	minSeq := cur.Seq()
+	for _, p := range m.pins {
+		if s := p.v.Seq(); s < minSeq {
+			minSeq = s
+		}
+	}
+	for ep := m.plan.Load(); ep != nil; ep = ep.prev.Load() {
+		if ep.since <= minSeq {
+			ep.prev.Store(nil)
+			return
 		}
 	}
 }
 
-// Contributor returns the classification of a source database.
-// Classification is fixed at construction, so no locking is needed.
+// Contributor returns the current classification of a source database
+// (§4). Re-annotation can change it; use the QueryResult's version to
+// attribute an answer to the plan that produced it.
 func (m *Mediator) Contributor(src string) ContributorKind {
-	return m.contributors[src]
+	return m.epoch().contributors[src]
 }
 
-// VDP returns the mediator's plan.
-func (m *Mediator) VDP() *vdp.VDP { return m.v }
+// VDP returns the mediator's current plan (the head epoch's — Reannotate
+// swaps it).
+func (m *Mediator) VDP() *vdp.VDP { return m.curVDP() }
+
+// Annotations returns a deep copy of the current plan's per-node
+// annotations — the live annotation an adaptive mediator has drifted to,
+// as opposed to the one it was constructed with.
+func (m *Mediator) Annotations() map[string]vdp.Annotation {
+	return m.curVDP().Annotations()
+}
 
 // Stats returns a copy of the operation counters. The transaction counters
 // are atomics, the queue-side numbers come from queueStats (which takes
@@ -387,22 +483,23 @@ func (m *Mediator) VDP() *vdp.VDP { return m.v }
 // no lock is ever held while acquiring another.
 func (m *Mediator) Stats() Stats {
 	s := Stats{
-		UpdateTxns:       int(m.stats.updateTxns.Load()),
-		QueryTxns:        int(m.stats.queryTxns.Load()),
-		AtomsPropagated:  int(m.stats.atomsPropagated.Load()),
-		SourcePolls:      int(m.stats.sourcePolls.Load()),
-		TuplesPolled:     int(m.stats.tuplesPolled.Load()),
-		TempsBuilt:       int(m.stats.tempsBuilt.Load()),
-		KeyBasedTemps:    int(m.stats.keyBasedTemps.Load()),
-		PollFailures:     int(m.stats.pollFailures.Load()),
-		PollRetries:      int(m.stats.pollRetries.Load()),
-		BreakerFastFails: int(m.stats.breakerFastFails.Load()),
-		DegradedQueries:  int(m.stats.degradedQueries.Load()),
-		GapsDetected:     int(m.stats.gapsDetected.Load()),
-		Resyncs:          int(m.stats.resyncs.Load()),
-		KernelStages:     int(m.stats.kernelStages.Load()),
-		KernelStageNodes: int(m.stats.kernelStageNodes.Load()),
-		UpdateTxnRetries: int(m.stats.txnRetries.Load()),
+		UpdateTxns:         int(m.stats.updateTxns.Load()),
+		QueryTxns:          int(m.stats.queryTxns.Load()),
+		AtomsPropagated:    int(m.stats.atomsPropagated.Load()),
+		SourcePolls:        int(m.stats.sourcePolls.Load()),
+		TuplesPolled:       int(m.stats.tuplesPolled.Load()),
+		TempsBuilt:         int(m.stats.tempsBuilt.Load()),
+		KeyBasedTemps:      int(m.stats.keyBasedTemps.Load()),
+		PollFailures:       int(m.stats.pollFailures.Load()),
+		PollRetries:        int(m.stats.pollRetries.Load()),
+		BreakerFastFails:   int(m.stats.breakerFastFails.Load()),
+		DegradedQueries:    int(m.stats.degradedQueries.Load()),
+		GapsDetected:       int(m.stats.gapsDetected.Load()),
+		Resyncs:            int(m.stats.resyncs.Load()),
+		KernelStages:       int(m.stats.kernelStages.Load()),
+		KernelStageNodes:   int(m.stats.kernelStageNodes.Load()),
+		UpdateTxnRetries:   int(m.stats.txnRetries.Load()),
+		AnnotationSwitches: int(m.stats.annotationSwitches.Load()),
 	}
 	s.Sources = m.sourceHealthStats()
 	for _, sh := range s.Sources {
@@ -484,6 +581,7 @@ func (m *Mediator) unpinVersion(v *store.Version) {
 	if p.refs <= 0 {
 		delete(m.pins, v.Seq())
 		m.pruneDoneLocked()
+		m.pruneEpochsLocked()
 	}
 }
 
@@ -556,9 +654,10 @@ func (m *Mediator) Initialize() error {
 	// Poll every source for the full contents of its leaves, one
 	// transaction per source, through the fault boundary (retry/backoff,
 	// breaker, per-attempt deadline — no-ops under the zero config).
+	v := m.curVDP()
 	leafStates := make(map[string]*relation.Relation)
 	for src := range m.sources {
-		leaves := m.v.LeavesOf(src)
+		leaves := v.LeavesOf(src)
 		if len(leaves) == 0 {
 			continue
 		}
@@ -579,13 +678,13 @@ func (m *Mediator) Initialize() error {
 		m.lastProcessed[src] = asOf
 		m.qmu.Unlock()
 	}
-	states, err := m.v.EvalAll(vdp.ResolverFromCatalog(leafStates))
+	states, err := v.EvalAll(vdp.ResolverFromCatalog(leafStates))
 	if err != nil {
 		return fmt.Errorf("core: initial evaluation: %w", err)
 	}
 	b := m.vstore.Begin()
-	for _, name := range m.v.NonLeaves() {
-		n := m.v.Node(name)
+	for _, name := range v.NonLeaves() {
+		n := v.Node(name)
 		schema, err := storeSchema(n)
 		if err != nil {
 			return err
@@ -644,7 +743,10 @@ func (m *Mediator) Initialize() error {
 // Announcements from virtual contributors are dropped: per §4 those
 // sources need no active capabilities, nothing materialized depends on
 // them, and their polls are served (uncompensated) from their current
-// state.
+// state. Two adaptive-annotation exceptions keep the stream flowing: a
+// re-annotation transaction capturing the source (it is about to become
+// announcing), and a retained older epoch that still classifies it as
+// announcing (pinned queries may need its announcements to compensate).
 // Sequence checking: announcements carrying sequence numbers (Seq > 0)
 // must arrive densely per source. A duplicate (Seq ≤ last seen) is
 // dropped; a hole (FirstSeq > last+1) proves announcements were lost, so
@@ -652,11 +754,16 @@ func (m *Mediator) Initialize() error {
 // re-derives the materialized state from a snapshot poll. While
 // quarantined, arrivals are penned rather than queued.
 func (m *Mediator) OnAnnouncement(a source.Announcement) {
-	if m.contributors[a.Source] == VirtualContributor {
-		return
-	}
 	m.qmu.Lock()
 	defer m.qmu.Unlock()
+	// Count every arrival — including ones dropped below — so the
+	// adaptive profile's per-source update shares see the full stream.
+	if c := m.obs.announcements[a.Source]; c != nil {
+		c.Inc()
+	}
+	if !m.capture[a.Source] && !m.announcingAnywhere(a.Source) {
+		return
+	}
 	if a.Time > m.lastContact[a.Source] {
 		m.lastContact[a.Source] = a.Time
 	}

@@ -25,24 +25,42 @@ import (
 // QueryExpr answers an arbitrary relational-algebra expression whose base
 // relations are export relations of the integrated view.
 func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryResult, error) {
+	for i := 0; i < maxEpochRetries; i++ {
+		res, ok, err := m.queryExprOnce(expr, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("core: query lost the plan-epoch race %d times", maxEpochRetries)
+}
+
+// queryExprOnce is one attempt against a consistent (epoch, version)
+// pair; ok=false means a re-annotation swapped the epoch between the
+// epoch read and the version pin — retry.
+func (m *Mediator) queryExprOnce(expr algebra.RelExpr, opts QueryOptions) (*QueryResult, bool, error) {
+	ep := m.epoch()
+	pv := ep.v
 	exports := algebra.BaseRelationsOf(expr)
 	if len(exports) == 0 {
-		return nil, fmt.Errorf("core: query references no relations")
+		return nil, false, fmt.Errorf("core: query references no relations")
 	}
 	var reqs []vdp.Requirement
 	for _, name := range exports {
-		n := m.v.Node(name)
+		n := pv.Node(name)
 		if n == nil || !n.Export {
-			return nil, fmt.Errorf("core: %q is not an export relation", name)
+			return nil, false, fmt.Errorf("core: %q is not an export relation", name)
 		}
 		// Conservative: fetch every attribute of each referenced export
 		// (projection pushdown into multi-export temporaries is an
 		// optimization the single-export path already demonstrates).
-		req, err := vdp.NewRequirement(m.v, name, n.Schema.AttrNames(), nil)
+		req, err := vdp.NewRequirement(pv, name, n.Schema.AttrNames(), nil)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		if req.NeedsVirtual(m.v) {
+		if req.NeedsVirtual(pv) {
 			reqs = append(reqs, req)
 		}
 	}
@@ -60,42 +78,48 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 		var err error
 		v, committed, err = m.pinFast()
 		if err != nil {
-			return nil, err
+			return nil, false, err
+		}
+		if m.planFor(v.Seq()) != ep {
+			return nil, false, nil // epoch swapped underneath; retry
 		}
 		cat, err := m.exprCatalog(v, exports, res)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		answer, err = expr.Eval(cat)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	} else {
 		v = m.pinVersion()
 		if v == nil {
-			return nil, fmt.Errorf("core: mediator not initialized")
+			return nil, false, fmt.Errorf("core: mediator not initialized")
 		}
 		defer m.unpinVersion(v)
-		plan, err := m.v.PlanTemporaries(reqs)
-		if err != nil {
-			return nil, err
+		if m.planFor(v.Seq()) != ep {
+			return nil, false, nil // epoch swapped underneath; retry
 		}
-		res, err = m.buildTemporaries(plan, v, opts.Degrade)
+		plan, err := pv.PlanTemporaries(reqs)
 		if err != nil {
-			return nil, err
+			return nil, false, err
+		}
+		res, err = m.buildTemporaries(ep, plan, v, opts.Degrade)
+		if err != nil {
+			return nil, false, err
 		}
 		cat, err := m.exprCatalog(v, exports, res)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		answer, err = expr.Eval(cat)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		committed = m.clk.Now()
 	}
 
-	reflect := m.reflectFor(v, res, committed)
+	reflect := m.reflectFor(ep, v, res, committed)
 
 	// Same ServeStale stamping and f̄ enforcement as the single-export
 	// path (query.go).
@@ -108,7 +132,7 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 				bound = 1
 			}
 			if opts.MaxStaleness > 0 && bound > opts.MaxStaleness {
-				return nil, fmt.Errorf("core: source %q is down and the degraded answer would be stale by %d (> max staleness %d)", src, bound, opts.MaxStaleness)
+				return nil, false, fmt.Errorf("core: source %q is down and the degraded answer would be stale by %d (> max staleness %d)", src, bound, opts.MaxStaleness)
 			}
 			staleness[src] = bound
 		}
@@ -116,6 +140,9 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 	}
 
 	m.stats.queryTxns.Add(1)
+	for _, name := range exports {
+		m.obs.noteQuery(name, pv.Node(name).Schema.AttrNames())
+	}
 	m.recorder.RecordQuery(trace.QueryTxn{
 		Committed: committed,
 		Reflect:   reflect.Clone(),
@@ -131,7 +158,7 @@ func (m *Mediator) QueryExpr(expr algebra.RelExpr, opts QueryOptions) (*QueryRes
 		Version:   v.Seq(),
 		Degraded:  len(staleness) > 0,
 		Staleness: staleness,
-	}, nil
+	}, true, nil
 }
 
 // exprCatalog assembles the evaluation catalog: temporaries where built,

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"squirrel/internal/metrics"
+	"squirrel/internal/vdp"
 )
 
 // observe.go wires the mediator into internal/metrics. All instruments
@@ -29,6 +30,14 @@ const (
 	MetricVersionAgeTicks     = "squirrel_query_version_age_ticks" // logical clock distance commit − version stamp
 	MetricQueueLen            = "squirrel_queue_len"
 	MetricFlushSeconds        = "squirrel_flush_seconds" // runtime flushAll duration
+	// Adaptive-annotation instruments (adapt.go): per-export-attribute
+	// query touch counts and the total query count they are normalized
+	// by, per-source announcement arrivals (the update-share signal), and
+	// applied annotation switches.
+	MetricQueryTxnsTotal          = "squirrel_query_txns_total"
+	MetricAttrAccessTotal         = "squirrel_query_attr_access_total" // labeled export=...,attr=...
+	MetricAnnouncementsTotal      = "squirrel_announcements_total"     // labeled source=...
+	MetricAnnotationSwitchesTotal = "squirrel_annotation_switches_total"
 )
 
 // mediatorObs caches the mediator's instruments. Per-source series are
@@ -61,12 +70,23 @@ type mediatorObs struct {
 	pollOK    map[string]*metrics.Histogram
 	pollErr   map[string]*metrics.Histogram
 	fastFails map[string]*metrics.Counter
+
+	// Adaptive-annotation signal instruments: per-source announcement
+	// arrivals, per-export-attribute query touches (keyed export → attr;
+	// schemas are fixed even across re-annotation, so the nested maps are
+	// read-only after construction), the query count they are normalized
+	// by, and applied annotation switches.
+	announcements map[string]*metrics.Counter
+	attrAccess    map[string]map[string]*metrics.Counter
+	queryCount    *metrics.Counter
+	annSwitches   *metrics.Counter
 }
 
-func newMediatorObs(reg *metrics.Registry, sources []string) *mediatorObs {
+func newMediatorObs(reg *metrics.Registry, plan *vdp.VDP) *mediatorObs {
 	if reg == nil {
 		reg = metrics.NewRegistry(0)
 	}
+	sources := plan.Sources()
 	txnHist := func(phase string) *metrics.Histogram {
 		return reg.Histogram(metrics.SeriesName(MetricUpdateTxnSeconds, "phase", phase), metrics.DefLatencyBuckets)
 	}
@@ -74,33 +94,60 @@ func newMediatorObs(reg *metrics.Registry, sources []string) *mediatorObs {
 		return reg.Histogram(metrics.SeriesName(MetricKernelStageSeconds, "phase", phase), metrics.DefLatencyBuckets)
 	}
 	o := &mediatorObs{
-		reg:          reg,
-		txnPrepare:   txnHist("prepare"),
-		txnPolls:     txnHist("polls"),
-		txnPropagate: txnHist("propagate"),
-		txnCommit:    txnHist("commit"),
-		txnTotal:     txnHist("total"),
-		txnsTotal:    reg.Counter(MetricUpdateTxnsTotal),
-		txnRetries:   reg.Counter(MetricUpdateTxnRetries),
-		stageApply:   stageHist("apply"),
-		stageRules:   stageHist("rules"),
-		stageTotal:   stageHist("total"),
-		compensation: reg.Histogram(MetricCompensationSeconds, metrics.DefLatencyBuckets),
-		queryFast:    reg.Histogram(metrics.SeriesName(MetricQuerySeconds, "path", "fast"), metrics.DefLatencyBuckets),
-		queryPolling: reg.Histogram(metrics.SeriesName(MetricQuerySeconds, "path", "polling"), metrics.DefLatencyBuckets),
-		queryErrors:  reg.Counter(MetricQueryErrors),
-		versionAge:   reg.Histogram(MetricVersionAgeTicks, metrics.DefTickBuckets),
-		queueLen:     reg.Gauge(MetricQueueLen),
-		pollOK:       make(map[string]*metrics.Histogram, len(sources)),
-		pollErr:      make(map[string]*metrics.Histogram, len(sources)),
-		fastFails:    make(map[string]*metrics.Counter, len(sources)),
+		reg:           reg,
+		txnPrepare:    txnHist("prepare"),
+		txnPolls:      txnHist("polls"),
+		txnPropagate:  txnHist("propagate"),
+		txnCommit:     txnHist("commit"),
+		txnTotal:      txnHist("total"),
+		txnsTotal:     reg.Counter(MetricUpdateTxnsTotal),
+		txnRetries:    reg.Counter(MetricUpdateTxnRetries),
+		stageApply:    stageHist("apply"),
+		stageRules:    stageHist("rules"),
+		stageTotal:    stageHist("total"),
+		compensation:  reg.Histogram(MetricCompensationSeconds, metrics.DefLatencyBuckets),
+		queryFast:     reg.Histogram(metrics.SeriesName(MetricQuerySeconds, "path", "fast"), metrics.DefLatencyBuckets),
+		queryPolling:  reg.Histogram(metrics.SeriesName(MetricQuerySeconds, "path", "polling"), metrics.DefLatencyBuckets),
+		queryErrors:   reg.Counter(MetricQueryErrors),
+		versionAge:    reg.Histogram(MetricVersionAgeTicks, metrics.DefTickBuckets),
+		queueLen:      reg.Gauge(MetricQueueLen),
+		pollOK:        make(map[string]*metrics.Histogram, len(sources)),
+		pollErr:       make(map[string]*metrics.Histogram, len(sources)),
+		fastFails:     make(map[string]*metrics.Counter, len(sources)),
+		announcements: make(map[string]*metrics.Counter, len(sources)),
+		attrAccess:    make(map[string]map[string]*metrics.Counter),
+		queryCount:    reg.Counter(MetricQueryTxnsTotal),
+		annSwitches:   reg.Counter(MetricAnnotationSwitchesTotal),
 	}
 	for _, src := range sources {
 		o.pollOK[src] = reg.Histogram(metrics.SeriesName(MetricSourcePollSeconds, "source", src, "outcome", "ok"), metrics.DefLatencyBuckets)
 		o.pollErr[src] = reg.Histogram(metrics.SeriesName(MetricSourcePollSeconds, "source", src, "outcome", "error"), metrics.DefLatencyBuckets)
 		o.fastFails[src] = reg.Counter(metrics.SeriesName(MetricBreakerFastFails, "source", src))
+		o.announcements[src] = reg.Counter(metrics.SeriesName(MetricAnnouncementsTotal, "source", src))
+	}
+	for _, name := range plan.Exports() {
+		n := plan.Node(name)
+		byAttr := make(map[string]*metrics.Counter, n.Schema.Arity())
+		for _, a := range n.Schema.AttrNames() {
+			byAttr[a] = reg.Counter(metrics.SeriesName(MetricAttrAccessTotal, "export", name, "attr", a))
+		}
+		o.attrAccess[name] = byAttr
 	}
 	return o
+}
+
+// noteQuery bumps the adaptive-annotation workload signal for one query
+// transaction: the per-attribute touch counters of the export it read and
+// the query count they are normalized by. attrs is the requirement's
+// closed attribute list (projection plus condition attributes).
+func (o *mediatorObs) noteQuery(export string, attrs []string) {
+	o.queryCount.Inc()
+	byAttr := o.attrAccess[export]
+	for _, a := range attrs {
+		if c := byAttr[a]; c != nil {
+			c.Inc()
+		}
+	}
 }
 
 // observePollAttempt records one source round trip's latency under its

@@ -77,12 +77,13 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 	}
 	base := resolverFor(b, tempRels)
 	pending := make(map[string]*delta.RelDelta)
+	v := m.curVDP() // stable: the staged kernel runs under txnMu
 
-	for stageIdx, stage := range m.v.Stages() {
+	for stageIdx, stage := range v.Stages() {
 		// Collect the stage's dirty nodes, in topological order.
 		var work []*stageNode
 		for _, name := range stage {
-			n := m.v.Node(name)
+			n := v.Node(name)
 			var dn *delta.RelDelta
 			if n.IsLeaf() {
 				dn = combined.Get(name)
@@ -92,7 +93,7 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 			if dn == nil || dn.IsEmpty() {
 				continue
 			}
-			work = append(work, &stageNode{name: name, node: n, topo: m.v.TopoIndex(name), dn: dn})
+			work = append(work, &stageNode{name: name, node: n, topo: v.TopoIndex(name), dn: dn})
 		}
 		if len(work) == 0 {
 			continue
@@ -132,11 +133,11 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 		if err := runBounded(workers, len(work), func(i int) error {
 			w := work[i]
 			resolve := stageResolver(w, byName, base)
-			for _, parent := range m.v.Parents(w.name) {
-				if !m.v.MaterializationRelevant(parent) {
+			for _, parent := range v.Parents(w.name) {
+				if !v.MaterializationRelevant(parent) {
 					continue
 				}
-				contrib, err := m.v.Propagate(parent, w.name, w.dn, resolve)
+				contrib, err := v.Propagate(parent, w.name, w.dn, resolve)
 				if err != nil {
 					return fmt.Errorf("core: rule (%s, %s): %w", parent, w.name, err)
 				}

@@ -134,14 +134,15 @@ func (m *Mediator) pinFast() (*store.Version, clock.Time, error) {
 }
 
 // reflectFor assembles the ref(t_j^q) vector (§6.1) for an answer computed
-// against version v: announcing contributors reflect the version's ref′,
-// polled virtual contributors their poll instants, and uninvolved virtual
-// contributors trivially correspond to their state at commit time.
-func (m *Mediator) reflectFor(v *store.Version, res *tempResult, committed clock.Time) clock.Vector {
+// against version v under plan epoch ep: announcing contributors reflect
+// the version's ref′, polled virtual contributors their poll instants, and
+// uninvolved virtual contributors trivially correspond to their state at
+// commit time.
+func (m *Mediator) reflectFor(ep *planEpoch, v *store.Version, res *tempResult, committed clock.Time) clock.Vector {
 	reflect := make(clock.Vector, len(m.sources))
 	for src := range m.sources {
 		switch {
-		case m.contributors[src] != VirtualContributor:
+		case ep.contributors[src] != VirtualContributor:
 			reflect[src] = v.RefOf(src)
 		case res != nil && res.polledAt[src] != 0:
 			reflect[src] = res.polledAt[src]
@@ -151,6 +152,13 @@ func (m *Mediator) reflectFor(v *store.Version, res *tempResult, committed clock
 	}
 	return reflect
 }
+
+// maxEpochRetries bounds how many times a query transaction restarts
+// because a re-annotation swapped the plan epoch between its epoch read
+// and its version pin. Each restart is cheap (no polls have happened
+// yet), and re-annotations are serialized on txnMu, so hitting the bound
+// means something is pathologically flip-happy.
+const maxEpochRetries = 64
 
 // QueryOpts answers π_attrs σ_cond (export) under explicit options,
 // returning full consistency metadata. Query transactions never take the
@@ -167,16 +175,36 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 }
 
 func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, opts QueryOptions, start time.Time) (*QueryResult, error) {
-	n := m.v.Node(export)
+	for i := 0; i < maxEpochRetries; i++ {
+		res, ok, err := m.queryOnce(export, attrs, cond, opts, start)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("core: query lost the plan-epoch race %d times", maxEpochRetries)
+}
+
+// queryOnce runs one attempt of a query transaction against a consistent
+// (epoch, version) pair. It returns ok=false — retry — when a
+// re-annotation swapped the epoch between the epoch read and the version
+// pin, so the requirement would mix one plan's annotation with another
+// plan's store layout.
+func (m *Mediator) queryOnce(export string, attrs []string, cond algebra.Expr, opts QueryOptions, start time.Time) (*QueryResult, bool, error) {
+	ep := m.epoch()
+	pv := ep.v
+	n := pv.Node(export)
 	if n == nil || !n.Export {
-		return nil, fmt.Errorf("core: %q is not an export relation", export)
+		return nil, false, fmt.Errorf("core: %q is not an export relation", export)
 	}
 	if attrs == nil {
 		attrs = n.Schema.AttrNames()
 	}
-	req, err := vdp.NewRequirement(m.v, export, attrs, cond)
+	req, err := vdp.NewRequirement(pv, export, attrs, cond)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	var answer *relation.Relation
@@ -185,18 +213,21 @@ func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, o
 	var committed clock.Time
 	usedKeyBased := false
 
-	if !req.NeedsVirtual(m.v) {
+	if !req.NeedsVirtual(pv) {
 		// Fast path: everything materialized. Stamp first (while the
 		// version is provably current), then compute from the immutable
 		// version — the answer is exactly the version's state, so it is
 		// valid at the stamp.
 		v, committed, err = m.pinFast()
 		if err != nil {
-			return nil, err
+			return nil, false, err
+		}
+		if m.planFor(v.Seq()) != ep {
+			return nil, false, nil // epoch swapped underneath; retry
 		}
 		answer, err = projectSelectLocal(v.Rel(export), export, attrs, cond)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	} else {
 		// Polling path: pin the current version so Eager Compensation can
@@ -204,10 +235,13 @@ func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, o
 		// versions meanwhile.
 		v = m.pinVersion()
 		if v == nil {
-			return nil, fmt.Errorf("core: mediator not initialized")
+			return nil, false, fmt.Errorf("core: mediator not initialized")
 		}
 		defer m.unpinVersion(v)
-		kb, kbOK := m.v.KeyBasedPlan(req)
+		if m.planFor(v.Seq()) != ep {
+			return nil, false, nil // epoch swapped underneath; retry
+		}
+		kb, kbOK := pv.KeyBasedPlan(req)
 		useKB := false
 		switch opts.KeyBased {
 		case KeyBasedForce:
@@ -216,29 +250,29 @@ func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, o
 			// Prefer key-based when it polls strictly fewer sources (the
 			// paper: "one more choice", not always better).
 			if kbOK {
-				std := m.v.SourcesNeeded(req)
+				std := pv.SourcesNeeded(req)
 				kbCost := 0
-				if kb.ChildReq.NeedsVirtual(m.v) {
-					kbCost = m.v.SourcesNeeded(kb.ChildReq)
+				if kb.ChildReq.NeedsVirtual(pv) {
+					kbCost = pv.SourcesNeeded(kb.ChildReq)
 				}
 				useKB = kbCost < std
 			}
 		}
 		if useKB {
-			answer, res, err = m.keyBasedAnswer(v, req, kb, attrs, opts.Degrade)
+			answer, res, err = m.keyBasedAnswer(ep, v, req, kb, attrs, opts.Degrade)
 			usedKeyBased = true
 		} else {
-			answer, res, err = m.standardAnswer(v, req, attrs, opts.Degrade)
+			answer, res, err = m.standardAnswer(ep, v, req, attrs, opts.Degrade)
 		}
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		// Commit after the polls so chronology holds (every ref component,
 		// including poll instants, is ≤ the commit time).
 		committed = m.clk.Now()
 	}
 
-	reflect := m.reflectFor(v, res, committed)
+	reflect := m.reflectFor(ep, v, res, committed)
 
 	// Stamp and enforce the ServeStale bound: a degraded source's
 	// contribution is exact at Reflect[src], so the answer lags current
@@ -253,7 +287,7 @@ func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, o
 				bound = 1
 			}
 			if opts.MaxStaleness > 0 && bound > opts.MaxStaleness {
-				return nil, fmt.Errorf("core: source %q is down and the degraded answer would be stale by %d (> max staleness %d)", src, bound, opts.MaxStaleness)
+				return nil, false, fmt.Errorf("core: source %q is down and the degraded answer would be stale by %d (> max staleness %d)", src, bound, opts.MaxStaleness)
 			}
 			staleness[src] = bound
 		}
@@ -261,6 +295,7 @@ func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, o
 	}
 
 	m.stats.queryTxns.Add(1)
+	m.obs.noteQuery(export, req.AttrList(pv))
 	if usedKeyBased {
 		m.stats.keyBasedTemps.Add(1)
 	}
@@ -271,7 +306,7 @@ func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, o
 	// Latency by path, and how far (in logical ticks) the answer's
 	// version lagged the query's commit instant — the freshness the
 	// u_hold_delay / MaxStaleness knobs trade away.
-	if req.NeedsVirtual(m.v) {
+	if req.NeedsVirtual(pv) {
 		m.obs.queryPolling.ObserveSince(start)
 	} else {
 		m.obs.queryFast.ObserveSince(start)
@@ -298,19 +333,19 @@ func (m *Mediator) queryOpts(export string, attrs []string, cond algebra.Expr, o
 		Version:   v.Seq(),
 		Degraded:  len(staleness) > 0,
 		Staleness: staleness,
-	}, nil
+	}, true, nil
 }
 
 // standardAnswer runs the two-phase VAP (§6.3) against the pinned version
 // and evaluates the query over the constructed temporaries. attrs is the
 // caller's projection — req.Attrs may be wider (closed over condition
 // attributes).
-func (m *Mediator) standardAnswer(v *store.Version, req vdp.Requirement, attrs []string, degrade DegradeMode) (*relation.Relation, *tempResult, error) {
-	plan, err := m.v.PlanTemporaries([]vdp.Requirement{req})
+func (m *Mediator) standardAnswer(ep *planEpoch, v *store.Version, req vdp.Requirement, attrs []string, degrade DegradeMode) (*relation.Relation, *tempResult, error) {
+	plan, err := ep.v.PlanTemporaries([]vdp.Requirement{req})
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.buildTemporaries(plan, v, degrade)
+	res, err := m.buildTemporaries(ep, plan, v, degrade)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -330,17 +365,17 @@ func (m *Mediator) standardAnswer(v *store.Version, req vdp.Requirement, attrs [
 // keyBasedAnswer implements the key-based construction of Example 2.3:
 // join the export's materialized store projection (from the pinned
 // version) with a single child fetch keyed by the child's key.
-func (m *Mediator) keyBasedAnswer(v *store.Version, req vdp.Requirement, kb *vdp.KeyBased, attrs []string, degrade DegradeMode) (*relation.Relation, *tempResult, error) {
+func (m *Mediator) keyBasedAnswer(ep *planEpoch, v *store.Version, req vdp.Requirement, kb *vdp.KeyBased, attrs []string, degrade DegradeMode) (*relation.Relation, *tempResult, error) {
 	// Fetch the child portion (recursively through the VAP if the child
 	// itself is virtual).
 	var childRel *relation.Relation
 	res := &tempResult{temps: map[string]*relation.Relation{}, polledAt: map[string]clock.Time{}}
-	if kb.ChildReq.NeedsVirtual(m.v) {
-		plan, err := m.v.PlanTemporaries([]vdp.Requirement{kb.ChildReq})
+	if kb.ChildReq.NeedsVirtual(ep.v) {
+		plan, err := ep.v.PlanTemporaries([]vdp.Requirement{kb.ChildReq})
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err = m.buildTemporaries(plan, v, degrade)
+		res, err = m.buildTemporaries(ep, plan, v, degrade)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -351,7 +386,7 @@ func (m *Mediator) keyBasedAnswer(v *store.Version, req vdp.Requirement, kb *vdp
 	} else {
 		var err error
 		childRel, err = projectSelectLocal(v.Rel(kb.ChildReq.Rel), kb.ChildReq.Rel,
-			kb.ChildReq.AttrList(m.v), kb.ChildReq.Cond)
+			kb.ChildReq.AttrList(ep.v), kb.ChildReq.Cond)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -360,7 +395,7 @@ func (m *Mediator) keyBasedAnswer(v *store.Version, req vdp.Requirement, kb *vdp
 	if err != nil {
 		return nil, nil, err
 	}
-	joined, err := joinOnKey(m.v.Node(kb.Node), storePart, childRel, kb.Key)
+	joined, err := joinOnKey(ep.v.Node(kb.Node), storePart, childRel, kb.Key)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -38,7 +38,7 @@ var ErrResyncOvertaken = errors.New("resync overtaken by newer penned announceme
 // portion reachable from its leaves (the nodes to rebuild), the
 // evaluation set (those nodes plus every descendant), and the leaves
 // feeding that evaluation, sorted.
-func (m *Mediator) resyncClosure(src string) (affected, needEval map[string]bool, leaves []string) {
+func resyncClosure(v *vdp.VDP, src string) (affected, needEval map[string]bool, leaves []string) {
 	reach := make(map[string]bool)
 	var up func(string)
 	up = func(name string) {
@@ -46,16 +46,16 @@ func (m *Mediator) resyncClosure(src string) (affected, needEval map[string]bool
 			return
 		}
 		reach[name] = true
-		for _, p := range m.v.Parents(name) {
+		for _, p := range v.Parents(name) {
 			up(p)
 		}
 	}
-	for _, leaf := range m.v.LeavesOf(src) {
+	for _, leaf := range v.LeavesOf(src) {
 		up(leaf)
 	}
 	affected = make(map[string]bool)
 	for name := range reach {
-		n := m.v.Node(name)
+		n := v.Node(name)
 		if !n.IsLeaf() && len(n.MaterializedAttrs()) > 0 {
 			affected[name] = true
 		}
@@ -67,11 +67,11 @@ func (m *Mediator) resyncClosure(src string) (affected, needEval map[string]bool
 			return
 		}
 		needEval[name] = true
-		if m.v.Node(name).IsLeaf() {
+		if v.Node(name).IsLeaf() {
 			leaves = append(leaves, name)
 			return
 		}
-		for _, c := range m.v.Children(name) {
+		for _, c := range v.Children(name) {
 			down(c)
 		}
 	}
@@ -134,21 +134,34 @@ func (m *Mediator) ResyncSource(src string) error {
 	if _, ok := m.sources[src]; !ok {
 		return fmt.Errorf("core: unknown source %q", src)
 	}
-	if m.contributors[src] == VirtualContributor {
+	// The epoch is stable while mu is held: swaps happen under mu.
+	v := m.curVDP()
+	if m.epoch().contributors[src] == VirtualContributor {
+		if !m.announcingAnywhere(src) {
+			// A quarantine can survive a flip to virtual. Announcements
+			// from a fully virtual source are dropped anyway and its polls
+			// are fresh snapshots, so there is nothing to re-derive — just
+			// clear the stale stream state so polls work again.
+			m.qmu.Lock()
+			delete(m.quarantined, src)
+			delete(m.gapPen, src)
+			m.lastSeq[src] = 0
+			m.qmu.Unlock()
+		}
 		return nil
 	}
 	start := time.Now()
 
-	affected, needEval, leaves := m.resyncClosure(src)
+	affected, needEval, leaves := resyncClosure(v, src)
 	bySource := make(map[string][]string)
 	for _, leaf := range leaves {
-		ls := m.v.Node(leaf).Source
+		ls := v.Node(leaf).Source
 		bySource[ls] = append(bySource[ls], leaf)
 	}
 	if len(bySource[src]) == 0 {
 		// Degenerate plan where src feeds nothing materialized: still poll
 		// it so the stream can be re-anchored at a known instant.
-		bySource[src] = m.v.LeavesOf(src)
+		bySource[src] = v.LeavesOf(src)
 	}
 	srcs := make([]string, 0, len(bySource))
 	for s := range bySource {
@@ -189,21 +202,21 @@ func (m *Mediator) ResyncSource(src string) error {
 
 	// Re-evaluate the affected sub-DAG bottom-up (Order is topological and
 	// the evaluation set is child-closed, so every input is in states).
-	for _, name := range m.v.Order() {
-		if !needEval[name] || m.v.Node(name).IsLeaf() {
+	for _, name := range v.Order() {
+		if !needEval[name] || v.Node(name).IsLeaf() {
 			continue
 		}
-		r, err := vdp.EvalDef(m.v.Node(name), vdp.ResolverFromCatalog(states))
+		r, err := vdp.EvalDef(v.Node(name), vdp.ResolverFromCatalog(states))
 		if err != nil {
 			return fmt.Errorf("core: resync evaluation of %s: %w", name, err)
 		}
 		states[name] = r
 	}
-	for _, name := range m.v.Order() {
+	for _, name := range v.Order() {
 		if !affected[name] {
 			continue
 		}
-		if err := writeMaterialized(b, m.v.Node(name), states[name]); err != nil {
+		if err := writeMaterialized(b, v.Node(name), states[name]); err != nil {
 			return err
 		}
 	}
@@ -229,6 +242,7 @@ func (m *Mediator) ResyncSource(src string) error {
 	m.resyncBarrier[src] = m.lastProcessed[src]
 	m.vstore.Publish(b, m.lastProcessed.Clone(), m.clk.Now())
 	m.pruneDoneLocked()
+	m.pruneEpochsLocked()
 	m.qmu.Unlock()
 	m.stats.resyncs.Add(1)
 	m.obs.reg.Emit(metrics.Event{Type: metrics.EventResync, Subject: src, Dur: time.Since(start)})

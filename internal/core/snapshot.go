@@ -6,6 +6,8 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
+	"squirrel/internal/store"
+	"squirrel/internal/vdp"
 )
 
 // StateSnapshot is the mediator's durable state: the materialized store,
@@ -18,6 +20,12 @@ type StateSnapshot struct {
 	// StoreVersion is the published version the snapshot captured (zero in
 	// snapshots saved before versioning; Restore then resumes at 1).
 	StoreVersion uint64
+	// Annotations is the live annotation the saving mediator had adapted
+	// to (per non-leaf node) — possibly different from the one any
+	// restoring mediator is constructed with. Nil in snapshots saved
+	// before adaptive annotation; Restore then assumes the constructed
+	// plan's annotation.
+	Annotations map[string]vdp.Annotation
 }
 
 // Snapshot captures a consistent copy of the durable state. Lock-free: it
@@ -28,15 +36,25 @@ type StateSnapshot struct {
 // this one left off — provided the announcement feed replays everything
 // committed after LastProcessed (see source.DB.ReplaySince).
 func (m *Mediator) Snapshot() (*StateSnapshot, error) {
-	v := m.vstore.Current()
-	if v == nil {
-		return nil, fmt.Errorf("core: snapshot of uninitialized mediator")
+	// Capture a (version, epoch) pair that agree: planFor(nil) means a
+	// re-annotation published and pruned between the two loads — retry.
+	var v *store.Version
+	var ep *planEpoch
+	for {
+		v = m.vstore.Current()
+		if v == nil {
+			return nil, fmt.Errorf("core: snapshot of uninitialized mediator")
+		}
+		if ep = m.planFor(v.Seq()); ep != nil {
+			break
+		}
 	}
 	out := &StateSnapshot{
 		Store:         make(map[string]*relation.Relation, v.Len()),
 		LastProcessed: v.Reflect(),
 		ViewInit:      m.viewInit,
 		StoreVersion:  v.Seq(),
+		Annotations:   ep.v.Annotations(),
 	}
 	for _, name := range v.Nodes() {
 		out.Store[name] = v.Rel(name).Clone()
@@ -47,8 +65,10 @@ func (m *Mediator) Snapshot() (*StateSnapshot, error) {
 // Restore installs a snapshot in lieu of Initialize, publishing it as the
 // snapshot's store version (so version numbering resumes where the saving
 // mediator left off). The snapshot must come from a mediator with the
-// same annotated VDP: every expected materialized node must be present
-// with a matching schema shape. Announcements already queued that the
+// same VDP structure; if it carries Annotations (the live annotation the
+// saving mediator had adapted to), the plan is re-annotated to match
+// before the store layout is validated, so an adaptively drifted mediator
+// round-trips through persistence. Announcements already queued that the
 // snapshot covers are discarded.
 func (m *Mediator) Restore(snap *StateSnapshot) error {
 	if snap == nil {
@@ -59,9 +79,20 @@ func (m *Mediator) Restore(snap *StateSnapshot) error {
 	if m.vstore.Current() != nil {
 		return fmt.Errorf("core: mediator already initialized")
 	}
+	v := m.curVDP()
+	if snap.Annotations != nil && !vdp.AnnotationsEqual(snap.Annotations, v.Annotations()) {
+		nv, err := v.Reannotate(snap.Annotations)
+		if err != nil {
+			return fmt.Errorf("core: restoring persisted annotation: %w", err)
+		}
+		v = nv
+		// Replace the construction epoch wholesale: nothing was published
+		// yet, so no reader can hold the old plan.
+		m.plan.Store(&planEpoch{v: nv, contributors: classifyContributors(nv)})
+	}
 	// Validate coverage before touching anything.
-	for _, name := range m.v.NonLeaves() {
-		n := m.v.Node(name)
+	for _, name := range v.NonLeaves() {
+		n := v.Node(name)
 		schema, err := storeSchema(n)
 		if err != nil {
 			return err
@@ -82,7 +113,7 @@ func (m *Mediator) Restore(snap *StateSnapshot) error {
 		}
 	}
 	for name := range snap.Store {
-		n := m.v.Node(name)
+		n := v.Node(name)
 		if n == nil || n.IsLeaf() {
 			return fmt.Errorf("core: snapshot has a store for unknown or leaf node %q", name)
 		}

@@ -68,6 +68,10 @@ func (m *Mediator) RunUpdateTransaction() (bool, error) {
 // attempt is the retry ordinal, recorded on the commit event.
 func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 	start := time.Now()
+	// The epoch is stable for the whole transaction: swaps happen only
+	// under txnMu, which this transaction holds.
+	ep := m.epoch()
+	v := ep.v
 	// Prepare: the queue prefix this transaction covers (empty_queue
 	// time) and the builder's base version must name the same state, so
 	// both are captured under mu — the lock every publisher holds.
@@ -92,13 +96,13 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 	dirty := combined.Relations()
 	if len(dirty) > 0 {
 		// Phase (a): which node states will the rules read?
-		reqs, err := m.v.KernelRequirements(dirty)
+		reqs, err := v.KernelRequirements(dirty)
 		if err != nil {
 			return false, false, err
 		}
 		var needed []vdp.Requirement
 		for _, r := range reqs {
-			if r.NeedsVirtual(m.v) {
+			if r.NeedsVirtual(v) {
 				needed = append(needed, r)
 			}
 		}
@@ -108,11 +112,11 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 		// would corrupt the store; the queue survives for a later retry.
 		if len(needed) > 0 {
 			pollStart := time.Now()
-			plan, err := m.v.PlanTemporaries(needed)
+			plan, err := v.PlanTemporaries(needed)
 			if err != nil {
 				return false, false, err
 			}
-			res, err := m.buildTemporaries(plan, b, FailFast)
+			res, err := m.buildTemporaries(ep, plan, b, FailFast)
 			if err != nil {
 				return false, false, err
 			}
@@ -161,6 +165,7 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 	committed := m.clk.Now()
 	m.vstore.Publish(b, reflect, committed)
 	m.pruneDoneLocked()
+	m.pruneEpochsLocked()
 	m.obs.queueLen.Set(int64(len(m.queue)))
 	m.qmu.Unlock()
 
@@ -202,11 +207,12 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 // cancelled queue still commits (advancing ref′) while propagating
 // nothing.
 func (m *Mediator) coalesceAnnouncements(snapshot []source.Announcement) (*delta.Delta, clock.Vector) {
+	v := m.curVDP()
 	combined := delta.New()
 	newRef := make(clock.Vector)
 	for _, a := range snapshot {
 		for _, relName := range a.Delta.Relations() {
-			leaf := m.v.Node(relName)
+			leaf := v.Node(relName)
 			if leaf == nil || !leaf.IsLeaf() || leaf.Source != a.Source {
 				continue // irrelevant to this mediator
 			}
@@ -243,8 +249,9 @@ func (m *Mediator) kernel(b *store.Builder, combined *delta.Delta, temps *tempRe
 	}
 	resolve := resolverFor(b, tempRels)
 	pending := make(map[string]*delta.RelDelta)
-	for _, name := range m.v.Order() {
-		n := m.v.Node(name)
+	v := m.curVDP() // stable: the kernel runs under txnMu
+	for _, name := range v.Order() {
+		n := v.Node(name)
 		var dn *delta.RelDelta
 		if n.IsLeaf() {
 			dn = combined.Get(name)
@@ -257,11 +264,11 @@ func (m *Mediator) kernel(b *store.Builder, combined *delta.Delta, temps *tempRe
 		// Fire the rules of the in-edges: propagate Δ(name) to parents —
 		// but only along paths that reach materialized data; virtual-only
 		// subgraphs are the VAP's job.
-		for _, parent := range m.v.Parents(name) {
-			if !m.v.MaterializationRelevant(parent) {
+		for _, parent := range v.Parents(name) {
+			if !v.MaterializationRelevant(parent) {
 				continue
 			}
-			contrib, err := m.v.Propagate(parent, name, dn, resolve)
+			contrib, err := v.Propagate(parent, name, dn, resolve)
 			if err != nil {
 				return fmt.Errorf("core: rule (%s, %s): %w", parent, name, err)
 			}

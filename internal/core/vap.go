@@ -63,7 +63,10 @@ func resolverFor(view store.View, temps map[string]*relation.Relation) vdp.Resol
 
 // buildTemporaries executes phase two of the VAP for an already-expanded
 // plan (from vdp.PlanTemporaries), reading materialized state — and
-// compensating polls back to ref′ — from the given view. Safe to call
+// compensating polls back to ref′ — from the given view. ep is the plan
+// epoch the requirements were planned under; the view must be a version
+// (or builder base) that epoch governs, so the store layout and the
+// contributor classification agree with the plan. Safe to call
 // concurrently for distinct tempResults: the only shared state it touches
 // is the announcement log (under qmu), the poll cache (under cmu), and
 // atomic counters.
@@ -81,7 +84,8 @@ func resolverFor(view store.View, temps map[string]*relation.Relation) vdp.Resol
 // contributor the cached instant simply becomes the poll instant. Update
 // transactions always build fail-fast: propagating source deltas onto
 // stale helper states would corrupt the store.
-func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, degrade DegradeMode) (*tempResult, error) {
+func (m *Mediator) buildTemporaries(ep *planEpoch, plan []vdp.Requirement, view store.View, degrade DegradeMode) (*tempResult, error) {
+	v := ep.v
 	res := &tempResult{
 		temps:    make(map[string]*relation.Relation),
 		conds:    make(map[string]algebra.Expr),
@@ -97,11 +101,11 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, deg
 	bySource := make(map[string][]pollItem)
 	var upper []vdp.Requirement
 	for _, req := range plan {
-		if !req.NeedsVirtual(m.v) {
+		if !req.NeedsVirtual(v) {
 			continue // served directly from the store
 		}
-		if m.v.IsLeafParent(req.Rel) {
-			spec, err := m.v.LeafParentPollSpec(req)
+		if v.IsLeafParent(req.Rel) {
+			spec, err := v.LeafParentPollSpec(req)
 			if err != nil {
 				return nil, err
 			}
@@ -160,7 +164,7 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, deg
 		if !ok {
 			return fmt.Errorf("core: polling %s (no cached answer to degrade to): %w", src, err)
 		}
-		if m.contributors[src] != VirtualContributor && cachedAsOf < view.RefOf(src) {
+		if ep.contributors[src] != VirtualContributor && cachedAsOf < view.RefOf(src) {
 			return fmt.Errorf("core: polling %s (cached answer predates the materialized state): %w", src, err)
 		}
 		o.answers, o.asOf, o.stale = cached, cachedAsOf, true
@@ -170,7 +174,7 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, deg
 	}
 	for i, src := range sources {
 		o := &outs[i]
-		announcing := m.contributors[src] != VirtualContributor
+		announcing := ep.contributors[src] != VirtualContributor
 		if o.stale {
 			res.stale[src] = o.asOf
 		} else {
@@ -192,7 +196,7 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, deg
 					return nil, err
 				}
 			}
-			temp, err := leafParentTemp(m.v, it.req, it.spec, ans)
+			temp, err := leafParentTemp(v, it.req, it.spec, ans)
 			if err != nil {
 				return nil, err
 			}
@@ -205,8 +209,8 @@ func (m *Mediator) buildTemporaries(plan []vdp.Requirement, view store.View, deg
 	// Build the remaining temporaries bottom-up.
 	resolve := resolverFor(view, res.temps)
 	for _, req := range upper {
-		n := m.v.Node(req.Rel)
-		temp, err := vdp.EvalRestricted(n, req.AttrList(m.v), req.Cond, resolve)
+		n := v.Node(req.Rel)
+		temp, err := vdp.EvalRestricted(n, req.AttrList(v), req.Cond, resolve)
 		if err != nil {
 			return nil, fmt.Errorf("core: constructing temporary for %s: %w", req.Rel, err)
 		}

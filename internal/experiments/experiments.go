@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner per
-// paper artifact (E1–E11 in DESIGN.md), each regenerating a table whose
+// paper artifact (E1–E18 in DESIGN.md), each regenerating a table whose
 // SHAPE mirrors what the paper states or implies. The runners are used by
 // `cmd/squirrel bench` and by the root-level testing.B benchmarks.
 package experiments
@@ -292,6 +292,7 @@ var Registry = map[string]func(w io.Writer) error{
 	"E12": E12BatchingAblation,
 	"E13": E13JoinStrategyAblation,
 	"E14": E14AdvisorEvaluation,
+	"E18": E18AdaptiveSkewSweep,
 }
 
 // IDs returns the experiment identifiers in order.

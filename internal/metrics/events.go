@@ -20,6 +20,13 @@ const (
 	EventStage      = "kernel-stage" // one staged-kernel stage
 	EventFlush      = "flush"        // one runtime flush tick
 	EventQuery      = "query"        // one query transaction
+	// EventAnnotation marks one attribute's materialization flip applied
+	// by a re-annotation transaction (adaptive annotation, core §5.3
+	// loop); Subject is "node.attr v->m" or "node.attr m->v".
+	EventAnnotation = "annotation-switch"
+	// EventAdapt marks one adaptive-controller decision round; Err carries
+	// the skip reason for rounds that applied nothing.
+	EventAdapt = "adapt"
 )
 
 // DefEventCapacity is the default ring-buffer size of an EventLog.

@@ -14,6 +14,7 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/core"
 	"squirrel/internal/relation"
+	"squirrel/internal/vdp"
 	"squirrel/internal/wire"
 )
 
@@ -29,6 +30,51 @@ type envelope struct {
 	// from. Absent (zero) in envelopes written before versioning; Restore
 	// then resumes numbering at 1.
 	StoreVersion uint64 `json:"store_version,omitempty"`
+	// Annotations records, per non-leaf node, each attribute's
+	// materialization as "m" or "v" — the live annotation the saving
+	// mediator had adapted to (§5.3). Absent in envelopes written before
+	// adaptive annotation; Restore then keeps the constructed plan's
+	// annotation.
+	Annotations map[string]map[string]string `json:"annotations,omitempty"`
+}
+
+// encodeAnnotations renders annotations in the envelope's stable "m"/"v"
+// string form (Mat's numeric values are an implementation detail).
+func encodeAnnotations(anns map[string]vdp.Annotation) map[string]map[string]string {
+	if anns == nil {
+		return nil
+	}
+	out := make(map[string]map[string]string, len(anns))
+	for node, ann := range anns {
+		m := make(map[string]string, len(ann))
+		for attr, mat := range ann {
+			m[attr] = mat.String()
+		}
+		out[node] = m
+	}
+	return out
+}
+
+func decodeAnnotations(enc map[string]map[string]string) (map[string]vdp.Annotation, error) {
+	if enc == nil {
+		return nil, nil
+	}
+	out := make(map[string]vdp.Annotation, len(enc))
+	for node, m := range enc {
+		ann := make(vdp.Annotation, len(m))
+		for attr, s := range m {
+			switch s {
+			case "m":
+				ann[attr] = vdp.Materialized
+			case "v":
+				ann[attr] = vdp.Virtual
+			default:
+				return nil, fmt.Errorf("annotation %s.%s: unknown materialization %q", node, attr, s)
+			}
+		}
+		out[node] = ann
+	}
+	return out, nil
 }
 
 // Save writes a snapshot to w.
@@ -45,6 +91,7 @@ func Save(w io.Writer, snap *core.StateSnapshot) error {
 		LastProcessed: snap.LastProcessed.Clone(),
 		ViewInit:      snap.ViewInit,
 		StoreVersion:  snap.StoreVersion,
+		Annotations:   encodeAnnotations(snap.Annotations),
 	}
 	for name, rel := range snap.Store {
 		env.Store[name] = wire.EncodeRelation(rel)
@@ -63,11 +110,16 @@ func Load(r io.Reader) (*core.StateSnapshot, error) {
 	if env.Version != Version {
 		return nil, fmt.Errorf("persist: unsupported snapshot version %d", env.Version)
 	}
+	anns, err := decodeAnnotations(env.Annotations)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
 	snap := &core.StateSnapshot{
 		Store:         make(map[string]*relation.Relation, len(env.Store)),
 		LastProcessed: clock.Vector(env.LastProcessed),
 		ViewInit:      env.ViewInit,
 		StoreVersion:  env.StoreVersion,
+		Annotations:   anns,
 	}
 	if snap.LastProcessed == nil {
 		snap.LastProcessed = clock.Vector{}

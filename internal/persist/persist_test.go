@@ -8,6 +8,7 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/core"
 	"squirrel/internal/relation"
+	"squirrel/internal/vdp"
 )
 
 func sampleSnapshot(t *testing.T) *core.StateSnapshot {
@@ -131,5 +132,54 @@ func TestEmptyVectorDefaults(t *testing.T) {
 	}
 	if got.LastProcessed == nil {
 		t.Errorf("lastProcessed must default to an empty vector")
+	}
+}
+
+func TestAnnotationsRoundTrip(t *testing.T) {
+	snap := sampleSnapshot(t)
+	snap.Annotations = map[string]vdp.Annotation{
+		"T": vdp.Ann([]string{"a"}, []string{"b"}),
+		"G": vdp.Ann([]string{"a", "b"}, nil),
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	// The envelope carries the stable "m"/"v" form, not Mat's numbers.
+	if s := buf.String(); !strings.Contains(s, `"annotations"`) || !strings.Contains(s, `"v"`) {
+		t.Fatalf("envelope missing string-form annotations:\n%s", s)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vdp.AnnotationsEqual(got.Annotations, snap.Annotations) {
+		t.Errorf("annotations = %v, want %v", got.Annotations, snap.Annotations)
+	}
+
+	// Absent annotations stay nil (pre-adaptive envelopes).
+	plain := sampleSnapshot(t)
+	buf.Reset()
+	if err := Save(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	plainEnv := buf.String() // Load drains the buffer; keep the text
+	if strings.Contains(plainEnv, "annotations") {
+		t.Fatal("nil annotations must be omitted from the envelope")
+	}
+	got, err = Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Annotations != nil {
+		t.Errorf("annotations = %v, want nil", got.Annotations)
+	}
+
+	// Unknown materialization strings are rejected.
+	bad := strings.Replace(plainEnv, `"version": 1`,
+		`"version": 1, "annotations": {"T": {"a": "x"}}`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "unknown materialization") {
+		t.Errorf("bad materialization accepted: %v", err)
 	}
 }

@@ -138,9 +138,13 @@ func (s *Store) PublishAt(b *Builder, seq uint64, reflect clock.Vector, stamp cl
 func (s *Store) publishAt(b *Builder, seq uint64, reflect clock.Vector, stamp clock.Time) *Version {
 	rels := b.dirty
 	if b.base != nil {
-		// Overlay the touched nodes on the (shared) untouched ones.
+		// Overlay the touched nodes on the (shared) untouched ones,
+		// skipping nodes this transaction dropped.
 		rels = make(map[string]*relation.Relation, len(b.base.rels)+len(b.dirty))
 		for name, rel := range b.base.rels {
+			if b.deleted[name] {
+				continue
+			}
 			rels[name] = rel
 		}
 		for name, rel := range b.dirty {
@@ -158,14 +162,19 @@ func (s *Store) publishAt(b *Builder, seq uint64, reflect clock.Vector, stamp cl
 // first, then the base — exactly the in-place semantics the kernel had
 // when it mutated the store directly.
 type Builder struct {
-	base  *Version
-	dirty map[string]*relation.Relation
+	base    *Version
+	dirty   map[string]*relation.Relation
+	deleted map[string]bool // nodes dropped by this transaction (re-annotation)
 }
 
-// Rel implements View (dirty overlay first, then base).
+// Rel implements View (dirty overlay first, then base; deleted nodes
+// read as fully virtual).
 func (b *Builder) Rel(node string) *relation.Relation {
 	if r, ok := b.dirty[node]; ok {
 		return r
+	}
+	if b.deleted[node] {
+		return nil
 	}
 	if b.base != nil {
 		return b.base.rels[node]
@@ -203,7 +212,7 @@ func (b *Builder) Mutable(node string) *relation.Relation {
 	if r, ok := b.dirty[node]; ok {
 		return r
 	}
-	if b.base == nil {
+	if b.deleted[node] || b.base == nil {
 		return nil
 	}
 	base, ok := b.base.rels[node]
@@ -216,9 +225,23 @@ func (b *Builder) Mutable(node string) *relation.Relation {
 }
 
 // Set installs a relation for a node (used when initializing or restoring,
-// where every node is new).
+// where every node is new, and when a re-annotation grows or narrows a
+// node's materialized portion). Set after Delete revives the node.
 func (b *Builder) Set(node string, rel *relation.Relation) {
 	b.dirty[node] = rel
+	delete(b.deleted, node)
+}
+
+// Delete drops a node's materialized portion from the version under
+// construction — the node becomes fully virtual when the builder is
+// published. Used by re-annotation transactions; a no-op for nodes the
+// base never stored.
+func (b *Builder) Delete(node string) {
+	delete(b.dirty, node)
+	if b.deleted == nil {
+		b.deleted = make(map[string]bool)
+	}
+	b.deleted[node] = true
 }
 
 // Touched reports how many nodes this builder has cloned or set.

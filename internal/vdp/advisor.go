@@ -23,7 +23,8 @@ import (
 // Advise applies exactly these rules to a plan given observed (or
 // estimated) workload statistics.
 
-// WorkloadProfile summarizes what the advisor needs to know.
+// WorkloadProfile summarizes what the §5.3 advisor needs to know about
+// the observed (or estimated) workload.
 type WorkloadProfile struct {
 	// AccessFreq is the relative access frequency of each export-relation
 	// attribute in queries, in [0,1] (fraction of queries touching it).
@@ -33,25 +34,41 @@ type WorkloadProfile struct {
 	// in [0,1] (fractions need not sum to 1; they are compared pairwise).
 	UpdateShare map[string]float64
 	// HotAttrThreshold is the access frequency at or above which an
-	// export attribute is materialized (default 0.1 if zero).
-	HotAttrThreshold float64
-	// ChurnThreshold is the update share above which a source counts as
-	// frequently changing (default 0.5 if zero).
-	ChurnThreshold float64
+	// export attribute is materialized. Nil means the default (0.1); an
+	// explicit zero is legal and materializes every attribute. Build one
+	// with Threshold.
+	HotAttrThreshold *float64
+	// ChurnThreshold is the update share at or above which a source
+	// counts as frequently changing. Nil means the default (0.5); an
+	// explicit zero is legal. Build one with Threshold.
+	ChurnThreshold *float64
 }
 
+// Default advisor thresholds, used when the corresponding
+// WorkloadProfile field is nil.
+const (
+	DefHotAttrThreshold = 0.1
+	DefChurnThreshold   = 0.5
+)
+
+// Threshold wraps an explicit threshold value for WorkloadProfile.
+// Unlike the zero value of a plain float64 field, Threshold(0) is a
+// legal threshold (everything counts as hot / churning), distinct from
+// "use the default".
+func Threshold(x float64) *float64 { return &x }
+
 func (p WorkloadProfile) hotThreshold() float64 {
-	if p.HotAttrThreshold > 0 {
-		return p.HotAttrThreshold
+	if p.HotAttrThreshold != nil {
+		return *p.HotAttrThreshold
 	}
-	return 0.1
+	return DefHotAttrThreshold
 }
 
 func (p WorkloadProfile) churnThreshold() float64 {
-	if p.ChurnThreshold > 0 {
-		return p.ChurnThreshold
+	if p.ChurnThreshold != nil {
+		return *p.ChurnThreshold
 	}
-	return 0.5
+	return DefChurnThreshold
 }
 
 // Advice is the advisor's output: one annotation per non-leaf node, plus

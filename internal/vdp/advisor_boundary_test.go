@@ -1,0 +1,88 @@
+package vdp
+
+import "testing"
+
+// Boundary semantics of the advisor thresholds: both comparisons against
+// the workload are inclusive on the "act" side (access >= hot threshold
+// materializes; own update share >= churn threshold counts as churning),
+// while the partner-quietness test is strict (maxOther < churn threshold).
+
+func TestAdviseAccessAtThresholdIsHot(t *testing.T) {
+	v := paperVDP(t, nil, nil, nil)
+	// r3 is a non-key export attribute, so no other rule can resurrect it:
+	// its fate is decided purely by the access-frequency comparison.
+	at := v.Advise(WorkloadProfile{
+		AccessFreq:  map[string]float64{"r3": DefHotAttrThreshold},
+		UpdateShare: map[string]float64{"db1": 0.2, "db2": 0.2},
+	})
+	if !at.Annotations["T"].IsMaterialized("r3") {
+		t.Errorf("access freq exactly at the threshold must materialize: %v", at.Annotations["T"])
+	}
+	below := v.Advise(WorkloadProfile{
+		AccessFreq:  map[string]float64{"r3": DefHotAttrThreshold - 1e-9},
+		UpdateShare: map[string]float64{"db1": 0.2, "db2": 0.2},
+	})
+	if below.Annotations["T"].IsMaterialized("r3") {
+		t.Errorf("access freq just below the threshold must stay virtual: %v", below.Annotations["T"])
+	}
+}
+
+func TestAdviseChurnAtThreshold(t *testing.T) {
+	v := paperVDP(t, nil, nil, nil)
+	// Own share exactly at the threshold counts as churning; the quiet
+	// partner keeps R' virtual (Example 2.2).
+	at := v.Advise(WorkloadProfile{
+		UpdateShare: map[string]float64{"db1": DefChurnThreshold, "db2": 0.1},
+	})
+	if !annIsAllVirtual(at.Annotations["R'"], v.Node("R'").Schema) {
+		t.Errorf("own share exactly at the churn threshold must virtualize R': %v", at.Annotations["R'"])
+	}
+	// A partner exactly at the threshold is NOT quiet (strict <): polling
+	// would be frequent, so R' stays materialized.
+	partner := v.Advise(WorkloadProfile{
+		UpdateShare: map[string]float64{"db1": DefChurnThreshold, "db2": DefChurnThreshold},
+	})
+	if !annIsAllMaterialized(partner.Annotations["R'"], v.Node("R'").Schema) {
+		t.Errorf("partner at the churn threshold must keep R' materialized: %v", partner.Annotations["R'"])
+	}
+	// Just below on the own side: not churning, stays materialized.
+	below := v.Advise(WorkloadProfile{
+		UpdateShare: map[string]float64{"db1": DefChurnThreshold - 1e-9, "db2": 0.1},
+	})
+	if !annIsAllMaterialized(below.Annotations["R'"], v.Node("R'").Schema) {
+		t.Errorf("own share below the churn threshold must keep R' materialized: %v", below.Annotations["R'"])
+	}
+}
+
+func TestAdviseExplicitZeroThreshold(t *testing.T) {
+	v := paperVDP(t, nil, nil, nil)
+	// Threshold(0) is an explicit zero, not "use the default": every
+	// attribute's access frequency (including absent = 0) is >= 0, so the
+	// whole export materializes — even though the same profile with a nil
+	// threshold virtualizes the untouched attributes.
+	zero := v.Advise(WorkloadProfile{
+		AccessFreq:       map[string]float64{"r1": 0.05},
+		UpdateShare:      map[string]float64{"db1": 0.2, "db2": 0.2},
+		HotAttrThreshold: Threshold(0),
+	})
+	if !annIsAllMaterialized(zero.Annotations["T"], v.Node("T").Schema) {
+		t.Errorf("Threshold(0) must materialize every export attribute: %v", zero.Annotations["T"])
+	}
+	def := v.Advise(WorkloadProfile{
+		AccessFreq:  map[string]float64{"r1": 0.05},
+		UpdateShare: map[string]float64{"db1": 0.2, "db2": 0.2},
+	})
+	if annIsAllMaterialized(def.Annotations["T"], v.Node("T").Schema) {
+		t.Errorf("nil threshold must fall back to the default, virtualizing cold attributes: %v", def.Annotations["T"])
+	}
+	// ChurnThreshold zero: every source churns, but then no partner is
+	// quiet either (strict <), so leaf-parents stay materialized.
+	churn := v.Advise(WorkloadProfile{
+		UpdateShare:    map[string]float64{"db1": 0.0, "db2": 0.0},
+		ChurnThreshold: Threshold(0),
+	})
+	if !annIsAllMaterialized(churn.Annotations["R'"], v.Node("R'").Schema) {
+		t.Errorf("ChurnThreshold(0): partners can never be strictly quieter, R' must stay materialized: %v",
+			churn.Annotations["R'"])
+	}
+}

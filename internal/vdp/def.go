@@ -68,6 +68,7 @@ func (d SPJ) Children() []string {
 	return out
 }
 
+// String renders the definition in the paper's algebraic notation.
 func (d SPJ) String() string {
 	parts := make([]string, len(d.Inputs))
 	for i, in := range d.Inputs {
@@ -98,6 +99,7 @@ type Branch struct {
 	Proj  []string
 }
 
+// String renders the branch in the paper's algebraic notation.
 func (b Branch) String() string {
 	s := b.Rel
 	if !algebra.IsTrue(b.Where) {
@@ -117,6 +119,7 @@ func (UnionDef) isDef() {}
 // Children implements Def.
 func (d UnionDef) Children() []string { return []string{d.L.Rel, d.R.Rel} }
 
+// String renders the definition in the paper's algebraic notation.
 func (d UnionDef) String() string { return d.L.String() + " ∪ " + d.R.String() }
 
 // DiffDef is the set difference of two branches (def form (c)); the node
@@ -130,6 +133,7 @@ func (DiffDef) isDef() {}
 // Children implements Def.
 func (d DiffDef) Children() []string { return []string{d.L.Rel, d.R.Rel} }
 
+// String renders the definition in the paper's algebraic notation.
 func (d DiffDef) String() string { return d.L.String() + " − " + d.R.String() }
 
 // Mat annotates one attribute as materialized or virtual.

@@ -1,0 +1,81 @@
+package vdp
+
+import "fmt"
+
+// This file supports online adaptive materialization (§5.3 as a live
+// control loop): a running mediator re-derives its plan with a changed
+// annotation while every structural property — definitions, schemas,
+// topological order, stages — is recomputed and revalidated by New.
+
+// Annotations returns a deep copy of every non-leaf node's annotation,
+// keyed by node name. The copy is safe to mutate and to persist; it is
+// the "current annotation" of an adaptively re-annotated mediator, as
+// opposed to the one the plan was constructed with.
+func (v *VDP) Annotations() map[string]Annotation {
+	out := make(map[string]Annotation, len(v.order))
+	for _, name := range v.NonLeaves() {
+		n := v.nodes[name]
+		ann := make(Annotation, len(n.Ann))
+		for a, m := range n.Ann {
+			ann[a] = m
+		}
+		out[name] = ann
+	}
+	return out
+}
+
+// AnnotationsEqual reports whether two annotation sets assign the same
+// materialization to every attribute. Missing entries on either side
+// count as unequal.
+func AnnotationsEqual(a, b map[string]Annotation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, aa := range a {
+		ba, ok := b[name]
+		if !ok || len(aa) != len(ba) {
+			return false
+		}
+		for attr, m := range aa {
+			bm, ok := ba[attr]
+			if !ok || bm != m {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reannotate derives a new plan from v with the given annotations
+// applied on top of the current ones (nodes absent from anns keep
+// theirs). The receiver is not modified: unchanged nodes are shared,
+// changed nodes are shallow-copied with a cloned annotation, and the
+// result goes through New, so it is validated exactly like a freshly
+// built plan (annotation totality, order, stages, materialization
+// relevance). Unknown node names and leaf targets are errors.
+func (v *VDP) Reannotate(anns map[string]Annotation) (*VDP, error) {
+	for name := range anns {
+		n := v.nodes[name]
+		if n == nil {
+			return nil, fmt.Errorf("vdp: reannotate unknown node %q", name)
+		}
+		if n.IsLeaf() {
+			return nil, fmt.Errorf("vdp: reannotate leaf %q (leaves carry no annotation)", name)
+		}
+	}
+	nodes := make([]*Node, 0, len(v.nodes))
+	for _, name := range v.order {
+		n := v.nodes[name]
+		if ann, ok := anns[name]; ok {
+			cp := *n
+			cp.Ann = make(Annotation, len(ann))
+			for a, m := range ann {
+				cp.Ann[a] = m
+			}
+			nodes = append(nodes, &cp)
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	return New(nodes...)
+}

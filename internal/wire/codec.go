@@ -390,6 +390,12 @@ type Message struct {
 	// plus the total ever emitted (retained or evicted).
 	Events      []metrics.Event `json:"events,omitempty"`
 	EventsTotal uint64          `json:"events_total,omitempty"`
+	// type "readvise": when set, the advisor only reports what it would
+	// change — no re-annotation runs.
+	DryRun bool `json:"dryrun,omitempty"`
+	// type "answer" to "readvise": the advisor round's decision — observed
+	// profile, proposed/applied flips, and justifications.
+	Advice *AdvicePayload `json:"advice,omitempty"`
 }
 
 // encode marshals a message plus newline.

@@ -18,6 +18,10 @@ import (
 // marshals directly (all fields exported, health values string-typed).
 type StatsPayload = core.Stats
 
+// AdvicePayload is the wire form of one adaptive-annotation decision round
+// — core.AdaptDecision marshals directly (all fields exported).
+type AdvicePayload = core.AdaptDecision
+
 // MediatorServer exposes a mediator's Query Processor over TCP, completing
 // the Figure 3 deployment: applications connect to the mediator exactly as
 // the mediator connects to its sources. Each connection is served on its
@@ -28,6 +32,7 @@ type MediatorServer struct {
 	med *core.Mediator
 
 	mu     sync.Mutex
+	adapt  *core.AdaptController
 	ln     net.Listener
 	closed bool
 	wg     sync.WaitGroup
@@ -36,6 +41,28 @@ type MediatorServer struct {
 // NewMediatorServer wraps a mediator.
 func NewMediatorServer(med *core.Mediator) *MediatorServer {
 	return &MediatorServer{med: med}
+}
+
+// SetAdaptController attaches an adaptive-annotation controller so
+// "readvise" requests share its workload window and hysteresis state
+// (typically the controller whose loop is already running against this
+// mediator). Without one, the first "readvise" lazily creates a manual
+// controller owned by the server.
+func (s *MediatorServer) SetAdaptController(ctrl *core.AdaptController) {
+	s.mu.Lock()
+	s.adapt = ctrl
+	s.mu.Unlock()
+}
+
+// adaptController returns the attached controller, creating a manual one
+// on first use.
+func (s *MediatorServer) adaptController() *core.AdaptController {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.adapt == nil {
+		s.adapt = core.NewAdaptController(s.med, core.AdaptConfig{Manual: true})
+	}
+	return s.adapt
 }
 
 // Start listens on addr (":0" for ephemeral) and serves in the background,
@@ -145,6 +172,17 @@ func (s *MediatorServer) serveConn(conn net.Conn) {
 			}
 			evs, total := s.med.Metrics().Events().Recent(n)
 			if !send(Message{Type: "answer", ID: m.ID, Events: evs, EventsTotal: total}) {
+				return
+			}
+		case "readvise":
+			dec, err := s.adaptController().Readvise(m.DryRun)
+			if err != nil {
+				if !send(Message{Type: "error", ID: m.ID, Error: err.Error()}) {
+					return
+				}
+				continue
+			}
+			if !send(Message{Type: "answer", ID: m.ID, Advice: dec}) {
 				return
 			}
 		case "sync":
@@ -348,6 +386,24 @@ func (c *MediatorClient) Events(n int) ([]metrics.Event, uint64, error) {
 		return nil, 0, err
 	}
 	return reply.Events, reply.EventsTotal, nil
+}
+
+// Readvise asks the mediator's adaptive-annotation advisor for one
+// on-demand decision round (§5.3): it observes the workload window since
+// the last round and either applies the advised re-annotation immediately
+// (bypassing the controller's hysteresis and cooldown) or, with dryRun,
+// only reports what it would change. The returned decision carries the
+// observed profile, the proposed or applied flips, and the advisor's
+// justifications.
+func (c *MediatorClient) Readvise(dryRun bool) (*AdvicePayload, error) {
+	reply, err := c.roundTrip(Message{Type: "readvise", DryRun: dryRun})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Advice == nil {
+		return nil, fmt.Errorf("wire: readvise reply without payload")
+	}
+	return reply.Advice, nil
 }
 
 // StoreVersion returns the mediator's currently published store version.

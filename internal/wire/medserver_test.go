@@ -142,3 +142,59 @@ func TestMediatorServerMultipleClients(t *testing.T) {
 		}
 	}
 }
+
+func TestMediatorServerReadvise(t *testing.T) {
+	_, med, addr := startMediator(t)
+	c, err := DialMediator(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// First call lazily attaches a manual controller and opens its window.
+	if _, err := c.Readvise(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// A workload touching only x: the advisor should virtualize V.y.
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Query("V", []string{"x"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := c.Readvise(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Applied || dec.Skipped != "dry run" {
+		t.Fatalf("dry run decision: %+v", dec)
+	}
+	if dec.Queries != 5 || dec.Profile.AccessFreq["x"] != 1 {
+		t.Fatalf("window: queries=%d profile=%v", dec.Queries, dec.Profile)
+	}
+	if len(dec.Flips) != 1 || dec.Flips[0].String() != "V.y m->v" {
+		t.Fatalf("flips = %v", dec.Flips)
+	}
+	if !med.VDP().Node("V").Ann.IsMaterialized("y") {
+		t.Fatal("dry run must not re-annotate")
+	}
+
+	// Applying for real flips the live plan; answers stay exact.
+	dec, err = c.Readvise(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Applied || len(dec.Flips) != 1 {
+		t.Fatalf("apply decision: %+v", dec)
+	}
+	if med.VDP().Node("V").Ann.IsMaterialized("y") {
+		t.Fatal("readvise did not re-annotate")
+	}
+	ans, _, err := c.Query("V", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Card() != 2 || !ans.Contains(relation.T(1, 10)) || !ans.Contains(relation.T(2, 20)) {
+		t.Fatalf("post-switch answer: %s", ans)
+	}
+}

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Extract every ```go fenced block from README.md and keep the examples
+# honest: each block must be gofmt-clean and must COMPILE against the
+# current public API. Blocks are compiled one per throwaway package, each
+# wrapped in `func _()` after a preamble declaring the identifiers the
+# surrounding prose establishes (sys, attrs, cond, conn) — a block may
+# shadow them. Run from the repository root; exits non-zero on any drift.
+set -eu
+
+tmp=".readme-smoke"
+rm -rf "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+# Split README.md's go blocks into $tmp/block-N.go fragments.
+awk -v dir="$tmp" '
+	/^```go$/ { inblock = 1; file = dir "/block-" n++ ".go"; next }
+	/^```$/   { inblock = 0; next }
+	inblock   { print > file }
+	BEGIN     { system("mkdir -p " dir) }
+' README.md
+
+count=$(ls "$tmp" | wc -l)
+if [ "$count" -eq 0 ]; then
+	echo "check_readme_go: no go blocks found in README.md" >&2
+	exit 1
+fi
+echo "check_readme_go: $count go block(s)"
+
+status=0
+i=0
+for frag in "$tmp"/block-*.go; do
+	pkg="$tmp/b$i"
+	mkdir -p "$pkg"
+	{
+		echo "package readmesmoke"
+		echo
+		echo 'import ('
+		echo '	"fmt"'
+		echo '	"os"'
+		echo '	"time"'
+		echo
+		echo '	"squirrel"'
+		echo ')'
+		echo
+		echo 'var _ = fmt.Println'
+		echo 'var _ = os.Stdout'
+		echo 'var _ = time.Second'
+		echo
+		echo '// Free identifiers the README prose establishes around the block.'
+		echo 'var sys = squirrel.NewSystem()'
+		echo 'var ('
+		echo '	attrs []string'
+		echo '	cond  squirrel.Expr'
+		echo '	conn  squirrel.SourceConn'
+		echo ')'
+		echo 'var _, _, _ = attrs, cond, conn'
+		echo
+		echo 'func _() {'
+		sed '/^$/!s/^/	/' "$frag"
+		echo '}'
+	} >"$pkg/block.go"
+
+	# The fragment itself must be gofmt-clean (one tab of wrapping added,
+	# so format the wrapped file and diff).
+	if ! gofmt -l "$pkg/block.go" | grep -q .; then :; else
+		echo "FAIL gofmt: README go block $i" >&2
+		gofmt -d "$pkg/block.go" >&2
+		status=1
+	fi
+	if ! go build "./$pkg" >/dev/null; then
+		echo "FAIL build: README go block $i ($frag)" >&2
+		status=1
+	fi
+	i=$((i + 1))
+done
+
+exit $status

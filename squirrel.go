@@ -144,6 +144,36 @@ var (
 	AllMaterialized = vdp.AllMaterialized
 	AllVirtual      = vdp.AllVirtual
 	Ann             = vdp.Ann
+	// Threshold builds an explicit advisor threshold override (including
+	// an explicit zero, which nil cannot express).
+	Threshold = vdp.Threshold
+)
+
+// Online adaptive annotation (the §5.3 loop run live; see
+// System.Reannotate and System.StartAdapt).
+type (
+	// AdaptController runs the observe → advise → apply loop against a
+	// running mediator, with hysteresis and cooldown damping.
+	AdaptController = core.AdaptController
+	// AdaptConfig tunes an AdaptController (interval, damping, manual
+	// mode, advisor threshold overrides).
+	AdaptConfig = core.AdaptConfig
+	// AdaptDecision is one controller round's outcome: observed profile,
+	// proposed/applied flips, justifications, and why nothing happened.
+	AdaptDecision = core.AdaptDecision
+	// AnnotationFlip describes one attribute's materialization change
+	// applied by a re-annotation.
+	AnnotationFlip = core.AnnotationFlip
+	// ProfileCollector derives windowed WorkloadProfiles from a running
+	// mediator's metrics.
+	ProfileCollector = core.ProfileCollector
+)
+
+// Adaptive-annotation constructors (for driving the loop by hand against
+// a bare Mediator; System.StartAdapt wraps them).
+var (
+	NewAdaptController  = core.NewAdaptController
+	NewProfileCollector = core.NewProfileCollector
 )
 
 // Mediator (§4, §6) and sources.

@@ -291,14 +291,47 @@ func (s *System) QueryExport(export string, attrs []string, cond Expr, opts Quer
 // region = 'EU'") into an Expr for QueryExport.
 func ParseCondition(src string) (Expr, error) { return sqlview.ParseExpr(src) }
 
-// Advise runs the §5.3 annotation advisor over the system's plan for the
-// given workload profile. Apply the advice by rebuilding a system with the
-// suggested annotations (annotations are fixed at Start).
+// Advise runs the §5.3 annotation advisor over the live plan for the
+// given workload profile. Apply the advice either by rebuilding a system
+// with the suggested annotations, or online — without downtime — through
+// Reannotate (one-shot) or StartAdapt (the closed observe → advise →
+// apply loop).
 func (s *System) Advise(p WorkloadProfile) (Advice, error) {
 	if !s.started {
 		return Advice{}, fmt.Errorf("squirrel: not started")
 	}
-	return s.plan.Advise(p), nil
+	return s.med.VDP().Advise(p), nil
+}
+
+// Reannotate switches the running mediator to new per-node annotations
+// without downtime: newly-materialized columns are backfilled by VAP polls
+// compensated to the current version's ref′ vector, newly-virtual columns
+// are dropped from the store, and the switch publishes atomically as the
+// next store version. Concurrent queries are never torn — each runs
+// against an agreeing (version, plan) pair — and Theorem 7.1 consistency
+// holds across the switch (see DESIGN.md, "Adaptive annotation"). The
+// returned flips describe each attribute that changed.
+func (s *System) Reannotate(anns map[string]Annotation) ([]AnnotationFlip, error) {
+	if !s.started {
+		return nil, fmt.Errorf("squirrel: not started")
+	}
+	return s.med.Reannotate(anns)
+}
+
+// StartAdapt launches the online §5.3 loop: an AdaptController that
+// periodically derives a workload profile from the mediator's own metrics,
+// asks the advisor, and — once the advice has survived hysteresis and
+// cooldown — applies it through Reannotate. Call the returned controller's
+// Stop to terminate the loop; use cfg.Manual for observe-and-report only.
+func (s *System) StartAdapt(cfg AdaptConfig) (*AdaptController, error) {
+	if !s.started {
+		return nil, fmt.Errorf("squirrel: not started")
+	}
+	ctrl := core.NewAdaptController(s.med, cfg)
+	if err := ctrl.Start(); err != nil {
+		return nil, err
+	}
+	return ctrl, nil
 }
 
 // Mediator exposes the underlying mediator.
@@ -346,8 +379,15 @@ func (s *System) CurrentVersion() *StoreVersion {
 	return s.med.CurrentVersion()
 }
 
-// Plan exposes the validated VDP (nil before Start).
-func (s *System) Plan() *VDP { return s.plan }
+// Plan exposes the validated VDP (nil before Start). After a live
+// re-annotation (Reannotate, StartAdapt) this is the mediator's current
+// plan, not the one the system was constructed with.
+func (s *System) Plan() *VDP {
+	if s.started {
+		return s.med.VDP()
+	}
+	return s.plan
+}
 
 // Trace exposes the transaction trace recorder.
 func (s *System) Trace() *Recorder { return s.rec }
@@ -378,7 +418,10 @@ func (s *System) checkerEnv() CheckerEnvironment {
 	for name, src := range s.sources {
 		dbs[name] = src.db
 	}
-	return CheckerEnvironment{VDP: s.plan, Sources: dbs, Trace: s.rec}
+	// Use the live plan: a re-annotation changes where data lives, not what
+	// the view logically contains, so the checkers' recomputation is the
+	// same — but the live annotation keeps the environment honest.
+	return CheckerEnvironment{VDP: s.med.VDP(), Sources: dbs, Trace: s.rec}
 }
 
 // Relations is a convenience for building an initial set relation.

@@ -313,3 +313,65 @@ func TestSystemAdvise(t *testing.T) {
 		t.Errorf("cold r3 should be virtual")
 	}
 }
+
+func TestSystemReannotateAndAdapt(t *testing.T) {
+	sys := demoSystem(t)
+	if _, err := sys.Reannotate(nil); err == nil {
+		t.Errorf("reannotate before start must fail")
+	}
+	if _, err := sys.StartAdapt(AdaptConfig{}); err == nil {
+		t.Errorf("adapt before start must fail")
+	}
+	sys.MustStart()
+
+	// Live switch: virtualize T.s2 without downtime; answers stay exact.
+	anns := sys.Plan().Annotations()
+	anns["T"] = Ann([]string{"r1", "r3", "s1"}, []string{"s2"})
+	flips, err := sys.Reannotate(anns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flips) != 1 || flips[0].String() != "T.s2 m->v" {
+		t.Fatalf("flips = %v", flips)
+	}
+	if sys.Plan().Node("T").Ann.IsMaterialized("s2") {
+		t.Fatal("Plan() must expose the live annotation")
+	}
+	rows, err := sys.Query(`SELECT r1, s2 FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Card() != 3 {
+		t.Fatalf("post-switch view: %s", rows)
+	}
+	if err := sys.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drifted annotation survives persistence: the snapshot records it
+	// and a Restore would re-annotate the constructed plan to match.
+	snap, err := sys.Mediator().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Annotations == nil || snap.Annotations["T"].IsMaterialized("s2") {
+		t.Fatalf("snapshot annotations = %v", snap.Annotations)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"annotations"`) {
+		t.Fatal("persisted envelope missing annotations")
+	}
+
+	// A manual controller through the public surface.
+	ctrl, err := sys.StartAdapt(AdaptConfig{Manual: true, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Stop()
+	if dec, err := ctrl.Readvise(true); err != nil || dec == nil {
+		t.Fatalf("readvise: %v %v", dec, err)
+	}
+}
