@@ -16,6 +16,7 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/core"
 	"squirrel/internal/persist"
+	"squirrel/internal/relation"
 	"squirrel/internal/resilience"
 	"squirrel/internal/sqlview"
 	"squirrel/internal/vdp"
@@ -55,6 +56,13 @@ func cmdServeMediator(args []string) error {
 	chaosErr := fs.Float64("chaos-err", 0.1, "per-operation error probability when -chaos-seed is set")
 	workers := fs.Int("propagate-workers", 0,
 		"staged-kernel worker pool for update propagation (0 = serial reference kernel)")
+	backendName := fs.String("relation-backend", "blocks",
+		"relation storage backend: blocks (columnar) or rows (boxed-tuple reference)")
+	gcWindow := fs.Duration("group-commit-window", 0,
+		"group-commit batching window: wake on announcement, absorb arrivals this long, "+
+			"drain in one coalesced transaction (0 = periodic -flush loop)")
+	gcMax := fs.Int("group-commit-max", 0,
+		"close a group-commit batch early once this many announcements are queued (0 = window only)")
 	metricsAddr := fs.String("metrics-addr", "",
 		"observability HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = disabled)")
 	adapt := fs.Bool("adapt", false,
@@ -68,6 +76,14 @@ func cmdServeMediator(args []string) error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("bad -propagate-workers %d (want >= 0)", *workers)
+	}
+	backend, err := relation.ParseBackend(*backendName)
+	if err != nil {
+		return fmt.Errorf("bad -relation-backend: %w", err)
+	}
+	relation.SetDefaultBackend(backend)
+	if *gcWindow < 0 {
+		return fmt.Errorf("bad -group-commit-window %s (want >= 0)", *gcWindow)
 	}
 	resil := core.ResilienceConfig{
 		PollTimeout: *pollTimeout,
@@ -207,7 +223,12 @@ func cmdServeMediator(args []string) error {
 		}
 	}
 
-	rt, err := core.NewRuntime(med, *flush)
+	var rt *core.Runtime
+	if *gcWindow > 0 {
+		rt, err = core.NewBatchedRuntime(med, *gcWindow, *gcMax)
+	} else {
+		rt, err = core.NewRuntime(med, *flush)
+	}
 	if err != nil {
 		return err
 	}
@@ -240,7 +261,13 @@ func cmdServeMediator(args []string) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("\nmediator serving on %s (flush every %s; ctrl-c to stop)\n", bound, *flush)
+	if rt.Batched() {
+		fmt.Printf("\nmediator serving on %s (%s backend, group-commit window %s; ctrl-c to stop)\n",
+			bound, backend, *gcWindow)
+	} else {
+		fmt.Printf("\nmediator serving on %s (%s backend, flush every %s; ctrl-c to stop)\n",
+			bound, backend, *flush)
+	}
 	if *adapt {
 		fmt.Printf("adaptive annotation: advising every %s\n", *adaptInterval)
 	}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"squirrel/internal/relation"
+)
+
+// The differential test oracle for the columnar data plane: the
+// row-oriented backend is the reference implementation, and the blocks
+// backend must be observationally identical to it on the same random plan
+// and the same random update/query stream — the full transcript
+// (published versions, store renderings, query answers and their
+// consistency metadata) matches byte for byte. CI runs this under -race
+// (the columnar-oracle job), which also exercises the interner and the
+// shared immutable TupleMaps of published store versions.
+
+// backendTranscript runs the differential workload with the given
+// process-default relation backend. Every relation in the run — source
+// states, materialized stores, deltas, temporaries — is created on bk.
+func backendTranscript(t *testing.T, bk relation.Backend, seed int64, workers int) []string {
+	t.Helper()
+	prev := relation.DefaultBackend()
+	relation.SetDefaultBackend(bk)
+	defer relation.SetDefaultBackend(prev)
+	return differentialTranscript(t, seed, workers)
+}
+
+// TestColumnarOracle: for each seeded random plan and workload, the rows
+// transcript must equal the blocks transcript, on both the serial and the
+// staged kernel (the staged×blocks case composes the two refactors).
+func TestColumnarOracle(t *testing.T) {
+	seeds := int64(30)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := backendTranscript(t, relation.Rows, seed, 0)
+			for _, workers := range []int{0, 2} {
+				got := backendTranscript(t, relation.Blocks, seed, workers)
+				if len(got) != len(ref) {
+					t.Fatalf("blocks workers=%d transcript has %d records, rows reference has %d",
+						workers, len(got), len(ref))
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("blocks workers=%d transcript diverges from the rows reference at record %d:\n--- blocks ---\n%s\n--- rows ---\n%s",
+							workers, i, got[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}

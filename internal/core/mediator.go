@@ -272,6 +272,12 @@ type Mediator struct {
 	lastProcessed  clock.Vector           // ref′: per announcing source
 	initialized    bool
 	queueHighWater int
+	// announceCh is the group-commit wakeup: a buffered-1 signal sent
+	// (non-blocking) whenever an announcement actually joins the queue,
+	// so a batched runtime can sleep until work arrives instead of
+	// polling on a period. Sends coalesce; receivers must re-check
+	// QueueLen.
+	announceCh chan struct{}
 	// Fault-boundary bookkeeping, also under qmu: the latest instant each
 	// source's state is known at, the last accepted announcement sequence
 	// number per source (0 = adopt the next one seen), quarantine reasons,
@@ -336,6 +342,7 @@ func New(cfg Config) (*Mediator, error) {
 		resyncBarrier:   make(clock.Vector),
 		resyncOvertaken: make(map[string]int),
 		capture:         make(map[string]bool),
+		announceCh:      make(chan struct{}, 1),
 		resil:           cfg.Resilience,
 		workers:         cfg.PropagateWorkers,
 	}
@@ -797,7 +804,16 @@ func (m *Mediator) OnAnnouncement(a source.Announcement) {
 		m.queueHighWater = len(m.queue)
 	}
 	m.obs.queueLen.Set(int64(len(m.queue)))
+	select {
+	case m.announceCh <- struct{}{}:
+	default:
+	}
 }
+
+// AnnounceSignal returns a channel that receives a (coalesced) signal
+// whenever an announcement joins the queue. Consumers must treat it as a
+// wakeup, not a count: re-check QueueLen after each receive.
+func (m *Mediator) AnnounceSignal() <-chan struct{} { return m.announceCh }
 
 // QueueLen reports the number of pending announcements.
 func (m *Mediator) QueueLen() int {

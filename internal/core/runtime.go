@@ -22,6 +22,15 @@ type Runtime struct {
 	med    *Mediator
 	period time.Duration
 
+	// Group-commit batching (NewBatchedRuntime): instead of a fixed
+	// period, the loop sleeps on the mediator's announce signal, then
+	// holds the transaction open for window (or until maxBatch
+	// announcements are queued) so one staged-kernel pass — one
+	// copy-on-write clone per touched node — amortizes every coalesced
+	// delta in the batch.
+	window   time.Duration
+	maxBatch int
+
 	flushHist *metrics.Histogram
 
 	mu   sync.Mutex
@@ -53,6 +62,30 @@ func NewRuntime(med *Mediator, period time.Duration) (*Runtime, error) {
 	}, nil
 }
 
+// NewBatchedRuntime wraps a mediator with an event-driven group-commit
+// loop: it wakes when an announcement arrives, absorbs further arrivals
+// for window (ending early once maxBatch announcements are queued;
+// maxBatch <= 0 means no early close), then drains the queue in one
+// coalesced update transaction. window = 0 degenerates to
+// commit-per-wakeup.
+func NewBatchedRuntime(med *Mediator, window time.Duration, maxBatch int) (*Runtime, error) {
+	if med == nil {
+		return nil, fmt.Errorf("core: runtime needs a mediator")
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("core: group-commit window must be non-negative")
+	}
+	return &Runtime{
+		med:       med,
+		window:    window,
+		maxBatch:  maxBatch,
+		flushHist: med.obs.reg.Histogram(MetricFlushSeconds, metrics.DefLatencyBuckets),
+	}, nil
+}
+
+// Batched reports whether the runtime is in group-commit mode.
+func (r *Runtime) Batched() bool { return r.period == 0 }
+
 // Start launches the flush loop. It is an error to start a running
 // runtime.
 func (r *Runtime) Start() error {
@@ -63,8 +96,47 @@ func (r *Runtime) Start() error {
 	}
 	r.stop = make(chan struct{})
 	r.done = make(chan struct{})
-	go r.loop(r.stop, r.done)
+	if r.Batched() {
+		go r.loopBatched(r.stop, r.done)
+	} else {
+		go r.loop(r.stop, r.done)
+	}
 	return nil
+}
+
+// loopBatched is the group-commit loop: sleep on the announce signal,
+// hold for the batching window, drain once.
+func (r *Runtime) loopBatched(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	sig := r.med.AnnounceSignal()
+	for {
+		select {
+		case <-stop:
+			r.flushAll()
+			return
+		case <-sig:
+		}
+		if r.window > 0 && (r.maxBatch <= 0 || r.med.QueueLen() < r.maxBatch) {
+			timer := time.NewTimer(r.window)
+		collect:
+			for {
+				select {
+				case <-stop:
+					timer.Stop()
+					r.flushAll()
+					return
+				case <-sig:
+					if r.maxBatch > 0 && r.med.QueueLen() >= r.maxBatch {
+						break collect
+					}
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		r.flushAll()
+	}
 }
 
 func (r *Runtime) loop(stop <-chan struct{}, done chan<- struct{}) {

@@ -129,6 +129,91 @@ func TestRuntimeErrClearsAfterRecovery(t *testing.T) {
 	}
 }
 
+func TestBatchedRuntimeDrainsOnSignal(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	rt, err := NewBatchedRuntime(e.med, 2*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Batched() {
+		t.Fatalf("NewBatchedRuntime must report Batched")
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := delta.New()
+	d.Insert("R", relation.T(5, 20, 11, 100))
+	e.db1.MustApply(d)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for e.med.QueueLen() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.med.QueueLen() != 0 {
+		t.Fatalf("batched runtime never drained the queue")
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	truth := e.groundTruth(t)
+	if got := e.med.StoreSnapshot("T"); !got.Equal(truth["T"]) {
+		t.Errorf("store after batched flush:\n%swant\n%s", got, truth["T"])
+	}
+}
+
+func TestBatchedRuntimeCoalesces(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	// A generous window so every announcement below lands inside one
+	// batch; maxBatch disabled.
+	rt, err := NewBatchedRuntime(e.med, 200*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d := delta.New()
+		d.Insert("R", relation.T(50+i, 20, 11, 100))
+		e.db1.MustApply(d)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.med.QueueLen() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.med.QueueLen() != 0 {
+		t.Fatalf("batched runtime never drained the queue")
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	truth := e.groundTruth(t)
+	if got := e.med.StoreSnapshot("T"); !got.Equal(truth["T"]) {
+		t.Errorf("store after coalesced flush:\n%swant\n%s", got, truth["T"])
+	}
+}
+
+func TestBatchedRuntimeErrors(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	if _, err := NewBatchedRuntime(nil, time.Millisecond, 0); err == nil {
+		t.Errorf("nil mediator")
+	}
+	if _, err := NewBatchedRuntime(e.med, -time.Millisecond, 0); err == nil {
+		t.Errorf("negative window")
+	}
+	// window=0 (commit-per-wakeup) is legal.
+	rt, err := NewBatchedRuntime(e.med, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRuntimeErrors(t *testing.T) {
 	e := newEnv(t, nil, nil, nil)
 	if _, err := NewRuntime(nil, time.Second); err == nil {

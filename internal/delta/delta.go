@@ -13,6 +13,13 @@
 // A Delta groups RelDeltas for several relations, matching the paper's
 // deltas that "simultaneously contain atoms that refer to more than one
 // relation".
+//
+// Like relations, deltas have two physical backends: the columnar Blocks
+// backend stores atoms in a relation.TupleMap with signed counts, so
+// smash, apply, select, project, and distinct move data column-to-column
+// using stored hashes (no tuple materialization, no key strings); the
+// Rows backend keeps the original map[string]*entry representation as a
+// differential oracle.
 package delta
 
 import (
@@ -27,7 +34,8 @@ import (
 // signed multiset of tuples.
 type RelDelta struct {
 	rel     string
-	entries map[string]*entry
+	entries map[string]*entry  // Rows backend (nil on Blocks)
+	tm      *relation.TupleMap // Blocks backend, lazily sized on first Add
 }
 
 type entry struct {
@@ -35,9 +43,31 @@ type entry struct {
 	n     int
 }
 
-// NewRel creates an empty delta for the named relation.
+// NewRel creates an empty delta for the named relation on the
+// process-default backend.
 func NewRel(rel string) *RelDelta {
-	return &RelDelta{rel: rel, entries: make(map[string]*entry)}
+	return NewRelWith(rel, relation.DefaultBackend())
+}
+
+// NewRelWith creates an empty delta on an explicit backend.
+func NewRelWith(rel string, bk relation.Backend) *RelDelta {
+	d := &RelDelta{rel: rel}
+	if bk == relation.Rows {
+		d.entries = make(map[string]*entry)
+	}
+	return d
+}
+
+// blocks reports whether this delta uses the columnar backend.
+func (d *RelDelta) blocks() bool { return d.entries == nil }
+
+// lazy returns the columnar store, creating it at the given arity on
+// first use (the arity is not known until the first tuple arrives).
+func (d *RelDelta) lazy(arity int) *relation.TupleMap {
+	if d.tm == nil {
+		d.tm = relation.NewTupleMap(arity)
+	}
+	return d.tm
 }
 
 // Rel returns the name of the relation this delta applies to.
@@ -48,6 +78,10 @@ func (d *RelDelta) Rel() string { return d.rel }
 // is exactly additive smash at the tuple level).
 func (d *RelDelta) Add(t relation.Tuple, n int) {
 	if n == 0 {
+		return
+	}
+	if d.blocks() {
+		d.lazy(len(t)).Add(t, int64(n), relation.ModeSigned)
 		return
 	}
 	key := t.Key()
@@ -62,6 +96,20 @@ func (d *RelDelta) Add(t relation.Tuple, n int) {
 	}
 }
 
+// setCount forces the signed count of t to n (override semantics).
+func (d *RelDelta) setCount(t relation.Tuple, n int) {
+	if d.blocks() {
+		d.lazy(len(t)).Add(t, int64(n), relation.ModeAssign)
+		return
+	}
+	key := t.Key()
+	if n == 0 {
+		delete(d.entries, key)
+		return
+	}
+	d.entries[key] = &entry{tuple: t.Clone(), n: n}
+}
+
 // Insert records one insertion atom +R(t).
 func (d *RelDelta) Insert(t relation.Tuple) { d.Add(t, 1) }
 
@@ -70,6 +118,12 @@ func (d *RelDelta) Delete(t relation.Tuple) { d.Add(t, -1) }
 
 // Count returns the signed count of t in the delta.
 func (d *RelDelta) Count(t relation.Tuple) int {
+	if d.blocks() {
+		if d.tm == nil {
+			return 0
+		}
+		return int(d.tm.Get(t))
+	}
 	if e, ok := d.entries[t.Key()]; ok {
 		return e.n
 	}
@@ -77,27 +131,44 @@ func (d *RelDelta) Count(t relation.Tuple) int {
 }
 
 // IsEmpty reports whether the delta contains no atoms.
-func (d *RelDelta) IsEmpty() bool { return len(d.entries) == 0 }
+func (d *RelDelta) IsEmpty() bool { return d.Len() == 0 }
 
 // Len returns the number of distinct tuples mentioned.
-func (d *RelDelta) Len() int { return len(d.entries) }
+func (d *RelDelta) Len() int {
+	if d.blocks() {
+		if d.tm == nil {
+			return 0
+		}
+		return d.tm.Len()
+	}
+	return len(d.entries)
+}
 
 // Card returns the total number of atoms (sum of absolute counts).
 func (d *RelDelta) Card() int {
 	total := 0
-	for _, e := range d.entries {
-		if e.n < 0 {
-			total -= e.n
+	d.Each(func(_ relation.Tuple, n int) bool {
+		if n < 0 {
+			total -= n
 		} else {
-			total += e.n
+			total += n
 		}
-	}
+		return true
+	})
 	return total
 }
 
 // Each iterates over the entries (tuple, signed count); return false to
-// stop. Iteration order is unspecified.
+// stop. Iteration order is unspecified. Tuples handed out are safe to
+// retain on every backend.
 func (d *RelDelta) Each(fn func(t relation.Tuple, n int) bool) {
+	if d.blocks() {
+		if d.tm == nil {
+			return
+		}
+		d.tm.Each(func(t relation.Tuple, n int64) bool { return fn(t, int(n)) })
+		return
+	}
 	for _, e := range d.entries {
 		if !fn(e.tuple, e.n) {
 			return
@@ -108,10 +179,11 @@ func (d *RelDelta) Each(fn func(t relation.Tuple, n int) bool) {
 // Rows returns the entries in deterministic (sorted) order with signed
 // counts.
 func (d *RelDelta) Rows() []relation.Row {
-	out := make([]relation.Row, 0, len(d.entries))
-	for _, e := range d.entries {
-		out = append(out, relation.Row{Tuple: e.tuple, Count: e.n})
-	}
+	out := make([]relation.Row, 0, d.Len())
+	d.Each(func(t relation.Tuple, n int) bool {
+		out = append(out, relation.Row{Tuple: t, Count: n})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out
 }
@@ -122,49 +194,85 @@ func (d *RelDelta) Insertions() []relation.Row { return d.signed(1) }
 
 // Deletions returns the tuples with negative counts (Δ⁻), with counts
 // reported as positive magnitudes.
-func (d *RelDelta) Deletions() []relation.Row { return d.signed(-1) }
+func (d *RelDelta) Deletions() []relation.Row {
+	return d.signed(-1)
+}
 
 func (d *RelDelta) signed(sign int) []relation.Row {
 	var out []relation.Row
-	for _, e := range d.entries {
-		if sign > 0 && e.n > 0 {
-			out = append(out, relation.Row{Tuple: e.tuple, Count: e.n})
+	d.Each(func(t relation.Tuple, n int) bool {
+		if sign > 0 && n > 0 {
+			out = append(out, relation.Row{Tuple: t, Count: n})
 		}
-		if sign < 0 && e.n < 0 {
-			out = append(out, relation.Row{Tuple: e.tuple, Count: -e.n})
+		if sign < 0 && n < 0 {
+			out = append(out, relation.Row{Tuple: t, Count: -n})
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out
 }
 
 // Clone returns a deep copy.
 func (d *RelDelta) Clone() *RelDelta {
-	c := NewRel(d.rel)
+	c := &RelDelta{rel: d.rel}
+	if d.blocks() {
+		if d.tm != nil {
+			c.tm = d.tm.Clone()
+		}
+		return c
+	}
+	c.entries = make(map[string]*entry, len(d.entries))
 	for key, e := range d.entries {
 		c.entries[key] = &entry{tuple: e.tuple.Clone(), n: e.n}
 	}
 	return c
 }
 
-// Equal reports whether two deltas contain identical atoms.
+// Equal reports whether two deltas contain identical atoms. The backends
+// need not match.
 func (d *RelDelta) Equal(o *RelDelta) bool {
-	if len(d.entries) != len(o.entries) {
+	if d.Len() != o.Len() {
 		return false
 	}
-	for key, e := range d.entries {
-		oe, ok := o.entries[key]
-		if !ok || oe.n != e.n {
-			return false
+	if d.blocks() && o.blocks() {
+		if d.tm == nil || o.tm == nil {
+			return true // both empty (lengths matched)
 		}
+		eq := true
+		d.tm.EachSlot(func(s int32, n int64) bool {
+			if o.tm.GetFrom(d.tm, s) != n {
+				eq = false
+			}
+			return eq
+		})
+		return eq
 	}
-	return true
+	eq := true
+	d.Each(func(t relation.Tuple, n int) bool {
+		if o.Count(t) != n {
+			eq = false
+		}
+		return eq
+	})
+	return eq
 }
 
 // Inverse returns the delta with all atom signs reversed (the ⁻¹ operator).
 // For non-redundant deltas, apply(apply(db, Δ), Δ⁻¹) = db.
 func (d *RelDelta) Inverse() *RelDelta {
-	c := NewRel(d.rel)
+	c := &RelDelta{rel: d.rel}
+	if d.blocks() {
+		if d.tm != nil {
+			tm := c.lazy(d.tm.Arity())
+			d.tm.EachSlot(func(s int32, n int64) bool {
+				tm.AddFrom(d.tm, s, -n, relation.ModeSigned)
+				return true
+			})
+		}
+		return c
+	}
+	c.entries = make(map[string]*entry, len(d.entries))
 	for key, e := range d.entries {
 		c.entries[key] = &entry{tuple: e.tuple.Clone(), n: -e.n}
 	}
@@ -174,32 +282,79 @@ func (d *RelDelta) Inverse() *RelDelta {
 // Smash combines o into d additively: apply(db, d ! o) =
 // apply(apply(db, d), o). This is the bag smash; for set-semantics deltas
 // satisfying the paper's non-redundancy assumption it agrees with the
-// override smash of [HJ91] under apply (see SmashSet).
+// override smash of [HJ91] under apply (see SmashSet). When both deltas
+// are block-backed the combination is vectorized: stored hashes are
+// reused and values move column-to-column.
 func (d *RelDelta) Smash(o *RelDelta) {
-	for _, e := range o.entries {
-		d.Add(e.tuple, e.n)
+	if d.blocks() && o.blocks() {
+		if o.tm == nil {
+			return
+		}
+		tm := d.lazy(o.tm.Arity())
+		o.tm.EachSlot(func(s int32, n int64) bool {
+			tm.AddFrom(o.tm, s, n, relation.ModeSigned)
+			return true
+		})
+		return
 	}
+	o.Each(func(t relation.Tuple, n int) bool {
+		d.Add(t, n)
+		return true
+	})
 }
 
 // SmashSet combines o into d using the override semantics of [HJ91]: the
 // result is the union of the two atom sets with any atom of d that
 // conflicts with an atom of o removed (o wins). Counts are clamped to ±1.
 func (d *RelDelta) SmashSet(o *RelDelta) {
-	for key, oe := range o.entries {
+	if d.blocks() && o.blocks() {
+		if o.tm == nil {
+			return
+		}
+		tm := d.lazy(o.tm.Arity())
+		o.tm.EachSlot(func(s int32, n int64) bool {
+			sign := int64(1)
+			if n < 0 {
+				sign = -1
+			}
+			tm.AddFrom(o.tm, s, sign, relation.ModeAssign)
+			return true
+		})
+		return
+	}
+	o.Each(func(t relation.Tuple, n int) bool {
 		sign := 1
-		if oe.n < 0 {
+		if n < 0 {
 			sign = -1
 		}
-		d.entries[key] = &entry{tuple: oe.tuple.Clone(), n: sign}
-	}
+		d.setCount(t, sign)
+		return true
+	})
 }
 
 // ApplyTo applies the delta to rel. In strict mode it returns an error on
 // any redundant atom (inserting a tuple already at its maximum multiplicity
 // in a set relation, or deleting more occurrences than exist); otherwise
 // effects are clamped. The relation name is not checked so that deltas can
-// be applied to renamed copies.
+// be applied to renamed copies. Block-backed deltas apply slot-wise
+// through the relation's columnar store when it has one.
 func (d *RelDelta) ApplyTo(rel *relation.Relation, strict bool) error {
+	if d.blocks() {
+		if d.tm == nil {
+			return nil
+		}
+		var err error
+		d.tm.EachSlot(func(s int32, n int64) bool {
+			applied := rel.AddSlot(d.tm, s, n)
+			if strict && applied != n {
+				t := d.tm.AppendTupleAt(nil, s)
+				err = fmt.Errorf("delta: redundant atom for %s: tuple %s count %+d applied %+d",
+					d.rel, t, n, applied)
+			}
+			return err == nil
+		})
+		return err
+	}
 	for _, e := range d.entries {
 		applied, _ := rel.Add(e.tuple, e.n)
 		if strict && applied != e.n {
@@ -214,7 +369,19 @@ func (d *RelDelta) ApplyTo(rel *relation.Relation, strict bool) error {
 // projections of d's tuples onto the given positions, counts preserved
 // (bag projection). Projection commutes with apply, as the paper notes.
 func (d *RelDelta) Project(newRel string, positions []int) *RelDelta {
-	out := NewRel(newRel)
+	if d.blocks() {
+		out := &RelDelta{rel: newRel}
+		if d.tm == nil {
+			return out
+		}
+		tm := out.lazy(len(positions))
+		d.tm.EachSlot(func(s int32, n int64) bool {
+			tm.AddFromProjected(d.tm, s, positions, n, relation.ModeSigned)
+			return true
+		})
+		return out
+	}
+	out := NewRelWith(newRel, relation.Rows)
 	for _, e := range d.entries {
 		out.Add(e.tuple.Project(positions), e.n)
 	}
@@ -222,9 +389,35 @@ func (d *RelDelta) Project(newRel string, positions []int) *RelDelta {
 }
 
 // Select returns a new delta containing only the atoms whose tuples
-// satisfy pred. Selection commutes with apply.
+// satisfy pred. Selection commutes with apply. On the columnar backend
+// the tuple handed to pred is a scratch buffer reused between calls —
+// predicates must not retain it.
 func (d *RelDelta) Select(pred func(relation.Tuple) (bool, error)) (*RelDelta, error) {
-	out := NewRel(d.rel)
+	if d.blocks() {
+		out := &RelDelta{rel: d.rel}
+		if d.tm == nil {
+			return out, nil
+		}
+		var scratch relation.Tuple
+		var err error
+		d.tm.EachSlot(func(s int32, n int64) bool {
+			scratch = d.tm.AppendTupleAt(scratch[:0], s)
+			ok, e := pred(scratch)
+			if e != nil {
+				err = e
+				return false
+			}
+			if ok {
+				out.lazy(d.tm.Arity()).AddFrom(d.tm, s, n, relation.ModeSigned)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	out := NewRelWith(d.rel, relation.Rows)
 	for _, e := range d.entries {
 		ok, err := pred(e.tuple)
 		if err != nil {
@@ -250,7 +443,36 @@ func (d *RelDelta) Renamed(rel string) *RelDelta {
 // 0 -> positive and -1 if it transitions positive -> 0. This is how bag
 // nodes feed set nodes (difference nodes) in a VDP.
 func (d *RelDelta) Distinct(old *relation.Relation) *RelDelta {
-	out := NewRel(d.rel)
+	if d.blocks() {
+		out := &RelDelta{rel: d.rel}
+		if d.tm == nil {
+			return out
+		}
+		oldTM := old.Blockmap()
+		var scratch relation.Tuple
+		d.tm.EachSlot(func(s int32, n int64) bool {
+			var before int64
+			if oldTM != nil {
+				before = oldTM.GetFrom(d.tm, s)
+			} else {
+				scratch = d.tm.AppendTupleAt(scratch[:0], s)
+				before = int64(old.Count(scratch))
+			}
+			after := before + n
+			if after < 0 {
+				after = 0
+			}
+			switch {
+			case before == 0 && after > 0:
+				out.lazy(d.tm.Arity()).AddFrom(d.tm, s, 1, relation.ModeSigned)
+			case before > 0 && after == 0:
+				out.lazy(d.tm.Arity()).AddFrom(d.tm, s, -1, relation.ModeSigned)
+			}
+			return true
+		})
+		return out
+	}
+	out := NewRelWith(d.rel, relation.Rows)
 	for _, e := range d.entries {
 		before := old.Count(e.tuple)
 		after := before + e.n
@@ -280,8 +502,22 @@ func (d *RelDelta) String() string {
 
 // Diff computes the delta that transforms relation a into relation b
 // (tuple counts in b minus counts in a). Both must share a schema shape.
+// Vectorized when a, b, and the default backend are all columnar.
 func Diff(rel string, a, b *relation.Relation) *RelDelta {
 	out := NewRel(rel)
+	atm, btm := a.Blockmap(), b.Blockmap()
+	if out.blocks() && atm != nil && btm != nil {
+		tm := out.lazy(atm.Arity())
+		atm.EachSlot(func(s int32, n int64) bool {
+			tm.AddFrom(atm, s, -n, relation.ModeSigned)
+			return true
+		})
+		btm.EachSlot(func(s int32, n int64) bool {
+			tm.AddFrom(btm, s, n, relation.ModeSigned)
+			return true
+		})
+		return out
+	}
 	a.Each(func(t relation.Tuple, n int) bool {
 		out.Add(t, -n)
 		return true

@@ -65,137 +65,225 @@ func TestInsertionsDeletions(t *testing.T) {
 	}
 }
 
-// apply(db, Δ1 ! Δ2) == apply(apply(db, Δ1), Δ2)  — the defining smash law.
-func TestSmashLawProperty(t *testing.T) {
+// forEachBackend runs fn once per physical backend with the
+// process-default backend switched, so every NewRel/NewBag inside the
+// law exercises that representation.
+func forEachBackend(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	for _, bk := range []relation.Backend{relation.Rows, relation.Blocks} {
+		t.Run("backend="+bk.String(), func(t *testing.T) {
+			prev := relation.DefaultBackend()
+			relation.SetDefaultBackend(bk)
+			t.Cleanup(func() { relation.SetDefaultBackend(prev) })
+			fn(t)
+		})
+	}
+}
+
+// smashLaw: apply(db, Δ1 ! Δ2) == apply(apply(db, Δ1), Δ2) — the
+// defining smash law.
+func smashLaw(t *testing.T, rng *rand.Rand) bool {
 	s := schemaR(t)
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		db := randBag(rng, s, 10)
-		d1 := randDelta(rng, "R", 8)
-		d2 := randDelta(rng, "R", 8)
+	db := randBag(rng, s, 10)
+	d1 := randDelta(rng, "R", 8)
+	d2 := randDelta(rng, "R", 8)
 
-		// Left side: smash then apply (clamped, since random deltas may underflow).
-		left := db.Clone()
-		sm := d1.Clone()
-		sm.Smash(d2)
-		// Right side: apply sequentially.
-		right := db.Clone()
-		d1.ApplyTo(right, false)
-		d2.ApplyTo(right, false)
+	// Left side: smash then apply (clamped, since random deltas may underflow).
+	left := db.Clone()
+	sm := d1.Clone()
+	sm.Smash(d2)
+	// Right side: apply sequentially.
+	right := db.Clone()
+	d1.ApplyTo(right, false)
+	d2.ApplyTo(right, false)
 
-		sm.ApplyTo(left, false)
-		// NOTE: with clamping, smash law can differ when intermediate
-		// underflow occurs; restrict to non-underflowing runs.
-		chk := db.Clone()
-		if err := d1.ApplyTo(chk, true); err != nil {
-			return true // skip: d1 underflows, law not required
-		}
-		if err := d2.ApplyTo(chk, true); err != nil {
-			return true
-		}
-		return left.Equal(right)
+	sm.ApplyTo(left, false)
+	// NOTE: with clamping, smash law can differ when intermediate
+	// underflow occurs; restrict to non-underflowing runs.
+	chk := db.Clone()
+	if err := d1.ApplyTo(chk, true); err != nil {
+		return true // skip: d1 underflows, law not required
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
-		t.Error(err)
+	if err := d2.ApplyTo(chk, true); err != nil {
+		return true
 	}
+	return left.Equal(right)
 }
 
-// apply(apply(db, Δ), Δ⁻¹) == db for deltas that are non-redundant on db.
-func TestInverseLawProperty(t *testing.T) {
+// inverseLaw: apply(apply(db, Δ), Δ⁻¹) == db for deltas that are
+// non-redundant on db.
+func inverseLaw(t *testing.T, rng *rand.Rand) bool {
 	s := schemaR(t)
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		db := randBag(rng, s, 10)
-		d := randDelta(rng, "R", 8)
-		work := db.Clone()
-		if err := d.ApplyTo(work, true); err != nil {
-			return true // redundant on db; law not required
-		}
-		if err := d.Inverse().ApplyTo(work, true); err != nil {
-			return false
-		}
-		return work.Equal(db)
+	db := randBag(rng, s, 10)
+	d := randDelta(rng, "R", 8)
+	work := db.Clone()
+	if err := d.ApplyTo(work, true); err != nil {
+		return true // redundant on db; law not required
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
-		t.Error(err)
+	if err := d.Inverse().ApplyTo(work, true); err != nil {
+		return false
 	}
+	return work.Equal(db)
 }
 
-// (Δ1!Δ2)⁻¹ == Δ2⁻¹!Δ1⁻¹
-func TestInverseOfSmash(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	for i := 0; i < 20; i++ {
-		d1 := randDelta(rng, "R", 6)
-		d2 := randDelta(rng, "R", 6)
-		left := d1.Clone()
-		left.Smash(d2)
-		left = left.Inverse()
-		right := d2.Inverse()
-		right.Smash(d1.Inverse())
-		if !left.Equal(right) {
-			t.Fatalf("inverse of smash law failed:\n%s\nvs\n%s", left, right)
-		}
-	}
+// inverseOfSmashLaw: (Δ1!Δ2)⁻¹ == Δ2⁻¹!Δ1⁻¹
+func inverseOfSmashLaw(t *testing.T, rng *rand.Rand) bool {
+	d1 := randDelta(rng, "R", 6)
+	d2 := randDelta(rng, "R", 6)
+	left := d1.Clone()
+	left.Smash(d2)
+	left = left.Inverse()
+	right := d2.Inverse()
+	right.Smash(d1.Inverse())
+	return left.Equal(right)
 }
 
-// Selection and projection commute with apply:
+// selectProjectCommuteLaw: selection and projection commute with apply:
 // π/σ(apply(R,Δ)) == apply(π/σ(R), π/σ(Δ))
-func TestSelectProjectCommuteWithApply(t *testing.T) {
+func selectProjectCommuteLaw(t *testing.T, rng *rand.Rand) bool {
 	s := schemaR(t)
 	pred := func(tp relation.Tuple) (bool, error) { return tp[1].AsInt() < 3, nil }
-	rng := rand.New(rand.NewSource(11))
-	for i := 0; i < 30; i++ {
-		db := randBag(rng, s, 10)
-		d := randDelta(rng, "R", 8)
+	db := randBag(rng, s, 10)
+	d := randDelta(rng, "R", 8)
 
-		// Left: apply then transform.
-		applied := db.Clone()
-		d.ApplyTo(applied, false)
-		leftSel := relation.NewBag(s)
-		applied.Each(func(tp relation.Tuple, n int) bool {
-			if ok, _ := pred(tp); ok {
-				leftSel.Add(tp, n)
-			}
-			return true
-		})
+	// Left: apply then transform.
+	applied := db.Clone()
+	d.ApplyTo(applied, false)
+	leftSel := relation.NewBag(s)
+	applied.Each(func(tp relation.Tuple, n int) bool {
+		if ok, _ := pred(tp); ok {
+			leftSel.Add(tp, n)
+		}
+		return true
+	})
 
-		// Right: transform both then apply. Must use clamp-free runs.
-		chk := db.Clone()
-		if err := d.ApplyTo(chk, true); err != nil {
-			continue
+	// Right: transform both then apply. Must use clamp-free runs.
+	chk := db.Clone()
+	if err := d.ApplyTo(chk, true); err != nil {
+		return true // skip: clamping breaks commutation, law not required
+	}
+	rightSel := relation.NewBag(s)
+	db.Each(func(tp relation.Tuple, n int) bool {
+		if ok, _ := pred(tp); ok {
+			rightSel.Add(tp, n)
 		}
-		rightSel := relation.NewBag(s)
-		db.Each(func(tp relation.Tuple, n int) bool {
-			if ok, _ := pred(tp); ok {
-				rightSel.Add(tp, n)
-			}
-			return true
-		})
-		ds, err := d.Select(pred)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ds.ApplyTo(rightSel, false)
-		if !leftSel.Equal(rightSel) {
-			t.Fatalf("select does not commute with apply (iter %d)", i)
-		}
+		return true
+	})
+	ds, err := d.Select(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.ApplyTo(rightSel, false)
+	if !leftSel.Equal(rightSel) {
+		t.Logf("select does not commute with apply")
+		return false
+	}
 
-		// Projection onto position 0 (bag projection).
-		proj := []int{0}
-		pSchema := relation.MustSchema("P", []relation.Attribute{{Name: "a", Type: relation.KindInt}})
-		leftP := relation.NewBag(pSchema)
-		applied.Each(func(tp relation.Tuple, n int) bool {
-			leftP.Add(tp.Project(proj), n)
-			return true
+	// Projection onto position 0 (bag projection).
+	proj := []int{0}
+	pSchema := relation.MustSchema("P", []relation.Attribute{{Name: "a", Type: relation.KindInt}})
+	leftP := relation.NewBag(pSchema)
+	applied.Each(func(tp relation.Tuple, n int) bool {
+		leftP.Add(tp.Project(proj), n)
+		return true
+	})
+	rightP := relation.NewBag(pSchema)
+	db.Each(func(tp relation.Tuple, n int) bool {
+		rightP.Add(tp.Project(proj), n)
+		return true
+	})
+	d.Project("P", proj).ApplyTo(rightP, false)
+	if !leftP.Equal(rightP) {
+		t.Logf("project does not commute with apply")
+		return false
+	}
+	return true
+}
+
+// TestDeltaLaws is the shared table-driven harness: every algebraic law
+// runs against both physical backends over a spread of random seeds, so
+// a columnar kernel that diverges from the row-oriented semantics fails
+// here before the end-to-end oracle ever sees it.
+func TestDeltaLaws(t *testing.T) {
+	laws := []struct {
+		name  string
+		seeds int
+		check func(t *testing.T, rng *rand.Rand) bool
+	}{
+		{"smash", 80, smashLaw},
+		{"inverse", 80, inverseLaw},
+		{"inverse-of-smash", 20, inverseOfSmashLaw},
+		{"select-project-commute", 30, selectProjectCommuteLaw},
+	}
+	for _, law := range laws {
+		law := law
+		t.Run(law.name, func(t *testing.T) {
+			forEachBackend(t, func(t *testing.T) {
+				for seed := 0; seed < law.seeds; seed++ {
+					rng := rand.New(rand.NewSource(int64(seed)))
+					if !law.check(t, rng) {
+						t.Fatalf("law %s failed on %s backend at seed %d",
+							law.name, relation.DefaultBackend(), seed)
+					}
+				}
+			})
 		})
-		rightP := relation.NewBag(pSchema)
-		db.Each(func(tp relation.Tuple, n int) bool {
-			rightP.Add(tp.Project(proj), n)
-			return true
-		})
-		d.Project("P", proj).ApplyTo(rightP, false)
-		if !leftP.Equal(rightP) {
-			t.Fatalf("project does not commute with apply (iter %d)", i)
+	}
+}
+
+// TestDeltaCrossBackendEquivalence drives the same random delta program
+// into a rows-backed and a blocks-backed delta and requires identical
+// deterministic renders at every step, including through smash, inverse,
+// project, select, and distinct.
+func TestDeltaCrossBackendEquivalence(t *testing.T) {
+	pred := func(tp relation.Tuple) (bool, error) { return tp[1].AsInt() < 3, nil }
+	for seed := int64(0); seed < 10; seed++ {
+		rngA := rand.New(rand.NewSource(seed))
+		rngB := rand.New(rand.NewSource(seed))
+		dr := NewRelWith("R", relation.Rows)
+		db := NewRelWith("R", relation.Blocks)
+		for i := 0; i < 120; i++ {
+			// rngA and rngB share a seed, so both deltas see the same
+			// operation stream.
+			dr.Add(relation.T(rngA.Intn(12), rngA.Intn(5)), rngA.Intn(7)-3)
+			db.Add(relation.T(rngB.Intn(12), rngB.Intn(5)), rngB.Intn(7)-3)
+		}
+		if dr.String() != db.String() {
+			t.Fatalf("seed %d: renders diverge\nrows:\n%s\nblocks:\n%s", seed, dr, db)
+		}
+		if !dr.Equal(db) || !db.Equal(dr) {
+			t.Fatalf("seed %d: cross-backend Equal failed", seed)
+		}
+		if dr.Inverse().String() != db.Inverse().String() {
+			t.Fatalf("seed %d: inverse diverges", seed)
+		}
+		if dr.Project("P", []int{1}).String() != db.Project("P", []int{1}).String() {
+			t.Fatalf("seed %d: project diverges", seed)
+		}
+		sr, err1 := dr.Select(pred)
+		sb, err2 := db.Select(pred)
+		if err1 != nil || err2 != nil || sr.String() != sb.String() {
+			t.Fatalf("seed %d: select diverges: %v %v", seed, err1, err2)
+		}
+		oldR := relation.NewWith(schemaR(t), relation.Bag, relation.Rows)
+		oldB := relation.NewWith(schemaR(t), relation.Bag, relation.Blocks)
+		rngC := rand.New(rand.NewSource(seed + 100))
+		for i := 0; i < 10; i++ {
+			tp := relation.T(rngC.Intn(12), rngC.Intn(5))
+			n := rngC.Intn(3) + 1
+			oldR.Add(tp, n)
+			oldB.Add(tp, n)
+		}
+		if dr.Distinct(oldR).String() != db.Distinct(oldB).String() {
+			t.Fatalf("seed %d: distinct diverges", seed)
+		}
+		// Cross-backend smash (rows delta into blocks delta and back).
+		x := db.Clone()
+		x.Smash(dr)
+		y := dr.Clone()
+		y.Smash(db)
+		if x.String() != y.String() {
+			t.Fatalf("seed %d: cross-backend smash diverges", seed)
 		}
 	}
 }

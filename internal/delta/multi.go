@@ -227,13 +227,14 @@ func FromRows(rel string, rows ...relation.Row) *RelDelta {
 // a zero count (impossible by construction) and, in set mode, counts must
 // be ±1. Returns the first violation found.
 func (d *RelDelta) Validate(set bool) error {
-	for _, e := range d.entries {
-		if e.n == 0 {
-			return fmt.Errorf("delta: zero-count atom for %s tuple %s", d.rel, e.tuple)
+	var err error
+	d.Each(func(t relation.Tuple, n int) bool {
+		if n == 0 {
+			err = fmt.Errorf("delta: zero-count atom for %s tuple %s", d.rel, t)
+		} else if set && n != 1 && n != -1 {
+			err = fmt.Errorf("delta: set-semantics delta for %s has count %d for tuple %s", d.rel, n, t)
 		}
-		if set && e.n != 1 && e.n != -1 {
-			return fmt.Errorf("delta: set-semantics delta for %s has count %d for tuple %s", d.rel, e.n, e.tuple)
-		}
-	}
-	return nil
+		return err == nil
+	})
+	return err
 }

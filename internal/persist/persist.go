@@ -18,8 +18,10 @@ import (
 	"squirrel/internal/wire"
 )
 
-// Version identifies the envelope layout.
-const Version = 1
+// Version identifies the envelope layout. Version 2 writes store
+// relations in the columnar wire encoding (wire.EncodeRelationColumnar);
+// version-1 envelopes (row-encoded) still load.
+const Version = 2
 
 type envelope struct {
 	Version       int                      `json:"version"`
@@ -94,7 +96,7 @@ func Save(w io.Writer, snap *core.StateSnapshot) error {
 		Annotations:   encodeAnnotations(snap.Annotations),
 	}
 	for name, rel := range snap.Store {
-		env.Store[name] = wire.EncodeRelation(rel)
+		env.Store[name] = wire.EncodeRelationColumnar(rel)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -107,7 +109,7 @@ func Load(r io.Reader) (*core.StateSnapshot, error) {
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	if env.Version != Version {
+	if env.Version < 1 || env.Version > Version {
 		return nil, fmt.Errorf("persist: unsupported snapshot version %d", env.Version)
 	}
 	anns, err := decodeAnnotations(env.Annotations)

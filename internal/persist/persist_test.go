@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -106,6 +107,30 @@ func TestLoadReturnsIndependentCopies(t *testing.T) {
 	}
 }
 
+// Version-1 envelopes (row-encoded relations) still load — old snapshots
+// on disk survive the columnar upgrade.
+func TestLoadVersion1RowEncoded(t *testing.T) {
+	env := `{"version": 1,
+		"store": {"T": {
+			"schema": {"name":"T","attrs":[{"name":"a","type":"int"},{"name":"b","type":"string"}]},
+			"sem": "bag",
+			"rows": [{"t":[{"k":"int","i":1},{"k":"string","s":"x"}],"n":2},
+			         {"t":[{"k":"int","i":2},{"k":"string","s":"y"}],"n":1}]}},
+		"last_processed": {"db1": 17},
+		"view_init": 5}`
+	got, err := Load(strings.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleSnapshot(t).Store["T"]
+	if !got.Store["T"].Equal(want) {
+		t.Errorf("v1 row-encoded store:\n%svs\n%s", got.Store["T"], want)
+	}
+	if got.LastProcessed["db1"] != 17 || got.ViewInit != 5 {
+		t.Errorf("v1 metadata: ref′ %v, view_init %d", got.LastProcessed, got.ViewInit)
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load(strings.NewReader("not json")); err == nil {
 		t.Errorf("garbage must fail")
@@ -176,8 +201,12 @@ func TestAnnotationsRoundTrip(t *testing.T) {
 	}
 
 	// Unknown materialization strings are rejected.
-	bad := strings.Replace(plainEnv, `"version": 1`,
-		`"version": 1, "annotations": {"T": {"a": "x"}}`, 1)
+	verField := fmt.Sprintf(`"version": %d`, Version)
+	bad := strings.Replace(plainEnv, verField,
+		verField+`, "annotations": {"T": {"a": "x"}}`, 1)
+	if bad == plainEnv {
+		t.Fatalf("version field not found in envelope:\n%s", plainEnv)
+	}
 	if _, err := Load(strings.NewReader(bad)); err == nil ||
 		!strings.Contains(err.Error(), "unknown materialization") {
 		t.Errorf("bad materialization accepted: %v", err)

@@ -1,0 +1,71 @@
+package relation
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sym is an interned string symbol: a dense index into the process-wide
+// string table. Two equal strings always intern to the same Sym, so
+// symbol equality is string equality — the property the columnar string
+// columns rely on to compare and hash without touching string bytes
+// beyond the first intern.
+type Sym uint32
+
+// interner is an append-only process-wide string table. Writes (first
+// intern of a new string) take the mutex and republish the lookup slice;
+// reads (Sym → string) are lock-free via the atomic pointer, which is
+// what makes concurrent query evaluation over shared block-backed store
+// versions safe without a read lock.
+type interner struct {
+	mu   sync.Mutex
+	ids  map[string]Sym
+	strs atomic.Pointer[[]string]
+}
+
+var strTable = newInterner()
+
+func newInterner() *interner {
+	in := &interner{ids: make(map[string]Sym)}
+	empty := make([]string, 0, 64)
+	in.strs.Store(&empty)
+	return in
+}
+
+// Intern returns the symbol for s, assigning a new one on first sight.
+func Intern(s string) Sym {
+	in := strTable
+	// Fast path: already interned. The ids map is only written under mu,
+	// but reading it concurrently with a write would race, so the fast
+	// path goes through the published slice? No — the map is the only
+	// by-string lookup. Take the mutex for both paths; interning happens
+	// on ingest (inserts), not on reads, and the critical section is a
+	// map probe.
+	in.mu.Lock()
+	if y, ok := in.ids[s]; ok {
+		in.mu.Unlock()
+		return y
+	}
+	cur := *in.strs.Load()
+	y := Sym(len(cur))
+	// Append under the mutex and republish the longer header. In-place
+	// growth within capacity is safe for lock-free readers: a snapshot
+	// with length n never indexes position n, and the atomic Store
+	// publishing the longer header happens-after the element write.
+	next := append(cur, s)
+	in.ids[s] = y
+	in.strs.Store(&next)
+	in.mu.Unlock()
+	return y
+}
+
+// SymStr returns the string for an interned symbol. Lock-free.
+func SymStr(y Sym) string {
+	return (*strTable.strs.Load())[y]
+}
+
+// InternedStrings reports how many distinct strings have been interned in
+// this process (observability; the table is append-only and never shrinks).
+func InternedStrings() int {
+	return len(*strTable.strs.Load())
+}

@@ -33,10 +33,18 @@ type row struct {
 
 // Relation is an in-memory relation instance with set or bag semantics and
 // optional hash indexes on attribute subsets.
+//
+// Two physical backends implement the same observable behavior: the
+// columnar Blocks backend (a TupleMap of type-specialized column vectors)
+// and the original Rows backend (map[string]*row keyed by canonical tuple
+// encodings), retained as a differential oracle. Exactly one of tm / rows
+// is non-nil.
 type Relation struct {
 	schema  *Schema
 	sem     Semantics
-	rows    map[string]*row
+	bk      Backend
+	rows    map[string]*row // Rows backend
+	tm      *TupleMap       // Blocks backend
 	indexes map[string]*index
 	card    int // total multiplicity
 }
@@ -47,14 +55,25 @@ type index struct {
 }
 
 // New creates an empty relation over the given schema with the given
-// semantics.
+// semantics, using the process-default backend.
 func New(schema *Schema, sem Semantics) *Relation {
-	return &Relation{
+	return NewWith(schema, sem, DefaultBackend())
+}
+
+// NewWith creates an empty relation on an explicit backend.
+func NewWith(schema *Schema, sem Semantics, bk Backend) *Relation {
+	r := &Relation{
 		schema:  schema,
 		sem:     sem,
-		rows:    make(map[string]*row),
+		bk:      bk,
 		indexes: make(map[string]*index),
 	}
+	if bk == Rows {
+		r.rows = make(map[string]*row)
+	} else {
+		r.tm = NewTupleMap(schema.Arity())
+	}
+	return r
 }
 
 // NewSet creates an empty set-semantics relation.
@@ -69,8 +88,22 @@ func (r *Relation) Schema() *Schema { return r.schema }
 // Semantics returns the relation's storage semantics.
 func (r *Relation) Semantics() Semantics { return r.sem }
 
+// Backend returns the relation's physical backend.
+func (r *Relation) Backend() Backend { return r.bk }
+
+// Blockmap exposes the underlying columnar store when the relation is
+// block-backed (nil otherwise). Intended for the vectorized kernels in
+// internal/delta; mutating through it bypasses index and cardinality
+// maintenance.
+func (r *Relation) Blockmap() *TupleMap { return r.tm }
+
 // Len returns the number of distinct tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int {
+	if r.tm != nil {
+		return r.tm.Len()
+	}
+	return len(r.rows)
+}
 
 // Card returns the total cardinality including multiplicities (equal to
 // Len for set relations).
@@ -78,6 +111,9 @@ func (r *Relation) Card() int { return r.card }
 
 // Count returns the multiplicity of t (0 if absent).
 func (r *Relation) Count(t Tuple) int {
+	if r.tm != nil {
+		return int(r.tm.Get(t))
+	}
 	if rw, ok := r.rows[t.Key()]; ok {
 		return rw.count
 	}
@@ -102,11 +138,25 @@ func (r *Relation) Delete(t Tuple) bool {
 }
 
 // Add adjusts the multiplicity of t by n (which may be negative), clamping
-// the result at zero for sets at one. It returns the actual applied change
-// and the new multiplicity.
+// the result at zero and, for sets, at one. It returns the actual applied
+// change and the new multiplicity. On the blocks backend with no indexes
+// this path builds no key string and performs zero per-tuple allocations.
 func (r *Relation) Add(t Tuple, n int) (applied, newCount int) {
 	if len(t) != r.schema.Arity() {
 		panic(fmt.Sprintf("relation: arity mismatch inserting into %s: tuple %s", r.schema.Name(), t))
+	}
+	if r.tm != nil {
+		a, nc := r.tm.Add(t, int64(n), r.addMode())
+		r.card += int(a)
+		if len(r.indexes) > 0 && a != 0 {
+			old := nc - a
+			if old == 0 && nc > 0 {
+				r.indexTuple(t.Key(), t)
+			} else if old > 0 && nc == 0 {
+				r.unindex(t.Key(), t)
+			}
+		}
+		return int(a), int(nc)
 	}
 	key := t.Key()
 	rw := r.rows[key]
@@ -148,8 +198,13 @@ func (r *Relation) SetCount(t Tuple, n int) {
 
 // Each iterates over distinct rows; fn receives each tuple and its
 // multiplicity, returning false to stop early. The iteration order is
-// unspecified. The callback must not mutate the relation.
+// unspecified. The callback must not mutate the relation. Tuples handed
+// out are safe to retain on every backend.
 func (r *Relation) Each(fn func(t Tuple, count int) bool) {
+	if r.tm != nil {
+		r.tm.Each(func(t Tuple, n int64) bool { return fn(t, int(n)) })
+		return
+	}
 	for _, rw := range r.rows {
 		if !fn(rw.tuple, rw.count) {
 			return
@@ -159,10 +214,11 @@ func (r *Relation) Each(fn func(t Tuple, count int) bool) {
 
 // Rows returns all distinct rows in deterministic (sorted) order.
 func (r *Relation) Rows() []Row {
-	out := make([]Row, 0, len(r.rows))
-	for _, rw := range r.rows {
-		out = append(out, Row{Tuple: rw.tuple, Count: rw.count})
-	}
+	out := make([]Row, 0, r.Len())
+	r.Each(func(t Tuple, n int) bool {
+		out = append(out, Row{Tuple: t, Count: n})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out
 }
@@ -179,18 +235,34 @@ func (r *Relation) Tuples() []Tuple {
 }
 
 // Clone returns a deep copy of the relation (indexes are rebuilt lazily).
+// On the blocks backend this is a handful of slice copies, which is what
+// makes copy-on-write store versions cheap for large relations.
 func (r *Relation) Clone() *Relation {
-	c := New(r.schema, r.sem)
+	c := &Relation{
+		schema:  r.schema,
+		sem:     r.sem,
+		bk:      r.bk,
+		indexes: make(map[string]*index),
+		card:    r.card,
+	}
+	if r.tm != nil {
+		c.tm = r.tm.Clone()
+		return c
+	}
+	c.rows = make(map[string]*row, len(r.rows))
 	for key, rw := range r.rows {
 		c.rows[key] = &row{tuple: rw.tuple.Clone(), count: rw.count}
 	}
-	c.card = r.card
 	return c
 }
 
 // Clear removes all tuples, keeping schema and index definitions.
 func (r *Relation) Clear() {
-	r.rows = make(map[string]*row)
+	if r.tm != nil {
+		r.tm.Clear()
+	} else {
+		r.rows = make(map[string]*row)
+	}
 	r.card = 0
 	for _, ix := range r.indexes {
 		ix.buckets = make(map[string]map[string]struct{})
@@ -198,18 +270,30 @@ func (r *Relation) Clear() {
 }
 
 // Equal reports whether two relations have identical contents (same tuples
-// with the same multiplicities). Schemas are compared by shape only.
+// with the same multiplicities). Schemas are compared by shape only; the
+// backends need not match.
 func (r *Relation) Equal(o *Relation) bool {
 	if r.Len() != o.Len() || r.Card() != o.Card() {
 		return false
 	}
-	for key, rw := range r.rows {
-		orw, ok := o.rows[key]
-		if !ok || orw.count != rw.count {
-			return false
-		}
+	if r.tm != nil && o.tm != nil {
+		eq := true
+		r.tm.EachSlot(func(s int32, n int64) bool {
+			if o.tm.GetFrom(r.tm, s) != n {
+				eq = false
+			}
+			return eq
+		})
+		return eq
 	}
-	return true
+	eq := true
+	r.Each(func(t Tuple, n int) bool {
+		if o.Count(t) != n {
+			eq = false
+		}
+		return eq
+	})
+	return eq
 }
 
 // EqualAsSet reports whether two relations contain the same distinct
@@ -218,12 +302,24 @@ func (r *Relation) EqualAsSet(o *Relation) bool {
 	if r.Len() != o.Len() {
 		return false
 	}
-	for key := range r.rows {
-		if _, ok := o.rows[key]; !ok {
-			return false
-		}
+	if r.tm != nil && o.tm != nil {
+		eq := true
+		r.tm.EachSlot(func(s int32, n int64) bool {
+			if o.tm.GetFrom(r.tm, s) == 0 {
+				eq = false
+			}
+			return eq
+		})
+		return eq
 	}
-	return true
+	eq := true
+	r.Each(func(t Tuple, n int) bool {
+		if !o.Contains(t) {
+			eq = false
+		}
+		return eq
+	})
+	return eq
 }
 
 // BuildIndex creates (or rebuilds) a hash index over the named attributes.
@@ -236,9 +332,10 @@ func (r *Relation) BuildIndex(attrs ...string) error {
 	}
 	name := strings.Join(attrs, ",")
 	ix := &index{positions: positions, buckets: make(map[string]map[string]struct{})}
-	for key, rw := range r.rows {
-		ix.add(key, rw.tuple)
-	}
+	r.Each(func(t Tuple, n int) bool {
+		ix.add(t.Key(), t)
+		return true
+	})
 	r.indexes[name] = ix
 	return nil
 }
@@ -259,23 +356,41 @@ func (r *Relation) Probe(attrs []string, vals []Value) ([]Row, error) {
 		return nil, err
 	}
 	want := Tuple(vals).Key()
-	if ix, ok := r.indexes[strings.Join(attrs, ",")]; ok {
-		var out []Row
-		for key := range ix.buckets[want] {
-			rw := r.rows[key]
-			out = append(out, Row{Tuple: rw.tuple, Count: rw.count})
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
-		return out, nil
-	}
 	var out []Row
-	for _, rw := range r.rows {
-		if rw.tuple.KeyOn(positions) == want {
-			out = append(out, Row{Tuple: rw.tuple, Count: rw.count})
+	if ix, ok := r.indexes[strings.Join(attrs, ",")]; ok {
+		for key := range ix.buckets[want] {
+			if rw, found := r.lookupKey(key); found {
+				out = append(out, rw)
+			}
 		}
+	} else {
+		r.Each(func(t Tuple, n int) bool {
+			if t.KeyOn(positions) == want {
+				out = append(out, Row{Tuple: t, Count: n})
+			}
+			return true
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out, nil
+}
+
+// lookupKey resolves a canonical tuple key to its row on either backend.
+func (r *Relation) lookupKey(key string) (Row, bool) {
+	if r.tm != nil {
+		slot := r.tm.findKey(key)
+		if slot < 0 {
+			return Row{}, false
+		}
+		t := make(Tuple, 0, r.tm.Arity())
+		t = r.tm.AppendTupleAt(t, slot)
+		return Row{Tuple: t, Count: int(r.tm.CountAt(slot))}, true
+	}
+	rw, ok := r.rows[key]
+	if !ok {
+		return Row{}, false
+	}
+	return Row{Tuple: rw.tuple, Count: rw.count}, true
 }
 
 func (ix *index) add(key string, t Tuple) {
@@ -327,9 +442,23 @@ func (r *Relation) String() string {
 
 // MemoryFootprint estimates the resident bytes of the relation's tuple
 // data. Used by the §5.3 space-vs-performance experiments; it is an
-// estimate of payload size, not Go heap overhead.
+// estimate of payload size, not Go heap overhead. Both backends use the
+// same accounting formula so annotation-advisor decisions do not depend
+// on the physical representation.
 func (r *Relation) MemoryFootprint() int {
 	total := 0
+	if r.tm != nil {
+		var arr [128]byte
+		r.tm.EachSlot(func(s int32, n int64) bool {
+			b := r.tm.appendKeyAt(arr[:0], s)
+			total += len(b) + 16
+			for c := 0; c < r.tm.Arity(); c++ {
+				total += r.tm.cols[c].payloadBytes(int(s))
+			}
+			return true
+		})
+		return total
+	}
 	for key, rw := range r.rows {
 		total += len(key) + 16 // key string + row header estimate
 		for _, v := range rw.tuple {
@@ -343,9 +472,17 @@ func (r *Relation) MemoryFootprint() int {
 }
 
 // Distinct returns a new set-semantics relation with the distinct tuples
-// of r.
+// of r, on the same backend.
 func (r *Relation) Distinct() *Relation {
-	out := NewSet(r.schema)
+	out := NewWith(r.schema, Set, r.bk)
+	if r.tm != nil {
+		r.tm.EachSlot(func(s int32, n int64) bool {
+			out.tm.AddFrom(r.tm, s, 1, ModeSet)
+			return true
+		})
+		out.card = out.tm.Len()
+		return out
+	}
 	for key, rw := range r.rows {
 		out.rows[key] = &row{tuple: rw.tuple.Clone(), count: 1}
 		out.card++

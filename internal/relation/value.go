@@ -247,9 +247,62 @@ func (v Value) appendKey(b []byte) []byte {
 
 func appendFloatKey(b []byte, f float64) []byte {
 	b = append(b, 'f')
-	bits := math.Float64bits(f + 0) // normalize -0 to +0
+	return strconv.AppendUint(b, floatKeyBits(f), 16)
+}
+
+// floatKeyBits is the normalized bit pattern appendFloatKey encodes:
+// -0 collapses to +0 so the two zero representations share a key.
+func floatKeyBits(f float64) uint64 {
 	if f == 0 {
-		bits = 0
+		return 0
 	}
-	return strconv.AppendUint(b, bits, 16)
+	return math.Float64bits(f + 0)
+}
+
+// floatKeyEqual reports whether two floats produce identical canonical
+// key encodings.
+func floatKeyEqual(a, b float64) bool {
+	return floatKeyBits(a) == floatKeyBits(b)
+}
+
+// valueKeyEqual reports whether two values produce identical canonical
+// key encodings (appendKey) — the equivalence the hashed columnar lookup
+// uses, which by construction matches the string-keyed row backend.
+func valueKeyEqual(a, b Value) bool {
+	switch a.kind {
+	case KindNull:
+		return b.kind == KindNull
+	case KindBool:
+		return b.kind == KindBool && a.i == b.i
+	case KindString:
+		return b.kind == KindString && a.s == b.s
+	case KindInt, KindFloat:
+		if !b.IsNumeric() {
+			return false
+		}
+		aInt, ai, af := numKeyForm(a)
+		bInt, bi, bf := numKeyForm(b)
+		if aInt != bInt {
+			return false
+		}
+		if aInt {
+			return ai == bi
+		}
+		return floatKeyEqual(af, bf)
+	}
+	return false
+}
+
+// numKeyForm reports which encoding form a numeric value takes: the
+// integer form ('i', for ints not exactly representable as float64) or
+// the float form, with the corresponding payload.
+func numKeyForm(v Value) (isInt bool, i int64, f float64) {
+	if v.kind == KindInt {
+		fv := float64(v.i)
+		if int64(fv) == v.i {
+			return false, 0, fv
+		}
+		return true, v.i, 0
+	}
+	return false, 0, v.f
 }

@@ -70,20 +70,16 @@ func projectSelect(rel *relation.Relation, name string, proj []string, where alg
 		return nil, err
 	}
 	out := relation.NewBag(schema)
-	var evalErr error
-	rel.Each(func(t relation.Tuple, n int) bool {
-		ok, err := algebra.EvalPred(applicable, rel.Schema(), t)
-		if err != nil {
-			evalErr = err
-			return false
+	var pred func(relation.Tuple) (bool, error)
+	if !algebra.IsTrue(applicable) {
+		pred = func(t relation.Tuple) (bool, error) {
+			return algebra.EvalPred(applicable, rel.Schema(), t)
 		}
-		if ok {
-			out.Add(t.Project(positions), n)
-		}
-		return true
-	})
-	if evalErr != nil {
-		return nil, evalErr
+	}
+	// Vectorized select-project: on the blocks backend rows move
+	// column-to-column and only predicate evaluation touches tuples.
+	if err := relation.ProjectSelectInto(out, rel, positions, pred); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -95,10 +91,7 @@ func conform(rel *relation.Relation, target *relation.Schema, sem relation.Seman
 		return nil, fmt.Errorf("vdp: cannot conform %s to %s: arity mismatch", rel.Schema(), target)
 	}
 	out := relation.New(target, sem)
-	rel.Each(func(t relation.Tuple, n int) bool {
-		out.Add(t, n)
-		return true
-	})
+	relation.CopyInto(out, rel)
 	return out, nil
 }
 
@@ -123,8 +116,8 @@ func EvalDef(n *Node, resolve Resolver) (*relation.Relation, error) {
 			return nil, err
 		}
 		out := relation.NewBag(n.Schema)
-		l.Each(func(t relation.Tuple, c int) bool { out.Add(t, c); return true })
-		r.Each(func(t relation.Tuple, c int) bool { out.Add(t, c); return true })
+		relation.CopyInto(out, l)
+		relation.CopyInto(out, r)
 		return out, nil
 	case DiffDef:
 		l, err := evalBranchSet(d.L, resolve)
@@ -178,10 +171,9 @@ func evalSPJ(n *Node, d SPJ, resolve Resolver, restrictAttrs []string, extraCond
 		return nil, err
 	}
 	out := relation.NewBag(outSchema)
-	joined.Each(func(t relation.Tuple, c int) bool {
-		out.Add(t.Project(positions), c)
-		return true
-	})
+	if err := relation.ProjectSelectInto(out, joined, positions, nil); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

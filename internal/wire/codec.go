@@ -112,11 +112,27 @@ type Row struct {
 	N int     `json:"n"`
 }
 
-// Relation is the wire form of relation.Relation.
+// Relation is the wire form of relation.Relation. Exactly one of Rows
+// (row-oriented, EncodeRelation) or Cols+Counts (columnar,
+// EncodeRelationColumnar) carries the tuples; Decode accepts either.
 type Relation struct {
-	Schema Schema `json:"schema"`
-	Sem    string `json:"sem"`
-	Rows   []Row  `json:"rows"`
+	Schema Schema  `json:"schema"`
+	Sem    string  `json:"sem"`
+	Rows   []Row   `json:"rows,omitempty"`
+	Cols   []Col   `json:"cols,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+}
+
+// Col is one column of the columnar relation encoding: a type-specialized
+// vector when every value in the column shares one scalar kind, else
+// boxed values. Values at index i across all columns plus Counts[i] form
+// one row.
+type Col struct {
+	Kind string    `json:"kind"` // int, float, string, mixed
+	I    []int64   `json:"i,omitempty"`
+	F    []float64 `json:"f,omitempty"`
+	S    []string  `json:"s,omitempty"`
+	V    []Value   `json:"v,omitempty"`
 }
 
 // EncodeRelation converts a relation to wire form (deterministic row
@@ -133,7 +149,91 @@ func EncodeRelation(r *relation.Relation) Relation {
 	return out
 }
 
-// Decode converts a wire relation back.
+// EncodeRelationColumnar converts a relation to the columnar wire form
+// (deterministic row order): one type-specialized vector per attribute
+// plus a multiplicity vector. Snapshots use it — for a wide store it is
+// both smaller and cheaper to decode than the row form, since each
+// specialized column round-trips as a bare JSON array.
+func EncodeRelationColumnar(r *relation.Relation) Relation {
+	out := Relation{Schema: EncodeSchema(r.Schema()), Sem: r.Semantics().String()}
+	rows := r.Rows()
+	if len(rows) == 0 {
+		return out
+	}
+	arity := r.Schema().Arity()
+	out.Counts = make([]int64, len(rows))
+	for i, row := range rows {
+		out.Counts[i] = int64(row.Count)
+	}
+	out.Cols = make([]Col, arity)
+	for j := 0; j < arity; j++ {
+		kind := rows[0].Tuple[j].Kind()
+		for _, row := range rows[1:] {
+			if row.Tuple[j].Kind() != kind {
+				kind = relation.KindNull // sentinel: mixed
+				break
+			}
+		}
+		c := &out.Cols[j]
+		switch kind {
+		case relation.KindInt:
+			c.Kind = "int"
+			c.I = make([]int64, len(rows))
+			for i, row := range rows {
+				c.I[i] = row.Tuple[j].AsInt()
+			}
+		case relation.KindFloat:
+			c.Kind = "float"
+			c.F = make([]float64, len(rows))
+			for i, row := range rows {
+				c.F[i] = row.Tuple[j].AsFloat()
+			}
+		case relation.KindString:
+			c.Kind = "string"
+			c.S = make([]string, len(rows))
+			for i, row := range rows {
+				c.S[i] = row.Tuple[j].AsString()
+			}
+		default: // mixed, bool, null: boxed fallback
+			c.Kind = "mixed"
+			c.V = make([]Value, len(rows))
+			for i, row := range rows {
+				c.V[i] = EncodeValue(row.Tuple[j])
+			}
+		}
+	}
+	return out
+}
+
+// colValue decodes one cell of a columnar-encoded relation.
+func (c *Col) colValue(i int) (relation.Value, error) {
+	switch c.Kind {
+	case "int":
+		return relation.Int(c.I[i]), nil
+	case "float":
+		return relation.Float(c.F[i]), nil
+	case "string":
+		return relation.Str(c.S[i]), nil
+	case "mixed":
+		return c.V[i].Decode()
+	}
+	return relation.Null(), fmt.Errorf("wire: unknown column kind %q", c.Kind)
+}
+
+func (c *Col) length() int {
+	switch c.Kind {
+	case "int":
+		return len(c.I)
+	case "float":
+		return len(c.F)
+	case "string":
+		return len(c.S)
+	}
+	return len(c.V)
+}
+
+// Decode converts a wire relation back, accepting either the row or the
+// columnar encoding.
 func (w Relation) Decode() (*relation.Relation, error) {
 	schema, err := w.Schema.Decode()
 	if err != nil {
@@ -144,6 +244,29 @@ func (w Relation) Decode() (*relation.Relation, error) {
 		sem = relation.Set
 	}
 	out := relation.New(schema, sem)
+	if len(w.Cols) > 0 || len(w.Counts) > 0 {
+		if len(w.Cols) != schema.Arity() {
+			return nil, fmt.Errorf("wire: columnar relation has %d columns, schema arity %d",
+				len(w.Cols), schema.Arity())
+		}
+		for j := range w.Cols {
+			if n := w.Cols[j].length(); n != len(w.Counts) {
+				return nil, fmt.Errorf("wire: column %d has %d values, want %d", j, n, len(w.Counts))
+			}
+		}
+		t := make(relation.Tuple, len(w.Cols))
+		for i := range w.Counts {
+			for j := range w.Cols {
+				dv, err := w.Cols[j].colValue(i)
+				if err != nil {
+					return nil, err
+				}
+				t[j] = dv
+			}
+			out.Add(t, int(w.Counts[i]))
+		}
+		return out, nil
+	}
 	for _, row := range w.Rows {
 		t := make(relation.Tuple, len(row.T))
 		for i, v := range row.T {

@@ -59,6 +59,65 @@ func TestSchemaAndRelationRoundTrip(t *testing.T) {
 	}
 }
 
+func TestColumnarRelationRoundTrip(t *testing.T) {
+	// A "mixed" column (null/bool alongside scalars) forces the boxed
+	// fallback; the others specialize.
+	s := relation.MustSchema("R", []relation.Attribute{
+		{Name: "a", Type: relation.KindInt}, {Name: "b", Type: relation.KindString},
+		{Name: "c", Type: relation.KindFloat}, {Name: "d", Type: relation.KindNull}})
+	for _, bk := range []relation.Backend{relation.Rows, relation.Blocks} {
+		t.Run("backend="+bk.String(), func(t *testing.T) {
+			r := relation.NewWith(s, relation.Bag, bk)
+			r.Add(relation.T(1, "x", 2.5, nil), 2)
+			r.Add(relation.T(2, "y", -0.25, true), 1)
+			r.Add(relation.T(-7, "z", 0.0, 3), 4)
+			enc := EncodeRelationColumnar(r)
+			if len(enc.Rows) != 0 || len(enc.Cols) != 4 || len(enc.Counts) != 3 {
+				t.Fatalf("columnar encode shape: rows=%d cols=%d counts=%d",
+					len(enc.Rows), len(enc.Cols), len(enc.Counts))
+			}
+			if enc.Cols[0].Kind != "int" || enc.Cols[1].Kind != "string" ||
+				enc.Cols[2].Kind != "float" || enc.Cols[3].Kind != "mixed" {
+				t.Fatalf("column kinds = %q %q %q %q",
+					enc.Cols[0].Kind, enc.Cols[1].Kind, enc.Cols[2].Kind, enc.Cols[3].Kind)
+			}
+			got, err := enc.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(r) || got.String() != r.String() {
+				t.Errorf("columnar round trip:\n%svs\n%s", got, r)
+			}
+
+			// Empty relation round-trips too.
+			empty, err := EncodeRelationColumnar(relation.NewWith(s, relation.Set, bk)).Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if empty.Len() != 0 || empty.Semantics() != relation.Set {
+				t.Errorf("empty columnar round trip: len=%d sem=%v", empty.Len(), empty.Semantics())
+			}
+		})
+	}
+	// Malformed columnar payloads are rejected, not silently truncated.
+	enc := EncodeRelationColumnar(func() *relation.Relation {
+		r := relation.NewBag(s)
+		r.Add(relation.T(1, "x", 2.5, nil), 1)
+		return r
+	}())
+	bad := enc
+	bad.Cols = bad.Cols[:2]
+	if _, err := bad.Decode(); err == nil {
+		t.Errorf("arity mismatch must fail")
+	}
+	bad = enc
+	bad.Counts = append([]int64{}, bad.Counts...)
+	bad.Counts = append(bad.Counts, 9)
+	if _, err := bad.Decode(); err == nil {
+		t.Errorf("ragged columns must fail")
+	}
+}
+
 func TestDeltaRoundTrip(t *testing.T) {
 	d := delta.New()
 	d.Insert("R", relation.T(1, "x"))

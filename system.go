@@ -450,6 +450,25 @@ func (s *System) StartRuntime(period time.Duration) (*Runtime, error) {
 	return rt, nil
 }
 
+// StartBatchedRuntime launches a group-commit flush loop: it wakes when an
+// announcement arrives, absorbs further arrivals for window (closing the
+// batch early once maxBatch announcements are queued; 0 = window only),
+// then drains the queue in one coalesced update transaction, so a single
+// staged-kernel pass amortizes every delta in the batch.
+func (s *System) StartBatchedRuntime(window time.Duration, maxBatch int) (*Runtime, error) {
+	if !s.started {
+		return nil, fmt.Errorf("squirrel: not started")
+	}
+	rt, err := core.NewBatchedRuntime(s.med, window, maxBatch)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
 // SaveState writes a snapshot of the mediator's durable state (the
 // materialized store and its ref′ vector) to w. Restore it into a fresh
 // system with StartFromState.
