@@ -20,6 +20,7 @@ import (
 	"squirrel/internal/resilience"
 	"squirrel/internal/sqlview"
 	"squirrel/internal/vdp"
+	"squirrel/internal/wal"
 	"squirrel/internal/wire"
 )
 
@@ -48,6 +49,15 @@ func cmdServeMediator(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7080", "mediator listen address")
 	flush := fs.Duration("flush", 500*time.Millisecond, "update-transaction period (u_hold)")
 	state := fs.String("state", "", "snapshot file: restored on start if present, saved on shutdown")
+	walDir := fs.String("wal-dir", "",
+		"write-ahead delta log directory: commits are durable before they publish, and restart "+
+			"recovers checkpoint + log replay instead of rebuilding from the sources (empty = disabled)")
+	walFsync := fs.String("wal-fsync", "commit",
+		"WAL sync policy: commit (fsync before every publish), batch (one fsync per drained "+
+			"group-commit batch), none (benchmarks only)")
+	walCompact := fs.Int("wal-compact-every", 0,
+		"checkpoint the store and truncate the log after this many logged commits "+
+			"(0 = default 1024, negative = compact only on recovery and shutdown)")
 	pollTimeout := fs.Duration("poll-timeout", 0, "per-attempt deadline for one source poll (0 = none)")
 	retries := fs.Int("retry", 1, "max poll attempts per source (1 = no retry)")
 	retryBase := fs.Duration("retry-base", 50*time.Millisecond, "base delay of the poll retry backoff")
@@ -193,13 +203,48 @@ func cmdServeMediator(args []string) error {
 		fmt.Printf("staged kernel: %d worker(s), %d stages, widest stage %d node(s)\n",
 			*workers, plan.StageCount(), plan.MaxStageWidth())
 	}
-	for _, c := range clients {
-		c.OnAnnounce(med.OnAnnouncement)
-	}
-	medRef.Store(med)
-
+	// Announcement feeds hook up only after restore/recovery below: WAL
+	// replay must drain an empty queue, and a live announcement arriving
+	// mid-replay would be coalesced into the wrong version.
+	var walMgr *wal.Manager
+	var walInfo *wal.RecoveryInfo
 	restored := false
-	if *state != "" {
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			return fmt.Errorf("bad -wal-fsync: %w", err)
+		}
+		walMgr, err = wal.Open(wal.Options{
+			Dir: *walDir, Policy: policy, CompactEvery: *walCompact,
+			Metrics: med.Metrics(),
+		})
+		if err != nil {
+			return err
+		}
+		has, err := walMgr.HasState()
+		if err != nil {
+			return err
+		}
+		if has {
+			if walInfo, err = walMgr.Recover(med); err != nil {
+				return fmt.Errorf("recovering WAL: %w", err)
+			}
+			restored = true
+			fmt.Printf("recovered from WAL %s: checkpoint v%d", *walDir, walInfo.CheckpointVersion)
+			if walInfo.Replayed > 0 {
+				fmt.Printf(" + %d replayed commit(s)", walInfo.Replayed)
+			}
+			fmt.Printf(" → v%d", walInfo.Version)
+			if walInfo.TornTail {
+				fmt.Print(" (torn log tail discarded)")
+			}
+			if walInfo.Stopped != "" {
+				fmt.Printf(" (replay stopped: %s)", walInfo.Stopped)
+			}
+			fmt.Printf("; ref′ %v\n", med.LastProcessed())
+		}
+	}
+	if !restored && *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			snap, err := persist.Load(f)
 			f.Close()
@@ -220,6 +265,24 @@ func cmdServeMediator(args []string) error {
 	if !restored {
 		if err := med.Initialize(); err != nil {
 			return err
+		}
+	}
+	if walMgr != nil && walInfo == nil {
+		if err := walMgr.Start(med); err != nil {
+			return err
+		}
+	}
+	for _, c := range clients {
+		c.OnAnnounce(med.OnAnnouncement)
+	}
+	medRef.Store(med)
+	if walInfo != nil {
+		// Wire feeds cannot replay announcements committed while we were
+		// down, so quarantine every source: the first flush resyncs each
+		// by compensated snapshot poll, and consistency holds across the
+		// gap (same mechanism as a mid-run reconnect).
+		for name := range conns {
+			med.QuarantineSource(name, "recovered from WAL; commits during downtime unseen")
 		}
 	}
 
@@ -289,17 +352,21 @@ func cmdServeMediator(args []string) error {
 	if err := rt.Stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "squirrel: final flush: %v\n", err)
 	}
+	if walMgr != nil {
+		if err := walMgr.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "squirrel: closing WAL: %v\n", err)
+		} else {
+			fmt.Printf("WAL checkpointed at v%d\n", med.StoreVersion())
+		}
+	}
 	if *state != "" {
 		snap, err := med.Snapshot()
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*state)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := persist.Save(f, snap); err != nil {
+		// Atomic replace (tmp + fsync + rename): a crash mid-save leaves
+		// the previous snapshot intact, never a torn file.
+		if err := persist.SaveFile(*state, snap); err != nil {
 			return err
 		}
 		fmt.Printf("state saved to %s\n", *state)

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+)
+
+// fakeLog records everything the mediator hands it.
+type fakeLog struct {
+	mu       sync.Mutex
+	records  []*CommitRecord
+	barriers []string // "version:reason"
+	syncs    int
+	failNext error
+}
+
+func (l *fakeLog) LogCommit(rec *CommitRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.failNext; err != nil {
+		l.failNext = nil
+		return err
+	}
+	// Deep-enough copy: the commit path hands us live vectors.
+	cp := *rec
+	cp.Reflect = rec.Reflect.Clone()
+	cp.NewRef = rec.NewRef.Clone()
+	l.records = append(l.records, &cp)
+	return nil
+}
+
+func (l *fakeLog) LogBarrier(version uint64, reason string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.barriers = append(l.barriers, fmt.Sprintf("%d:%s", version, reason))
+	return nil
+}
+
+func (l *fakeLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncs++
+	return nil
+}
+
+func (l *fakeLog) all() []*CommitRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*CommitRecord(nil), l.records...)
+}
+
+func TestCommitLogReceivesEveryCommit(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	log := &fakeLog{}
+	e.med.SetCommitLog(log)
+
+	for i := 0; i < 3; i++ {
+		d := delta.New()
+		d.Insert("R", relation.T(100+i, 20, 11, 100))
+		e.db1.MustApply(d)
+		if ran, err := e.med.RunUpdateTransaction(); err != nil || !ran {
+			t.Fatalf("txn %d: ran=%v err=%v", i, ran, err)
+		}
+	}
+	recs := log.all()
+	if len(recs) != 3 {
+		t.Fatalf("logged %d records, want 3", len(recs))
+	}
+	cur := e.med.Stats().CurrentVersion
+	for i, rec := range recs {
+		wantV := cur - uint64(len(recs)-1-i)
+		if rec.Version != wantV {
+			t.Errorf("record %d: version %d, want %d", i, rec.Version, wantV)
+		}
+		if rec.Announcements != 1 || rec.Delta == nil || rec.Delta.Card() == 0 {
+			t.Errorf("record %d: announcements=%d delta=%v", i, rec.Announcements, rec.Delta)
+		}
+		if _, ok := rec.NewRef["db1"]; !ok {
+			t.Errorf("record %d: NewRef missing db1: %v", i, rec.NewRef)
+		}
+		if rec.Reflect["db1"] != rec.NewRef["db1"] {
+			t.Errorf("record %d: reflect %v, newRef %v", i, rec.Reflect, rec.NewRef)
+		}
+	}
+}
+
+func TestCommitLogFailureAbortsTransaction(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	log := &fakeLog{}
+	e.med.SetCommitLog(log)
+	before := e.med.Stats().CurrentVersion
+
+	d := delta.New()
+	d.Insert("R", relation.T(200, 20, 11, 100))
+	e.db1.MustApply(d)
+
+	boom := errors.New("disk on fire")
+	log.mu.Lock()
+	log.failNext = boom
+	log.mu.Unlock()
+	if _, err := e.med.RunUpdateTransaction(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Nothing published, nothing lost: the announcement is still queued
+	// and the very next flush commits it.
+	if got := e.med.Stats().CurrentVersion; got != before {
+		t.Fatalf("version advanced to %d despite log failure", got)
+	}
+	if n := e.med.QueueLen(); n != 1 {
+		t.Fatalf("queue len %d after aborted commit, want 1", n)
+	}
+	if ran, err := e.med.RunUpdateTransaction(); err != nil || !ran {
+		t.Fatalf("retry: ran=%v err=%v", ran, err)
+	}
+	if got := e.med.Stats().CurrentVersion; got != before+1 {
+		t.Fatalf("version %d after retry, want %d", got, before+1)
+	}
+	if len(log.all()) != 1 {
+		t.Fatalf("logged %d records, want 1", len(log.all()))
+	}
+}
+
+func TestCommitLogBarrierOnResync(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	log := &fakeLog{}
+	e.med.SetCommitLog(log)
+	e.med.QuarantineSource("db1", "test")
+	d := delta.New()
+	d.Insert("R", relation.T(300, 20, 11, 100))
+	e.db1.MustApply(d)
+	if err := e.med.ResyncSource("db1"); err != nil {
+		t.Fatal(err)
+	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.barriers) != 1 || !strings.Contains(log.barriers[0], "resync:db1") {
+		t.Fatalf("barriers = %v, want one resync:db1", log.barriers)
+	}
+}
+
+// TestReplayCommitRecords is the recovery invariant at the core level:
+// restoring the pre-log snapshot and replaying the records reproduces the
+// original mediator's final state exactly — store, version, and ref′.
+func TestReplayCommitRecords(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	base, err := e.med.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &fakeLog{}
+	e.med.SetCommitLog(log)
+	for i := 0; i < 4; i++ {
+		dR := delta.New()
+		dR.Insert("R", relation.T(400+i, 20, 11, 100))
+		e.db1.MustApply(dR)
+		if i%2 == 0 {
+			dS := delta.New()
+			dS.Insert("S", relation.T(50+i, 4, 10))
+			e.db2.MustApply(dS)
+		}
+		if ran, err := e.med.RunUpdateTransaction(); err != nil || !ran {
+			t.Fatalf("txn %d: ran=%v err=%v", i, ran, err)
+		}
+	}
+	final, err := e.med.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second mediator, same plan, restored from the pre-log snapshot.
+	// Deliberately NOT connected to the sources: replay must need no
+	// announcements and (fully materialized plan) no polls.
+	med2, err := New(Config{
+		VDP:     paperPlan(t, nil, nil, nil),
+		Sources: map[string]SourceConn{"db1": LocalSource{DB: e.db1}, "db2": LocalSource{DB: e.db2}},
+		Clock:   e.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med2.Restore(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range log.all() {
+		if err := med2.ReplayCommitRecord(rec); err != nil {
+			t.Fatalf("replay v%d: %v", rec.Version, err)
+		}
+	}
+	got, err := med2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StoreVersion != final.StoreVersion {
+		t.Errorf("store version %d, want %d", got.StoreVersion, final.StoreVersion)
+	}
+	if !got.LastProcessed.LessEq(final.LastProcessed) || !final.LastProcessed.LessEq(got.LastProcessed) {
+		t.Errorf("ref' %v, want %v", got.LastProcessed, final.LastProcessed)
+	}
+	for name, want := range final.Store {
+		if rel := got.Store[name]; rel == nil || !rel.Equal(want) {
+			t.Errorf("replayed %s:\n%swant\n%s", name, rel, want)
+		}
+	}
+}
+
+func TestReplayDetectsGap(t *testing.T) {
+	e := newEnv(t, nil, nil, nil)
+	base, err := e.med.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &fakeLog{}
+	e.med.SetCommitLog(log)
+	for i := 0; i < 2; i++ {
+		d := delta.New()
+		d.Insert("R", relation.T(500+i, 20, 11, 100))
+		e.db1.MustApply(d)
+		if ran, err := e.med.RunUpdateTransaction(); err != nil || !ran {
+			t.Fatalf("txn %d: ran=%v err=%v", i, ran, err)
+		}
+	}
+	med2, err := New(Config{
+		VDP:     paperPlan(t, nil, nil, nil),
+		Sources: map[string]SourceConn{"db1": LocalSource{DB: e.db1}, "db2": LocalSource{DB: e.db2}},
+		Clock:   e.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med2.Restore(base); err != nil {
+		t.Fatal(err)
+	}
+	recs := log.all()
+	// Skipping the first record must stop replay with ErrReplayGap.
+	if err := med2.ReplayCommitRecord(recs[1]); !errors.Is(err, ErrReplayGap) {
+		t.Fatalf("err = %v, want ErrReplayGap", err)
+	}
+}

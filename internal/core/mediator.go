@@ -132,6 +132,11 @@ type Stats struct {
 	// AnnotationSwitches counts attribute materialization flips applied by
 	// re-annotation transactions (reannotate.go).
 	AnnotationSwitches int
+	// WALBarrierErrs counts barrier records the attached commit log failed
+	// to persist (commitlog.go). Non-zero is survivable — replay's
+	// version-continuity check still stops recovery at the unlogged
+	// publish — but it means the log lost its early-stop marker.
+	WALBarrierErrs int
 	// Sources is the per-source health view (breaker state, quarantine,
 	// last contact).
 	Sources map[string]SourceHealth
@@ -158,6 +163,7 @@ type counters struct {
 	kernelStageNodes   atomic.Int64
 	txnRetries         atomic.Int64
 	annotationSwitches atomic.Int64
+	walBarrierErrs     atomic.Int64
 }
 
 // Config assembles a Mediator.
@@ -232,6 +238,12 @@ type Mediator struct {
 	// transaction at a time, held across its VAP polls and kernel run.
 	// Nothing else takes it. Lock order: txnMu before mu before qmu.
 	txnMu sync.Mutex
+	// commitLog, when non-nil, makes every update-transaction commit
+	// durable before its version is published (commitlog.go). Guarded by
+	// mu: every caller — commit, barrier publishers, SetCommitLog — holds
+	// it.
+	commitLog CommitLog
+
 	// mu guards the store's write side (Begin/Publish and the state they
 	// must agree with). Initialize, Restore, and ResyncSource hold it for
 	// their whole run; RunUpdateTransaction holds it only to snapshot the
@@ -507,6 +519,7 @@ func (m *Mediator) Stats() Stats {
 		KernelStageNodes:   int(m.stats.kernelStageNodes.Load()),
 		UpdateTxnRetries:   int(m.stats.txnRetries.Load()),
 		AnnotationSwitches: int(m.stats.annotationSwitches.Load()),
+		WALBarrierErrs:     int(m.stats.walBarrierErrs.Load()),
 	}
 	s.Sources = m.sourceHealthStats()
 	for _, sh := range s.Sources {

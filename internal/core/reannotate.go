@@ -292,6 +292,11 @@ func (m *Mediator) reannotateOnce(old *planEpoch, newV *vdp.VDP, newContribs map
 	m.pruneEpochsLocked()
 	m.obs.queueLen.Set(int64(len(m.queue)))
 	m.qmu.Unlock()
+	// A re-annotation publish rebuilt store portions from backfill polls
+	// the commit log never saw: replay cannot cross it (and the restored
+	// annotation would not match the older records' layout anyway). mu is
+	// held by the caller for the whole commit.
+	m.logBarrierLocked("reannotate")
 	return false, nil
 }
 

@@ -244,6 +244,10 @@ func (m *Mediator) ResyncSource(src string) error {
 	m.pruneDoneLocked()
 	m.pruneEpochsLocked()
 	m.qmu.Unlock()
+	// A resync publish folds a fresh source snapshot the commit log never
+	// saw: replay cannot cross it. Mark it (mu is held for the whole
+	// resync) so recovery stops here and the log schedules a checkpoint.
+	m.logBarrierLocked("resync:" + src)
 	m.stats.resyncs.Add(1)
 	m.obs.reg.Emit(metrics.Event{Type: metrics.EventResync, Subject: src, Dur: time.Since(start)})
 	seq := uint64(0)

@@ -200,6 +200,14 @@ func (r *Runtime) flushAll() {
 		r.flushes++
 		r.mu.Unlock()
 	}
+	// Group commit, durability half: under a batch-sync'd commit log the
+	// drained transactions' records are buffered — one fsync now makes
+	// the whole batch durable (N announcements, one disk flush).
+	if err := r.med.syncCommitLog(); err != nil {
+		clean = false
+		tickErr = err
+		r.noteErr(err)
+	}
 	if clean {
 		// The queue drained with no failure: whatever condition a past
 		// tick latched is over.
@@ -227,7 +235,7 @@ func (r *Runtime) Flush() error {
 			return err
 		}
 		if !ran {
-			return nil
+			return r.med.syncCommitLog()
 		}
 	}
 }

@@ -144,6 +144,34 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 	if m.vstore.Current() != b.Base() {
 		return false, true, nil
 	}
+	// Durability point: the commit record must be on stable storage before
+	// the version is published — a crash after the publish then recovers
+	// this transaction from the log. Computed under mu but OUTSIDE qmu
+	// (never hold the announcement lock across an fsync): every
+	// lastProcessed writer holds mu, so the reflect vector computed here
+	// is exactly what the qmu section below will install. A log failure
+	// aborts the transaction — the queue still holds the announcements,
+	// so a later flush retries once the log heals.
+	reflect := m.lastProcessed.Clone()
+	for src, t := range newRef {
+		if t > reflect[src] {
+			reflect[src] = t
+		}
+	}
+	committed := m.clk.Now()
+	if m.commitLog != nil {
+		rec := &CommitRecord{
+			Version:       b.Base().Seq() + 1,
+			Stamp:         committed,
+			Reflect:       reflect,
+			NewRef:        newRef,
+			Announcements: len(snapshot),
+			Delta:         combined,
+		}
+		if err := m.commitLog.LogCommit(rec); err != nil {
+			return false, false, fmt.Errorf("core: commit log: %w", err)
+		}
+	}
 	// Under qmu, so a query pinning a version always sees a queue/done
 	// state consistent with it. If some older version is pinned by an
 	// in-flight polling query, the processed announcements move to the
@@ -161,8 +189,6 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 			m.lastProcessed[src] = t
 		}
 	}
-	reflect := m.lastProcessed.Clone()
-	committed := m.clk.Now()
 	m.vstore.Publish(b, reflect, committed)
 	m.pruneDoneLocked()
 	m.pruneEpochsLocked()

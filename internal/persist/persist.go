@@ -18,10 +18,12 @@ import (
 	"squirrel/internal/wire"
 )
 
-// Version identifies the envelope layout. Version 2 writes store
-// relations in the columnar wire encoding (wire.EncodeRelationColumnar);
-// version-1 envelopes (row-encoded) still load.
-const Version = 2
+// Version identifies the envelope layout. Version 3 frames the JSON
+// payload with a magic + CRC32C + length header line (see envelope.go) so
+// corruption is detected before decoding; version 2 introduced the
+// columnar store encoding (wire.EncodeRelationColumnar); version-1 and
+// version-2 envelopes (headerless) still load.
+const Version = 3
 
 type envelope struct {
 	Version       int                      `json:"version"`
@@ -98,15 +100,24 @@ func Save(w io.Writer, snap *core.StateSnapshot) error {
 	for name, rel := range snap.Store {
 		env.Store[name] = wire.EncodeRelationColumnar(rel)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(env)
+	payload, err := json.MarshalIndent(env, "", " ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	return writeEnvelope(w, payload)
 }
 
-// Load reads a snapshot from r.
+// Load reads a snapshot from r, verifying the v3 header checksum when
+// present; corrupt or truncated input fails with an error matching
+// ErrCorrupt. Headerless v1/v2 envelopes still load.
 func Load(r io.Reader) (*core.StateSnapshot, error) {
+	payload, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
 	var env envelope
-	if err := json.NewDecoder(r).Decode(&env); err != nil {
+	if err := json.Unmarshal(payload, &env); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	if env.Version < 1 || env.Version > Version {

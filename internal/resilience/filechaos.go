@@ -1,0 +1,227 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file extends chaos injection to the filesystem layer: a
+// fault-injecting wrapper for the write side of a log file (the shape
+// internal/wal writes through — declared structurally here, like Conn,
+// so resilience stays decoupled from wal). Faults are scripted, not
+// probabilistic: crash-recovery soaks decide exactly where a "power cut"
+// lands and then prove the recovery path digests whatever that leaves on
+// disk — a torn tail record, a short write, a failed fsync.
+
+// LogFile is the write side of an append-style log file. *os.File
+// satisfies it.
+type LogFile interface {
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// ErrCrashed is returned by every operation on a chaos file after its
+// scripted kill point fired: the simulated process is dead, and whatever
+// bytes reached the file before the cut are all that survives.
+var ErrCrashed = errors.New("resilience: simulated crash (power cut)")
+
+// ErrShortWrite is the injected error behind a scripted short write.
+var ErrShortWrite = errors.New("resilience: injected short write")
+
+// ErrSyncFailed is the injected error behind a scripted fsync failure.
+var ErrSyncFailed = errors.New("resilience: injected fsync failure")
+
+// FileCounts reports what a FileInjector actually did.
+type FileCounts struct {
+	Writes       uint64 // WriteAt calls that reached the file (fully)
+	BytesWritten int64  // bytes that reached the file, torn bytes included
+	Syncs        uint64 // Syncs passed through
+	ShortWrites  uint64 // scripted short writes fired
+	SyncFails    uint64 // scripted fsync failures fired
+	Crashed      bool   // the kill point fired
+}
+
+// FileInjector scripts filesystem faults for the chaos files wrapping
+// one log. All wrapped files share the injector's cumulative byte count,
+// so a kill offset is a point in the log's total write stream even
+// across segment rotation.
+type FileInjector struct {
+	mu      sync.Mutex
+	killAt  int64 // cumulative write offset of the power cut; -1 = never
+	written int64
+	short   int // pending scripted short writes (keep `shortKeep` bytes)
+	keep    int
+	syncs   int // pending scripted fsync failures
+	crashed bool
+	counts  FileCounts
+}
+
+// NewFileInjector builds an injector with no scripted faults.
+func NewFileInjector() *FileInjector {
+	return &FileInjector{killAt: -1}
+}
+
+// KillAtByte schedules a power cut: the write that would carry the
+// injector's cumulative byte count past off is truncated at exactly off,
+// and every operation afterwards fails with ErrCrashed. off <= the
+// current count kills the very next write outright.
+func (fi *FileInjector) KillAtByte(off int64) {
+	fi.mu.Lock()
+	fi.killAt = off
+	fi.mu.Unlock()
+}
+
+// ShortWriteNext scripts the next n writes to persist only keep bytes
+// each and fail with ErrShortWrite — an out-of-space or EINTR-style torn
+// write the caller is expected to roll back.
+func (fi *FileInjector) ShortWriteNext(n, keep int) {
+	fi.mu.Lock()
+	fi.short, fi.keep = n, keep
+	fi.mu.Unlock()
+}
+
+// FailSyncNext scripts the next n Sync calls to fail with ErrSyncFailed
+// (after the data reached the OS — the durability of preceding writes is
+// exactly as unknown as after a real fsync failure).
+func (fi *FileInjector) FailSyncNext(n int) {
+	fi.mu.Lock()
+	fi.syncs = n
+	fi.mu.Unlock()
+}
+
+// Crashed reports whether the kill point fired.
+func (fi *FileInjector) Crashed() bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.crashed
+}
+
+// Counts returns a snapshot of the injector's activity.
+func (fi *FileInjector) Counts() FileCounts {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	c := fi.counts
+	c.Crashed = fi.crashed
+	return c
+}
+
+// Wrap returns a chaos file injecting this injector's faults in front of
+// inner.
+func (fi *FileInjector) Wrap(inner LogFile) *ChaosFile {
+	return &ChaosFile{inner: inner, inj: fi}
+}
+
+// ChaosFile is a LogFile that injects its FileInjector's scripted faults.
+type ChaosFile struct {
+	inner LogFile
+	inj   *FileInjector
+}
+
+// WriteAt implements LogFile. A scripted kill writes the prefix that
+// "made it to disk before the power cut" and fails with ErrCrashed; a
+// scripted short write persists keep bytes and fails with ErrShortWrite.
+func (c *ChaosFile) WriteAt(p []byte, off int64) (int, error) {
+	fi := c.inj
+	fi.mu.Lock()
+	if fi.crashed {
+		fi.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if fi.killAt >= 0 && fi.written+int64(len(p)) > fi.killAt {
+		keep := fi.killAt - fi.written
+		if keep < 0 {
+			keep = 0
+		}
+		fi.crashed = true
+		fi.written += keep
+		fi.counts.BytesWritten += keep
+		fi.mu.Unlock()
+		if keep > 0 {
+			c.inner.WriteAt(p[:keep], off) //nolint:errcheck // the crash preempts any error
+		}
+		return int(keep), ErrCrashed
+	}
+	if fi.short > 0 {
+		fi.short--
+		keep := fi.keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		fi.written += int64(keep)
+		fi.counts.ShortWrites++
+		fi.counts.BytesWritten += int64(keep)
+		fi.mu.Unlock()
+		if keep > 0 {
+			if n, err := c.inner.WriteAt(p[:keep], off); err != nil {
+				return n, err
+			}
+		}
+		return keep, fmt.Errorf("%w: %d of %d bytes", ErrShortWrite, keep, len(p))
+	}
+	fi.mu.Unlock()
+	n, err := c.inner.WriteAt(p, off)
+	fi.mu.Lock()
+	fi.written += int64(n)
+	fi.counts.BytesWritten += int64(n)
+	if err == nil {
+		fi.counts.Writes++
+	}
+	fi.mu.Unlock()
+	return n, err
+}
+
+// Sync implements LogFile.
+func (c *ChaosFile) Sync() error {
+	fi := c.inj
+	fi.mu.Lock()
+	if fi.crashed {
+		fi.mu.Unlock()
+		return ErrCrashed
+	}
+	if fi.syncs > 0 {
+		fi.syncs--
+		fi.counts.SyncFails++
+		fi.mu.Unlock()
+		return ErrSyncFailed
+	}
+	fi.mu.Unlock()
+	err := c.inner.Sync()
+	if err == nil {
+		fi.mu.Lock()
+		fi.counts.Syncs++
+		fi.mu.Unlock()
+	}
+	return err
+}
+
+// Truncate implements LogFile. It passes through unless the process is
+// "dead": a live log must be able to roll back a torn append (the
+// self-healing path after a short write or sync failure).
+func (c *ChaosFile) Truncate(size int64) error {
+	fi := c.inj
+	fi.mu.Lock()
+	crashed := fi.crashed
+	fi.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return c.inner.Truncate(size)
+}
+
+// Close implements LogFile. The underlying file is always closed (the
+// soak reopens the directory for recovery); the error reports the crash
+// if one fired.
+func (c *ChaosFile) Close() error {
+	err := c.inner.Close()
+	fi := c.inj
+	fi.mu.Lock()
+	crashed := fi.crashed
+	fi.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return err
+}

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func chaosTempFile(t *testing.T, fi *FileInjector) (*ChaosFile, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "chaos.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return fi.Wrap(f), path
+}
+
+func TestFileInjectorKillAtByteLeavesTornPrefix(t *testing.T) {
+	fi := NewFileInjector()
+	cf, path := chaosTempFile(t, fi)
+	if _, err := cf.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fi.KillAtByte(14) // cut lands 4 bytes into the next write
+	n, err := cf.WriteAt([]byte("abcdefgh"), 10)
+	if !errors.Is(err, ErrCrashed) || n != 4 {
+		t.Fatalf("kill write: n=%d err=%v", n, err)
+	}
+	// Dead process: everything fails from here on.
+	if _, err := cf.WriteAt([]byte("x"), 14); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash write: %v", err)
+	}
+	if err := cf.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash sync: %v", err)
+	}
+	if err := cf.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash truncate: %v", err)
+	}
+	if !fi.Crashed() {
+		t.Error("Crashed() = false after kill")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123456789abcd" {
+		t.Errorf("on-disk bytes %q, want torn prefix %q", got, "0123456789abcd")
+	}
+}
+
+func TestFileInjectorShortWriteThenHeal(t *testing.T) {
+	fi := NewFileInjector()
+	cf, path := chaosTempFile(t, fi)
+	fi.ShortWriteNext(1, 3)
+	n, err := cf.WriteAt([]byte("0123456789"), 0)
+	if !errors.Is(err, ErrShortWrite) || n != 3 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	// The caller's rollback path: truncate the torn bytes, then retry.
+	if err := cf.Truncate(0); err != nil {
+		t.Fatalf("rollback truncate: %v", err)
+	}
+	if _, err := cf.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatalf("retry write: %v", err)
+	}
+	if err := cf.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "abc" {
+		t.Errorf("on-disk bytes %q after heal, want %q", got, "abc")
+	}
+	c := fi.Counts()
+	if c.ShortWrites != 1 || c.Syncs != 1 || c.Crashed {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestFileInjectorFailSyncNext(t *testing.T) {
+	fi := NewFileInjector()
+	cf, _ := chaosTempFile(t, fi)
+	fi.FailSyncNext(2)
+	for i := 0; i < 2; i++ {
+		if err := cf.Sync(); !errors.Is(err, ErrSyncFailed) {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if err := cf.Sync(); err != nil {
+		t.Fatalf("healed sync: %v", err)
+	}
+	if c := fi.Counts(); c.SyncFails != 2 || c.Syncs != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestFileInjectorKillAtPastOffsetKillsNextWrite(t *testing.T) {
+	fi := NewFileInjector()
+	cf, path := chaosTempFile(t, fi)
+	if _, err := cf.WriteAt([]byte("abcde"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fi.KillAtByte(2) // already past: next write dies with zero bytes
+	n, err := cf.WriteAt([]byte("fgh"), 5)
+	if !errors.Is(err, ErrCrashed) || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "abcde" {
+		t.Errorf("on-disk bytes %q, want %q", got, "abcde")
+	}
+}

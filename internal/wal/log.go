@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"fmt"
+)
+
+// File is the write side of a log segment file. *os.File satisfies it;
+// resilience.ChaosFile wraps one to script filesystem faults
+// (short writes, fsync failures, crash-at-offset kills).
+type File interface {
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// log owns the append state of one open segment: the accepted tail (end
+// of the last fully written record) and the synced tail (end of the last
+// record known durable). Appends go through WriteAt at the accepted
+// tail, so a failed write can be rolled back by truncating — the file
+// offset is ours, not the kernel's. Not safe for concurrent use: the
+// Manager serializes all calls under its mutex.
+type log struct {
+	f      File
+	tail   int64
+	synced int64
+	// poison latches a failed rollback: the on-disk tail state is
+	// unknown, so no further append may be trusted. Recovery's checksum
+	// scan is the backstop that makes the poisoned bytes harmless.
+	poison error
+	buf    []byte // reused frame buffer
+}
+
+func newLog(f File) *log { return &log{f: f} }
+
+// append frames one record at the tail. On a short or failed write the
+// torn bytes are truncated away (self-healing) and the tail is
+// unchanged; if even the truncate fails, the log is poisoned.
+func (l *log) append(typ byte, payload []byte) (int, error) {
+	if l.poison != nil {
+		return 0, l.poison
+	}
+	l.buf = appendRecord(l.buf[:0], typ, payload)
+	n, err := l.f.WriteAt(l.buf, l.tail)
+	if err != nil {
+		if n > 0 {
+			if terr := l.f.Truncate(l.tail); terr != nil {
+				l.poison = fmt.Errorf("wal: log poisoned: append failed (%v), rollback failed: %w", err, terr)
+			}
+		}
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if n < len(l.buf) {
+		if terr := l.f.Truncate(l.tail); terr != nil {
+			l.poison = fmt.Errorf("wal: log poisoned: short write (%d of %d), rollback failed: %w", n, len(l.buf), terr)
+			return 0, l.poison
+		}
+		return 0, fmt.Errorf("wal: short append (%d of %d bytes)", n, len(l.buf))
+	}
+	l.tail += int64(n)
+	return n, nil
+}
+
+// sync makes every appended record durable.
+func (l *log) sync() error {
+	if l.poison != nil {
+		return l.poison
+	}
+	if l.synced == l.tail {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.synced = l.tail
+	return nil
+}
+
+// rollbackUnsynced discards every record appended since the last
+// successful sync — the sync-commit policy's answer to a failed fsync:
+// the suspect record's durability is unknown, and the aborted
+// transaction will be retried (possibly coalescing differently), so a
+// surviving duplicate version record would poison replay. A failed
+// truncate poisons the log instead.
+func (l *log) rollbackUnsynced() {
+	if l.poison != nil || l.synced == l.tail {
+		return
+	}
+	if err := l.f.Truncate(l.synced); err != nil {
+		l.poison = fmt.Errorf("wal: log poisoned: rollback to %d failed: %w", l.synced, err)
+		return
+	}
+	l.tail = l.synced
+}
+
+// unsynced reports how many bytes await the next sync.
+func (l *log) unsynced() int64 { return l.tail - l.synced }
+
+func (l *log) close() error { return l.f.Close() }

@@ -156,16 +156,22 @@ func EncodeRelation(r *relation.Relation) Relation {
 // specialized column round-trips as a bare JSON array.
 func EncodeRelationColumnar(r *relation.Relation) Relation {
 	out := Relation{Schema: EncodeSchema(r.Schema()), Sem: r.Semantics().String()}
-	rows := r.Rows()
+	out.Cols, out.Counts = encodeCols(r.Rows(), r.Schema().Arity())
+	return out
+}
+
+// encodeCols renders rows (tuples of uniform arity plus signed counts) as
+// type-specialized column vectors: the shared core of the columnar
+// relation and delta encodings. Empty input yields nil/nil.
+func encodeCols(rows []relation.Row, arity int) ([]Col, []int64) {
 	if len(rows) == 0 {
-		return out
+		return nil, nil
 	}
-	arity := r.Schema().Arity()
-	out.Counts = make([]int64, len(rows))
+	counts := make([]int64, len(rows))
 	for i, row := range rows {
-		out.Counts[i] = int64(row.Count)
+		counts[i] = int64(row.Count)
 	}
-	out.Cols = make([]Col, arity)
+	cols := make([]Col, arity)
 	for j := 0; j < arity; j++ {
 		kind := rows[0].Tuple[j].Kind()
 		for _, row := range rows[1:] {
@@ -174,7 +180,7 @@ func EncodeRelationColumnar(r *relation.Relation) Relation {
 				break
 			}
 		}
-		c := &out.Cols[j]
+		c := &cols[j]
 		switch kind {
 		case relation.KindInt:
 			c.Kind = "int"
@@ -202,7 +208,77 @@ func EncodeRelationColumnar(r *relation.Relation) Relation {
 			}
 		}
 	}
+	return cols, counts
+}
+
+// decodeCols validates column/count agreement and streams each decoded
+// (tuple, count) row to add. arity < 0 skips the arity check (the delta
+// form carries no schema, so the column count is the arity).
+func decodeCols(cols []Col, counts []int64, arity int, add func(t relation.Tuple, n int) error) error {
+	if arity >= 0 && len(cols) != arity {
+		return fmt.Errorf("wire: columnar relation has %d columns, schema arity %d", len(cols), arity)
+	}
+	for j := range cols {
+		if n := cols[j].length(); n != len(counts) {
+			return fmt.Errorf("wire: column %d has %d values, want %d", j, n, len(counts))
+		}
+	}
+	t := make(relation.Tuple, len(cols))
+	for i := range counts {
+		for j := range cols {
+			dv, err := cols[j].colValue(i)
+			if err != nil {
+				return err
+			}
+			t[j] = dv
+		}
+		if err := add(t, int(counts[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RelDeltaCols is the columnar wire form of one relation's delta
+// (delta.RelDelta): type-specialized column vectors plus a SIGNED count
+// vector (positive = insertion atoms, negative = deletion atoms), in the
+// delta's deterministic row order. The write-ahead delta log
+// (internal/wal) persists committed update transactions in this form.
+type RelDeltaCols struct {
+	Rel    string  `json:"rel"`
+	Cols   []Col   `json:"cols,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+}
+
+// EncodeRelDeltaColumnar converts a relation delta to columnar wire form.
+func EncodeRelDeltaColumnar(d *delta.RelDelta) RelDeltaCols {
+	out := RelDeltaCols{Rel: d.Rel()}
+	rows := d.Rows()
+	arity := 0
+	if len(rows) > 0 {
+		arity = len(rows[0].Tuple)
+	}
+	out.Cols, out.Counts = encodeCols(rows, arity)
 	return out
+}
+
+// Decode converts a columnar wire delta back.
+func (w RelDeltaCols) Decode() (*delta.RelDelta, error) {
+	out := delta.NewRel(w.Rel)
+	if len(w.Cols) == 0 && len(w.Counts) == 0 {
+		return out, nil
+	}
+	err := decodeCols(w.Cols, w.Counts, -1, func(t relation.Tuple, n int) error {
+		if n == 0 {
+			return fmt.Errorf("wire: delta %q carries a zero-count tuple", w.Rel)
+		}
+		out.Add(t, n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // colValue decodes one cell of a columnar-encoded relation.
@@ -245,25 +321,12 @@ func (w Relation) Decode() (*relation.Relation, error) {
 	}
 	out := relation.New(schema, sem)
 	if len(w.Cols) > 0 || len(w.Counts) > 0 {
-		if len(w.Cols) != schema.Arity() {
-			return nil, fmt.Errorf("wire: columnar relation has %d columns, schema arity %d",
-				len(w.Cols), schema.Arity())
-		}
-		for j := range w.Cols {
-			if n := w.Cols[j].length(); n != len(w.Counts) {
-				return nil, fmt.Errorf("wire: column %d has %d values, want %d", j, n, len(w.Counts))
-			}
-		}
-		t := make(relation.Tuple, len(w.Cols))
-		for i := range w.Counts {
-			for j := range w.Cols {
-				dv, err := w.Cols[j].colValue(i)
-				if err != nil {
-					return nil, err
-				}
-				t[j] = dv
-			}
-			out.Add(t, int(w.Counts[i]))
+		err := decodeCols(w.Cols, w.Counts, schema.Arity(), func(t relation.Tuple, n int) error {
+			out.Add(t, n)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return out, nil
 	}

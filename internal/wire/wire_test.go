@@ -131,6 +131,64 @@ func TestDeltaRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRelDeltaColumnarRoundTrip(t *testing.T) {
+	for _, bk := range []relation.Backend{relation.Rows, relation.Blocks} {
+		t.Run("backend="+bk.String(), func(t *testing.T) {
+			d := delta.NewRelWith("R", bk)
+			d.Add(relation.T(1, "x", 2.5), 2)
+			d.Add(relation.T(2, "y", -0.25), -1) // deletion atoms keep their sign
+			d.Add(relation.T(-7, "z", 0.0), 4)
+			enc := EncodeRelDeltaColumnar(d)
+			if enc.Rel != "R" || len(enc.Cols) != 3 || len(enc.Counts) != 3 {
+				t.Fatalf("encode shape: rel=%q cols=%d counts=%d", enc.Rel, len(enc.Cols), len(enc.Counts))
+			}
+			if enc.Cols[0].Kind != "int" || enc.Cols[1].Kind != "string" || enc.Cols[2].Kind != "float" {
+				t.Fatalf("column kinds = %q %q %q", enc.Cols[0].Kind, enc.Cols[1].Kind, enc.Cols[2].Kind)
+			}
+			got, err := enc.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Rel() != "R" || !got.Equal(d) {
+				t.Errorf("delta columnar round trip:\n%svs\n%s", got, d)
+			}
+
+			// Empty delta round-trips to an empty delta.
+			empty, err := EncodeRelDeltaColumnar(delta.NewRelWith("E", bk)).Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if empty.Rel() != "E" || !empty.IsEmpty() {
+				t.Errorf("empty delta round trip: rel=%q len=%d", empty.Rel(), empty.Len())
+			}
+		})
+	}
+
+	// Malformed payloads are rejected, not silently misread.
+	good := EncodeRelDeltaColumnar(func() *delta.RelDelta {
+		d := delta.NewRel("R")
+		d.Add(relation.T(1, "x"), 1)
+		d.Add(relation.T(2, "y"), -2)
+		return d
+	}())
+	bad := good
+	bad.Counts = bad.Counts[:1]
+	if _, err := bad.Decode(); err == nil {
+		t.Errorf("ragged columns must fail")
+	}
+	bad = good
+	bad.Counts = []int64{0, 0}
+	if _, err := bad.Decode(); err == nil {
+		t.Errorf("zero-count atoms must fail")
+	}
+	bad = good
+	bad.Cols = append([]Col{}, bad.Cols...)
+	bad.Cols[0] = Col{Kind: "zzz", V: []Value{{K: "zzz"}, {K: "zzz"}}}
+	if _, err := bad.Decode(); err == nil {
+		t.Errorf("bad cell kind must fail")
+	}
+}
+
 func TestExprRoundTrip(t *testing.T) {
 	exprs := []algebra.Expr{
 		nil,

@@ -12,6 +12,7 @@ import (
 	"squirrel/internal/sqlview"
 	"squirrel/internal/trace"
 	"squirrel/internal/vdp"
+	"squirrel/internal/wal"
 )
 
 // System is the quickstart assembly: in-process source databases, view
@@ -26,6 +27,7 @@ type System struct {
 	order   []string
 	med     *Mediator
 	plan    *VDP
+	wal     *wal.Manager
 	resil   ResilienceConfig
 	workers int
 	started bool
@@ -193,15 +195,13 @@ func (s *System) SetPropagateWorkers(n int) {
 	s.workers = n
 }
 
-// Start validates the plan, builds the mediator, connects announcement
-// feeds, and initializes the materialized store from the sources.
-func (s *System) Start() error {
-	if s.started {
-		return fmt.Errorf("squirrel: already started")
-	}
+// assemble validates the plan and builds a mediator over the registered
+// sources — shared by every Start variant. Announcement feeds are NOT
+// connected: a recovering mediator must replay with an empty queue.
+func (s *System) assemble() (*VDP, *Mediator, error) {
 	plan, err := s.builder.Build()
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	conns := make(map[string]SourceConn, len(s.sources))
 	for name, src := range s.sources {
@@ -210,16 +210,113 @@ func (s *System) Start() error {
 	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec,
 		Resilience: s.resil, PropagateWorkers: s.workers})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
+	return plan, med, nil
+}
+
+func (s *System) connectFeeds(med *Mediator) {
 	for _, src := range s.sources {
 		core.ConnectLocal(med, src.db)
 	}
+}
+
+// Start validates the plan, builds the mediator, connects announcement
+// feeds, and initializes the materialized store from the sources.
+func (s *System) Start() error {
+	if s.started {
+		return fmt.Errorf("squirrel: already started")
+	}
+	plan, med, err := s.assemble()
+	if err != nil {
+		return err
+	}
+	s.connectFeeds(med)
 	if err := med.Initialize(); err != nil {
 		return err
 	}
 	s.plan, s.med, s.started = plan, med, true
 	return nil
+}
+
+// DurabilityConfig configures the write-ahead delta log behind
+// StartDurable.
+type DurabilityConfig struct {
+	// Dir is the WAL directory (segments + checkpoints), created if
+	// missing. Required.
+	Dir string
+	// Fsync is the sync policy: wal.SyncCommit (default — every
+	// published version is durable first), wal.SyncBatch (the runtime's
+	// group-commit flush makes each drained batch durable with one
+	// fsync), or wal.SyncNone.
+	Fsync wal.SyncPolicy
+	// CompactEvery checkpoints the store and truncates the log after
+	// this many logged commits (0 = default, negative = only on
+	// shutdown/recovery).
+	CompactEvery int
+}
+
+// StartDurable is Start backed by a durable write-ahead delta log. On a
+// fresh directory it initializes from the sources and starts logging;
+// on a directory with state it recovers — newest readable checkpoint
+// plus log replay — then catches up on source commits made while down
+// (from the source logs; never a full resync). The returned info is nil
+// on a fresh start.
+func (s *System) StartDurable(cfg DurabilityConfig) (*wal.RecoveryInfo, error) {
+	if s.started {
+		return nil, fmt.Errorf("squirrel: already started")
+	}
+	plan, med, err := s.assemble()
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := wal.Open(wal.Options{
+		Dir: cfg.Dir, Policy: cfg.Fsync, CompactEvery: cfg.CompactEvery,
+		Metrics: med.Metrics(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	has, err := mgr.HasState()
+	if err != nil {
+		return nil, err
+	}
+	var info *wal.RecoveryInfo
+	if has {
+		if info, err = mgr.Recover(med); err != nil {
+			return nil, err
+		}
+		s.connectFeeds(med)
+		lp := med.LastProcessed()
+		for name, src := range s.sources {
+			src.db.ReplaySince(lp[name], med.OnAnnouncement)
+		}
+	} else {
+		s.connectFeeds(med)
+		if err := med.Initialize(); err != nil {
+			return nil, err
+		}
+		if err := mgr.Start(med); err != nil {
+			return nil, err
+		}
+	}
+	s.plan, s.med, s.wal, s.started = plan, med, mgr, true
+	return info, nil
+}
+
+// WAL exposes the system's log manager (nil unless StartDurable).
+func (s *System) WAL() *wal.Manager { return s.wal }
+
+// Shutdown closes the WAL cleanly — final checkpoint, so the next
+// StartDurable replays nothing. Stop any Runtime first. No-op without a
+// WAL.
+func (s *System) Shutdown() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
 }
 
 // MustStart is Start that panics on error.
@@ -483,6 +580,21 @@ func (s *System) SaveState(w io.Writer) error {
 	return persist.Save(w, snap)
 }
 
+// SaveStateFile is SaveState with crash-safe file semantics: the
+// snapshot is written to a temp file in the target's directory, fsynced,
+// and atomically renamed over path — a crash mid-save never clobbers the
+// previous snapshot.
+func (s *System) SaveStateFile(path string) error {
+	if !s.started {
+		return fmt.Errorf("squirrel: not started")
+	}
+	snap, err := s.med.Snapshot()
+	if err != nil {
+		return err
+	}
+	return persist.SaveFile(path, snap)
+}
+
 // StartFromState is Start, except the materialized store is restored from
 // a snapshot (written by SaveState on a system with the same sources,
 // views, and annotations) instead of being rebuilt by polling. After the
@@ -496,22 +608,11 @@ func (s *System) StartFromState(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	plan, err := s.builder.Build()
+	plan, med, err := s.assemble()
 	if err != nil {
 		return err
 	}
-	conns := make(map[string]SourceConn, len(s.sources))
-	for name, src := range s.sources {
-		conns[name] = core.LocalSource{DB: src.db}
-	}
-	med, err := core.New(core.Config{VDP: plan, Sources: conns, Clock: s.clk, Recorder: s.rec,
-		Resilience: s.resil, PropagateWorkers: s.workers})
-	if err != nil {
-		return err
-	}
-	for _, src := range s.sources {
-		core.ConnectLocal(med, src.db)
-	}
+	s.connectFeeds(med)
 	if err := med.Restore(snap); err != nil {
 		return err
 	}
