@@ -9,6 +9,7 @@
 //	squirrel query               one-shot query against TCP-served sources
 //	squirrel query-view          query a running mediator's exports
 //	squirrel readvise            trigger one annotation-advisor round
+//	squirrel scenario            run declarative YAML scenarios on virtual time
 //	squirrel stats|metrics|events  operator introspection of a mediator
 package main
 
@@ -44,6 +45,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "readvise":
 		err = cmdReadvise(os.Args[2:])
+	case "scenario":
+		err = cmdScenario(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "metrics":
@@ -92,6 +95,11 @@ commands:
                              trigger one advisor round on a running mediator:
                              observe, advise, and apply (or preview) the
                              annotation flips
+  scenario run [-update] [-v] <file|dir>...
+                             run declarative YAML scenarios on virtual time
+                             and compare byte-identical golden transcripts
+  scenario list <file|dir>...
+                             list scenario names and descriptions
   stats -addr HOST:PORT      print a mediator's counters and source health
   metrics -addr HOST:PORT [-prom]
                              print a mediator's latency histograms and

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"squirrel/internal/scenario"
+)
+
+// cmdScenario dispatches `squirrel scenario run|list`.
+func cmdScenario(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: squirrel scenario run|list [flags] <file|dir>...")
+	}
+	switch args[0] {
+	case "run":
+		return cmdScenarioRun(args[1:])
+	case "list":
+		return cmdScenarioList(args[1:])
+	default:
+		return fmt.Errorf("unknown scenario subcommand %q (want run or list)", args[0])
+	}
+}
+
+// collectSpecs expands file and directory arguments into a sorted list of
+// .yaml scenario paths.
+func collectSpecs(args []string) ([]string, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".yaml") {
+				paths = append(paths, filepath.Join(arg, e.Name()))
+			}
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no scenario files found")
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func cmdScenarioRun(args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	update := fs.Bool("update", false, "rewrite <spec>.golden transcripts instead of comparing")
+	verbose := fs.Bool("v", false, "print full transcripts, not just verdicts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths, err := collectSpecs(fs.Args())
+	if err != nil {
+		return err
+	}
+	failures := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		spec, err := scenario.ParseSpec(data)
+		if err != nil {
+			failures++
+			fmt.Printf("FAIL %s: parse: %v\n", path, err)
+			continue
+		}
+		res, err := scenario.Run(spec)
+		if err != nil {
+			failures++
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			continue
+		}
+		if *verbose {
+			os.Stdout.Write(res.Transcript)
+		}
+		if res.Err != nil {
+			failures++
+			fmt.Printf("FAIL %s: %v\n", path, res.Err)
+			continue
+		}
+		golden := path + ".golden"
+		if *update {
+			if err := os.WriteFile(golden, res.Transcript, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("ok   %s (golden updated)\n", path)
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		switch {
+		case os.IsNotExist(err):
+			fmt.Printf("ok   %s (no golden; use -update to record)\n", path)
+		case err != nil:
+			return err
+		case string(want) != string(res.Transcript):
+			failures++
+			fmt.Printf("FAIL %s: transcript differs from %s (run with -update to accept)\n", path, golden)
+		default:
+			fmt.Printf("ok   %s\n", path)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d scenario(s) failed", failures, len(paths))
+	}
+	return nil
+}
+
+func cmdScenarioList(args []string) error {
+	fs := flag.NewFlagSet("scenario list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths, err := collectSpecs(fs.Args())
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		spec, err := scenario.ParseSpec(data)
+		if err != nil {
+			fmt.Printf("%-40s INVALID: %v\n", path, err)
+			continue
+		}
+		desc := spec.Description
+		if desc == "" {
+			desc = "(no description)"
+		}
+		fmt.Printf("%-40s %-28s %s\n", path, spec.Name, desc)
+	}
+	return nil
+}

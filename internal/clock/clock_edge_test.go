@@ -1,0 +1,63 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLogicalConcurrentMonotonic: beyond global uniqueness (see
+// TestLogicalConcurrentUnique), each goroutine must observe its OWN
+// reads strictly increasing — a torn update to last could hand a
+// goroutine a stamp older than one it already holds. Run under -race
+// this also exercises the mutex on the Now fast path.
+func TestLogicalConcurrentMonotonic(t *testing.T) {
+	c := &Logical{}
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := Time(-1)
+			for i := 0; i < per; i++ {
+				now := c.Now()
+				if now <= prev {
+					t.Errorf("Now went backwards: %d after %d", now, prev)
+					return
+				}
+				prev = now
+			}
+		}()
+	}
+	wg.Wait()
+	if final := c.Peek(); final != goroutines*per {
+		t.Errorf("Peek() = %d after %d draws", final, goroutines*per)
+	}
+}
+
+// TestPeekDoesNotAdvance: Peek between concurrent Now calls never
+// consumes a timestamp and never exceeds the draws made so far.
+func TestPeekDoesNotAdvance(t *testing.T) {
+	c := &Logical{}
+	const draws = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < draws; i++ {
+			c.Now()
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if c.Peek() != draws {
+				t.Errorf("Peek() = %d, want %d", c.Peek(), draws)
+			}
+			return
+		default:
+			if p := c.Peek(); p > draws {
+				t.Fatalf("Peek() = %d exceeds total draws %d", p, draws)
+			}
+		}
+	}
+}

@@ -22,6 +22,11 @@ import (
 // not — must equal the from-scratch evaluation of the leaf states its
 // Reflect vector names, and degraded answers must carry a staleness bound
 // consistent with that vector (Reflect[src] >= Committed - Staleness[src]).
+//
+// A deterministic single-trajectory port of this soak lives at
+// testdata/scenarios/fault-chaos-port.yaml (run via `squirrel scenario`):
+// it pins one outage/gap/resync timeline on virtual time with a golden
+// transcript, while this file keeps the randomized -race churn.
 
 // newChaosEnv is newEnv with S' and T hybrid (s2 virtual), so every query
 // for s2 must poll db2 through the fault boundary, and with the source

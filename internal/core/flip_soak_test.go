@@ -15,6 +15,11 @@ import (
 // query path. Every answer must equal the from-scratch evaluation at its
 // own Reflect vector — whichever plan epoch served it — and the observed
 // store version must never go backwards. Run with -race.
+//
+// A deterministic single-trajectory port lives at
+// testdata/scenarios/flip-adapt-port.yaml (run via `squirrel scenario`):
+// it pins one flip sequence on virtual time with a golden transcript,
+// while this test keeps the concurrent envelope.
 func TestFlipSoakConcurrentValidity(t *testing.T) {
 	e := newEnv(t, nil, nil, nil)
 	tSchema := e.vdp_.Node("T").Schema

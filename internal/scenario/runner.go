@@ -1,0 +1,510 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/sim"
+	"squirrel/internal/vdp"
+)
+
+// Result is one executed scenario: the full transcript (always complete,
+// byte-for-byte deterministic for a given spec) and the failure, if any.
+type Result struct {
+	Spec       *Spec
+	Transcript []byte
+	// Err is the first assertion failure (or truncation failure). Steps
+	// that merely produce errors — a query against a crashed source, a
+	// failed flush — are recorded in the transcript and only fail the
+	// scenario when an expect/assert says otherwise.
+	Err error
+}
+
+// Passed reports whether the scenario ran to completion with every
+// assertion satisfied.
+func (r *Result) Passed() bool { return r.Err == nil }
+
+// runner executes one spec.
+type runner struct {
+	spec *Spec
+	h    *sim.Harness
+	out  strings.Builder
+	fail error
+}
+
+// Run executes the scenario on deterministic virtual time. The returned
+// error is reserved for environment construction failures on a spec that
+// ParseSpec accepted (it should not happen); scenario failures land in
+// Result.Err with the transcript recording what happened.
+func Run(spec *Spec) (*Result, error) {
+	plan, err := spec.BuildPlan()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	initial, err := spec.SeedRelations(plan)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	d := sim.Delays{
+		Ann:         spec.Delays.Ann,
+		Comm:        spec.Delays.Comm,
+		QProcSource: spec.Delays.QProc,
+		UHold:       spec.Delays.UHold,
+		UProc:       spec.Delays.UProc,
+		QProcMed:    spec.Delays.QProcMed,
+	}
+	h, err := sim.NewHarness(plan, initial, d)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	h.Sim.Horizon = spec.Horizon
+	r := &runner{spec: spec, h: h}
+	h.OnTxnError = func(err error) {
+		r.linef("update-loop error: %v", err)
+	}
+
+	r.out.WriteString("scenario: " + spec.Name + "\n")
+	if spec.Description != "" {
+		r.out.WriteString("description: " + spec.Description + "\n")
+	}
+	fmt.Fprintf(&r.out, "plan: sources=[%s] exports=[%s]\n",
+		strings.Join(plan.Sources(), " "), strings.Join(plan.Exports(), " "))
+	r.linef("init version=%d", h.Med.StoreVersion())
+
+	for i := range spec.Steps {
+		r.step(&spec.Steps[i])
+		if r.fail != nil {
+			break
+		}
+	}
+
+	if r.fail == nil {
+		if n := h.Sim.Dropped(); n > 0 {
+			// A truncated timeline must fail loudly: events that silently
+			// vanished past the horizon would make the run prove nothing.
+			r.failf("%d timeline event(s) dropped past horizon %d — raise the horizon or shorten the timeline", n, spec.Horizon)
+		}
+	}
+	u, q := h.Rec.Len()
+	r.linef("end updates=%d queries=%d dropped_events=%d", u, q, h.Sim.Dropped())
+	if r.fail != nil {
+		r.out.WriteString("result: FAIL: " + r.fail.Error() + "\n")
+	} else {
+		r.out.WriteString("result: PASS\n")
+	}
+	return &Result{Spec: spec, Transcript: []byte(r.out.String()), Err: r.fail}, nil
+}
+
+// linef writes one transcript line stamped with the current virtual time.
+func (r *runner) linef(format string, args ...any) {
+	fmt.Fprintf(&r.out, "[%8d] ", int64(r.h.Sim.Time()))
+	fmt.Fprintf(&r.out, format, args...)
+	r.out.WriteByte('\n')
+}
+
+// subline writes an indented continuation line (answer rows).
+func (r *runner) subline(s string) {
+	r.out.WriteString("           " + s + "\n")
+}
+
+func (r *runner) failf(format string, args ...any) {
+	r.fail = fmt.Errorf(format, args...)
+	r.linef("FAIL: %v", r.fail)
+}
+
+func (r *runner) step(st *Step) {
+	switch st.Kind {
+	case "advance":
+		r.h.Sim.AdvanceBy(st.Advance)
+		r.linef("advance %d", int64(st.Advance))
+	case "commit":
+		r.commit(st.Commit)
+	case "burst":
+		r.burst(st.Burst)
+	case "flush":
+		r.flush()
+	case "query":
+		r.query(st.Query)
+	case "crash":
+		f := r.h.Fault(st.Source)
+		f.Down = true
+		r.linef("crash %s", st.Source)
+	case "restore":
+		f := r.h.Fault(st.Source)
+		f.Down = false
+		f.HangTicks = 0
+		r.linef("restore %s", st.Source)
+	case "hang":
+		r.h.Fault(st.Hang.Source).HangTicks = st.Hang.Ticks
+		r.linef("hang %s ticks=%d", st.Hang.Source, int64(st.Hang.Ticks))
+	case "drop_announcements":
+		r.h.Fault(st.Drop.Source).DropNextAnns += st.Drop.Count
+		r.linef("drop_announcements %s count=%d", st.Drop.Source, st.Drop.Count)
+	case "resync":
+		var err error
+		r.h.Exclusive(func() { err = r.h.Med.ResyncSource(st.Source) })
+		if err != nil {
+			r.linef("resync %s error: %v", st.Source, err)
+		} else {
+			r.linef("resync %s ok version=%d", st.Source, r.h.Med.StoreVersion())
+		}
+	case "reannotate":
+		r.reannotate(st.Reannotate)
+	case "note":
+		r.linef("note: %s", st.Note)
+	case "assert":
+		r.assert(st.Assert)
+	default:
+		r.failf("internal: unknown step kind %q", st.Kind)
+	}
+}
+
+func (r *runner) commit(c *CommitStep) {
+	d := delta.New()
+	for _, t := range c.Insert {
+		d.Insert(c.Relation, t)
+	}
+	for _, t := range c.Delete {
+		d.Delete(c.Relation, t)
+	}
+	t, err := r.h.DBs[c.Source].Apply(d)
+	if err != nil {
+		r.linef("commit %s/%s error: %v", c.Source, c.Relation, err)
+		return
+	}
+	r.linef("commit %s/%s +%d/-%d t=%d", c.Source, c.Relation, len(c.Insert), len(c.Delete), int64(t))
+}
+
+func (r *runner) burst(bu *BurstStep) {
+	rs := r.spec.relSpec(bu.Source, bu.Relation)
+	start := r.h.Sim.Time()
+	for k := 0; k < bu.Count; k++ {
+		k := k
+		at := start + bu.Every*clock.Time(k+1)
+		r.h.ScheduleCommit(at, bu.Source, func() *delta.Delta {
+			d := delta.New()
+			for _, row := range bu.Insert {
+				t, err := row.eval(k, rs.Attrs)
+				if err != nil {
+					panic(fmt.Sprintf("scenario: burst row: %v", err))
+				}
+				d.Insert(bu.Relation, t)
+			}
+			for _, row := range bu.Delete {
+				t, err := row.eval(k, rs.Attrs)
+				if err != nil {
+					panic(fmt.Sprintf("scenario: burst row: %v", err))
+				}
+				d.Delete(bu.Relation, t)
+			}
+			return d
+		})
+	}
+	r.linef("burst %s/%s count=%d every=%d until=%d",
+		bu.Source, bu.Relation, bu.Count, int64(bu.Every), int64(start+bu.Every*clock.Time(bu.Count)))
+}
+
+func (r *runner) flush() {
+	var ran bool
+	var err error
+	r.h.Exclusive(func() {
+		r.h.Sim.AdvanceBy(r.spec.Delays.UProc)
+		ran, err = r.h.Med.RunUpdateTransaction()
+	})
+	if err != nil {
+		r.linef("flush error: %v", err)
+		return
+	}
+	r.linef("flush ran=%v version=%d", ran, r.h.Med.StoreVersion())
+}
+
+func (r *runner) query(q *QueryStep) {
+	opts := core.QueryOptions{}
+	if q.Stale {
+		opts.Degrade = core.ServeStale
+		opts.MaxStaleness = q.MaxStaleness
+	}
+	var res *core.QueryResult
+	var err error
+	r.h.Exclusive(func() {
+		r.h.Sim.AdvanceBy(r.spec.Delays.QProcMed)
+		res, err = r.h.Med.QueryOpts(q.Export, q.Attrs, q.Where, opts)
+	})
+
+	label := q.Export
+	if len(q.Attrs) > 0 {
+		label += "[" + strings.Join(q.Attrs, " ") + "]"
+	}
+	if q.WhereSrc != "" {
+		label += " where " + q.WhereSrc
+	}
+	if err != nil {
+		r.linef("query %s error: %v", label, err)
+		if q.Expect == nil {
+			return
+		}
+		if q.Expect.ErrContains == "" {
+			r.failf("query %s failed unexpectedly: %v", label, err)
+		} else if !strings.Contains(err.Error(), q.Expect.ErrContains) {
+			r.failf("query %s error %q does not contain %q", label, err, q.Expect.ErrContains)
+		}
+		return
+	}
+	extra := ""
+	if res.Degraded {
+		extra = " degraded staleness=" + vecString(res.Staleness)
+	}
+	r.linef("query %s rows=%d version=%d reflect=%s%s",
+		label, res.Answer.Len(), res.Version, vecString(res.Reflect), extra)
+	for _, rw := range res.Answer.Rows() {
+		s := rw.Tuple.String()
+		if rw.Count != 1 {
+			s += fmt.Sprintf(" x%d", rw.Count)
+		}
+		r.subline(s)
+	}
+	r.checkExpect(q, res, label)
+}
+
+func (r *runner) checkExpect(q *QueryStep, res *core.QueryResult, label string) {
+	x := q.Expect
+	if x == nil {
+		return
+	}
+	if x.ErrContains != "" {
+		r.failf("query %s expected an error containing %q, got %d rows", label, x.ErrContains, res.Answer.Len())
+		return
+	}
+	if x.Count != nil && res.Answer.Len() != *x.Count {
+		r.failf("query %s expected %d rows, got %d", label, *x.Count, res.Answer.Len())
+		return
+	}
+	if x.Degraded != nil && res.Degraded != *x.Degraded {
+		r.failf("query %s expected degraded=%v, got %v", label, *x.Degraded, res.Degraded)
+		return
+	}
+	if x.HasRows {
+		want := relation.NewBag(res.Answer.Schema())
+		for _, t := range x.Rows {
+			if len(t) != res.Answer.Schema().Arity() {
+				r.failf("query %s expect.rows arity %d does not match answer arity %d",
+					label, len(t), res.Answer.Schema().Arity())
+				return
+			}
+			want.Add(t, 1)
+		}
+		if !res.Answer.Equal(want) {
+			r.failf("query %s answer mismatch:\ngot\n%swant\n%s", label, res.Answer, want)
+		}
+	}
+}
+
+func (r *runner) reannotate(anns []AnnSpec) {
+	m := map[string]vdp.Annotation{}
+	names := make([]string, 0, len(anns))
+	for _, a := range anns {
+		m[a.Node] = vdp.Ann(a.Materialized, a.Virtual)
+		names = append(names, a.Node)
+	}
+	var flips []core.AnnotationFlip
+	var err error
+	r.h.Exclusive(func() { flips, err = r.h.Med.Reannotate(m) })
+	if err != nil {
+		r.linef("reannotate %s error: %v", strings.Join(names, ","), err)
+		return
+	}
+	parts := make([]string, len(flips))
+	for i, f := range flips {
+		parts[i] = f.String()
+	}
+	r.linef("reannotate %s flips=[%s] version=%d",
+		strings.Join(names, ","), strings.Join(parts, " "), r.h.Med.StoreVersion())
+}
+
+func (r *runner) assert(a *AssertStep) {
+	var checked []string
+	env := r.h.Environment()
+	if a.Consistency {
+		if err := env.CheckConsistency(); err != nil {
+			r.failf("assert consistency: %v", err)
+			return
+		}
+		checked = append(checked, "consistency")
+	}
+	if a.Theorem72 {
+		bounds := r.h.Delay.Bounds(r.h.Med, r.h.Plan.Sources())
+		if _, err := env.CheckFreshness(bounds); err != nil {
+			r.failf("assert theorem72 (bounds %s): %v", vecString(bounds), err)
+			return
+		}
+		checked = append(checked, "theorem72="+vecString(bounds))
+	}
+	if a.Freshness != nil {
+		worst, err := env.CheckFreshness(a.Freshness)
+		if err != nil {
+			r.failf("assert freshness: %v", err)
+			return
+		}
+		checked = append(checked, "freshness worst="+vecString(worst))
+	}
+	if a.HasQuarantined {
+		got := r.h.Med.QuarantinedSources()
+		sort.Strings(got)
+		want := append([]string(nil), a.Quarantined...)
+		sort.Strings(want)
+		if !equalStrings(got, want) {
+			r.failf("assert quarantined: got [%s], want [%s]",
+				strings.Join(got, " "), strings.Join(want, " "))
+			return
+		}
+		checked = append(checked, fmt.Sprintf("quarantined=[%s]", strings.Join(want, " ")))
+	}
+	if a.Store != nil {
+		nodes := make([]string, 0, len(a.Store))
+		for n := range a.Store {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, nodeName := range nodes {
+			snap := r.h.Med.StoreSnapshot(nodeName)
+			if snap == nil {
+				r.failf("assert store: node %s has no materialized portion", nodeName)
+				return
+			}
+			if snap.Len() != a.Store[nodeName] {
+				r.failf("assert store: node %s has %d rows, want %d", nodeName, snap.Len(), a.Store[nodeName])
+				return
+			}
+			checked = append(checked, fmt.Sprintf("store[%s]=%d", nodeName, a.Store[nodeName]))
+		}
+	}
+	if len(a.Stats) > 0 {
+		st := r.h.Med.Stats()
+		for _, sa := range a.Stats {
+			v := statValue(st, sa.Name)
+			if v < sa.Min || (sa.Max >= 0 && v > sa.Max) {
+				r.failf("assert stats: %s=%d outside [%d, %s]", sa.Name, v, sa.Min, maxString(sa.Max))
+				return
+			}
+			checked = append(checked, fmt.Sprintf("%s=%d", sa.Name, v))
+		}
+	}
+	if len(a.Events) > 0 {
+		log := r.h.Med.Metrics().Events()
+		recent, _ := log.Recent(log.Len())
+		for _, ea := range a.Events {
+			count := 0
+			for _, e := range recent {
+				if e.Type == ea.Type && (ea.Subject == "" || e.Subject == ea.Subject) {
+					count++
+				}
+			}
+			if count < ea.Min {
+				r.failf("assert events: %d %q event(s) (subject %q), want >= %d", count, ea.Type, ea.Subject, ea.Min)
+				return
+			}
+			checked = append(checked, fmt.Sprintf("events[%s]=%d", ea.Type, count))
+		}
+	}
+	if a.DroppedAnns != nil {
+		srcs := make([]string, 0, len(a.DroppedAnns))
+		for s := range a.DroppedAnns {
+			srcs = append(srcs, s)
+		}
+		sort.Strings(srcs)
+		for _, src := range srcs {
+			got := r.h.Fault(src).DroppedAnns
+			if got != a.DroppedAnns[src] {
+				r.failf("assert dropped_announcements: %s dropped %d, want %d", src, got, a.DroppedAnns[src])
+				return
+			}
+			checked = append(checked, fmt.Sprintf("dropped[%s]=%d", src, a.DroppedAnns[src]))
+		}
+	}
+	if len(checked) == 0 {
+		r.failf("assert step checks nothing")
+		return
+	}
+	r.linef("assert ok: %s", strings.Join(checked, " "))
+}
+
+func statValue(st core.Stats, name string) int64 {
+	switch name {
+	case "update_txns":
+		return int64(st.UpdateTxns)
+	case "query_txns":
+		return int64(st.QueryTxns)
+	case "atoms_propagated":
+		return int64(st.AtomsPropagated)
+	case "source_polls":
+		return int64(st.SourcePolls)
+	case "tuples_polled":
+		return int64(st.TuplesPolled)
+	case "temps_built":
+		return int64(st.TempsBuilt)
+	case "queue_high_water":
+		return int64(st.QueueHighWater)
+	case "current_version":
+		return int64(st.CurrentVersion)
+	case "versions_published":
+		return int64(st.VersionsPublished)
+	case "poll_failures":
+		return int64(st.PollFailures)
+	case "poll_retries":
+		return int64(st.PollRetries)
+	case "degraded_queries":
+		return int64(st.DegradedQueries)
+	case "gaps_detected":
+		return int64(st.GapsDetected)
+	case "resyncs":
+		return int64(st.Resyncs)
+	case "annotation_switches":
+		return int64(st.AnnotationSwitches)
+	case "update_txn_retries":
+		return int64(st.UpdateTxnRetries)
+	}
+	return -1
+}
+
+func maxString(m int64) string {
+	if m < 0 {
+		return "inf"
+	}
+	return fmt.Sprint(m)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// vecString renders a clock vector with sorted keys: {db1:3 db2:7}.
+func vecString(v clock.Vector) string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, int64(v[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -62,6 +62,22 @@ func (d Delays) Bounds(med *core.Mediator, sources []string) clock.Vector {
 	return out
 }
 
+// SourceFault is the controllable failure state of one simulated source
+// link (scenario steps flip these; the zero value is a healthy link).
+type SourceFault struct {
+	// Down fails every poll after the request's one-way trip, and drops
+	// announcements (the crashed source's feed is gone with it).
+	Down bool
+	// HangTicks, if > 0, models a hung source: a poll burns the hang
+	// window in virtual time before failing (a timeout, not a fast error).
+	HangTicks clock.Time
+	// DropNextAnns silently discards the next n announcements (a lossy
+	// feed: the mediator sees a sequence gap when delivery resumes).
+	DropNextAnns int
+	// DroppedAnns counts announcements discarded by Down or DropNextAnns.
+	DroppedAnns int
+}
+
 // Harness wires source databases, the delay model, and a mediator on a
 // shared simulator.
 type Harness struct {
@@ -72,7 +88,23 @@ type Harness struct {
 	Plan  *vdp.VDP
 	Delay Delays
 
-	busy bool // a mediator transaction is in progress (serial execution)
+	// OnTxnError, if non-nil, receives errors from the periodic update
+	// loop instead of panicking — a scenario deliberately crashing a
+	// source expects its polls to fail.
+	OnTxnError func(error)
+
+	busy   bool // a mediator transaction is in progress (serial execution)
+	faults map[string]*SourceFault
+}
+
+// Fault returns the mutable fault state for src (created on demand).
+func (h *Harness) Fault(src string) *SourceFault {
+	f, ok := h.faults[src]
+	if !ok {
+		f = &SourceFault{}
+		h.faults[src] = f
+	}
+	return f
 }
 
 // delayedConn models the network path between the mediator and one
@@ -91,6 +123,15 @@ func (c delayedConn) Name() string { return c.src }
 func (c delayedConn) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
 	d := c.h.Delay
 	c.h.Sim.AdvanceBy(d.Comm[c.src]) // request travels
+	if f := c.h.faults[c.src]; f != nil {
+		if f.HangTicks > 0 {
+			c.h.Sim.AdvanceBy(f.HangTicks)
+			return nil, 0, fmt.Errorf("sim: source %s hung (gave up after %d ticks)", c.src, f.HangTicks)
+		}
+		if f.Down {
+			return nil, 0, fmt.Errorf("sim: source %s is down", c.src)
+		}
+	}
 	var answers []*relation.Relation
 	var asOf clock.Time
 	var err error
@@ -112,7 +153,8 @@ func (c delayedConn) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation,
 // periodic update-transaction loop with period UHold.
 func NewHarness(plan *vdp.VDP, initial map[string]map[string]*relation.Relation, d Delays) (*Harness, error) {
 	s := New()
-	h := &Harness{Sim: s, DBs: map[string]*source.DB{}, Rec: trace.NewRecorder(), Plan: plan, Delay: d}
+	h := &Harness{Sim: s, DBs: map[string]*source.DB{}, Rec: trace.NewRecorder(), Plan: plan, Delay: d,
+		faults: map[string]*SourceFault{}}
 	conns := map[string]core.SourceConn{}
 	for _, src := range plan.Sources() {
 		db := source.NewDB(src, s)
@@ -132,6 +174,17 @@ func NewHarness(plan *vdp.VDP, initial map[string]map[string]*relation.Relation,
 	for src, db := range h.DBs {
 		src := src
 		db.Subscribe(func(a source.Announcement) {
+			if f := h.faults[src]; f != nil {
+				if f.Down {
+					f.DroppedAnns++
+					return
+				}
+				if f.DropNextAnns > 0 {
+					f.DropNextAnns--
+					f.DroppedAnns++
+					return
+				}
+			}
 			delay := d.Ann[src] + d.Comm[src]
 			s.After(delay, func() { med.OnAnnouncement(a) })
 		})
@@ -145,6 +198,10 @@ func NewHarness(plan *vdp.VDP, initial map[string]map[string]*relation.Relation,
 			h.withTransaction(func() {
 				s.AdvanceBy(d.UProc)
 				if _, err := med.RunUpdateTransaction(); err != nil {
+					if h.OnTxnError != nil {
+						h.OnTxnError(err)
+						return
+					}
 					panic(fmt.Sprintf("sim: update transaction: %v", err))
 				}
 			})
@@ -179,6 +236,14 @@ func (h *Harness) withTransaction(fn func()) {
 	fn()
 	h.busy = false
 }
+
+// Exclusive runs fn as a serialized mediator transaction at the current
+// virtual time: periodic update transactions falling due while fn
+// advances the clock are deferred (by a tick at a time) until fn
+// returns, exactly as withTransaction serializes scheduled work. The
+// scenario runner drives queries, manual flushes, and re-annotations
+// through this.
+func (h *Harness) Exclusive(fn func()) { h.withTransaction(fn) }
 
 // ScheduleCommit schedules a source transaction at virtual time t. The
 // build callback runs at commit time (so it can consult current state);

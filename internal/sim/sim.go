@@ -46,10 +46,11 @@ func (h *eventHeap) Pop() any {
 // Sim is a discrete-event scheduler with a strictly increasing virtual
 // clock. The zero value is NOT ready; use New.
 type Sim struct {
-	now    clock.Time
-	issued clock.Time // last timestamp handed out by Now
-	seq    uint64
-	pq     eventHeap
+	now     clock.Time
+	issued  clock.Time // last timestamp handed out by Now
+	seq     uint64
+	pq      eventHeap
+	dropped int
 	// Horizon, if > 0, drops events scheduled beyond it (simulation end).
 	Horizon clock.Time
 }
@@ -73,8 +74,26 @@ func (s *Sim) Now() clock.Time {
 // Time returns the current virtual time without consuming a timestamp.
 func (s *Sim) Time() clock.Time { return s.now }
 
-// At schedules fn at absolute virtual time t (clamped to now).
+// At schedules fn at absolute virtual time t (clamped to now). An event
+// past the horizon is dropped AND counted (see Dropped): a workload step
+// that silently vanishes would make every downstream assertion pass
+// vacuously, so harnesses must be able to detect truncation.
 func (s *Sim) At(t clock.Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	if s.Horizon > 0 && t > s.Horizon {
+		s.dropped++
+		return
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// atUncounted is At for self-rescheduling periodic chains: a chain that
+// runs off the horizon's edge ended by design, not by truncation, so the
+// dropped tick is not counted.
+func (s *Sim) atUncounted(t clock.Time, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
@@ -89,17 +108,25 @@ func (s *Sim) At(t clock.Time, fn func()) {
 func (s *Sim) After(d clock.Time, fn func()) { s.At(s.now+d, fn) }
 
 // Every schedules fn at period intervals starting at start, until the
-// horizon (or forever if no horizon — use RunUntil then).
+// horizon (or forever if no horizon — use RunUntil then). The periodic
+// chain ending at the horizon is normal termination and does not count
+// as a dropped event.
 func (s *Sim) Every(start, period clock.Time, fn func()) {
 	var tick func()
 	next := start
 	tick = func() {
 		fn()
 		next += period
-		s.At(next, tick)
+		s.atUncounted(next, tick)
 	}
-	s.At(next, tick)
+	s.atUncounted(next, tick)
 }
+
+// Dropped reports how many one-shot events were discarded because they
+// were scheduled past the horizon. A deterministic harness should fail
+// loudly when this is non-zero at the end of a run: a truncated timeline
+// proves nothing about the steps that never executed.
+func (s *Sim) Dropped() int { return s.dropped }
 
 // step runs the earliest event; reports false when none remain.
 func (s *Sim) step() bool {

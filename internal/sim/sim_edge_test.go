@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestDroppedCountsHorizonLosses: events scheduled past the horizon are
+// silently discarded by step(), but At must count them so harnesses can
+// fail loudly instead of truncating timelines (the scenario runner
+// checks Dropped() at end of run).
+func TestDroppedCountsHorizonLosses(t *testing.T) {
+	s := New()
+	s.Horizon = 100
+	ran := 0
+	s.At(50, func() { ran++ })
+	s.At(150, func() { ran++ })   // dropped
+	s.At(101, func() { ran++ })   // dropped
+	s.At(100, func() { ran++ })   // exactly at horizon: kept
+	s.After(60, func() { ran++ }) // t=60: kept
+	s.Run()
+	if ran != 3 {
+		t.Errorf("ran = %d, want 3", ran)
+	}
+	if got := s.Dropped(); got != 2 {
+		t.Errorf("Dropped() = %d, want 2", got)
+	}
+}
+
+// TestEveryChainNotCountedAsDrop: a periodic chain ending at the horizon
+// is normal termination, not data loss — it must not inflate Dropped().
+func TestEveryChainNotCountedAsDrop(t *testing.T) {
+	s := New()
+	s.Horizon = 95
+	count := 0
+	s.Every(10, 10, func() { count++ })
+	s.Run()
+	if count != 9 { // 10,20,...,90
+		t.Errorf("count = %d, want 9", count)
+	}
+	if got := s.Dropped(); got != 0 {
+		t.Errorf("Dropped() = %d, want 0 (periodic rollover is not a drop)", got)
+	}
+}
+
+// TestDroppedFromWithinCallback: drops are counted even when the
+// too-late event is scheduled from inside a running event.
+func TestDroppedFromWithinCallback(t *testing.T) {
+	s := New()
+	s.Horizon = 50
+	s.At(40, func() {
+		s.After(100, func() { t.Error("ran past horizon") })
+	})
+	s.Run()
+	if got := s.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1", got)
+	}
+}
+
+// TestSameTickSeqAcrossOrigins: events landing on the same tick fire in
+// scheduling (seq) order regardless of whether they came from At, After,
+// or were scheduled from inside another callback.
+func TestSameTickSeqAcrossOrigins(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(20, func() { order = append(order, 0) })
+	s.At(10, func() {
+		// Scheduled later than both below, so it must fire after them
+		// even though it is registered "from within" the timeline.
+		s.After(10, func() { order = append(order, 3) })
+	})
+	s.After(20, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAdvanceByNested: AdvanceBy from inside an event that itself ran
+// from an outer AdvanceBy. The inner advance must drain due events and
+// return control to the outer frame with time fully advanced.
+func TestAdvanceByNested(t *testing.T) {
+	s := New()
+	var log []string
+	s.At(10, func() {
+		log = append(log, "outer-start")
+		s.AdvanceBy(30) // to t=40; runs the t=20 event below
+		log = append(log, "outer-end")
+	})
+	s.At(20, func() {
+		log = append(log, "inner-start")
+		s.AdvanceBy(5) // to t=25; runs the t=22 event below
+		log = append(log, "inner-end")
+	})
+	s.At(22, func() { log = append(log, "leaf") })
+	s.Run()
+	want := []string{"outer-start", "inner-start", "leaf", "inner-end", "outer-end"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i, w := range want {
+		if log[i] != w {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+	if s.Time() != 40 {
+		t.Errorf("final time = %d, want 40", s.Time())
+	}
+}
+
+// TestAdvanceByZero is a no-op in time but still a valid call from
+// within a callback.
+func TestAdvanceByZero(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10, func() {
+		s.AdvanceBy(0)
+		ran = true
+	})
+	s.Run()
+	if !ran || s.Time() != 10 {
+		t.Errorf("ran=%v time=%d", ran, s.Time())
+	}
+}
+
+// TestNowAcrossAdvanceBy: timestamps issued before an AdvanceBy, by
+// events due during it, and after it must form one strictly increasing
+// sequence — Now never replays an instant consumed inside the advance.
+func TestNowAcrossAdvanceBy(t *testing.T) {
+	s := New()
+	var stamps []int64
+	grab := func() { stamps = append(stamps, int64(s.Now())) }
+	s.At(10, func() {
+		grab()
+		s.AdvanceBy(20)
+		grab()
+	})
+	s.At(15, grab)
+	s.At(25, grab)
+	s.Run()
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] <= stamps[i-1] {
+			t.Fatalf("stamps not strictly increasing: %v", stamps)
+		}
+	}
+	if len(stamps) != 4 {
+		t.Fatalf("stamps = %v, want 4 entries", stamps)
+	}
+}
