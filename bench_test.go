@@ -16,6 +16,7 @@ import (
 	"squirrel/internal/algebra"
 	"squirrel/internal/checker"
 	"squirrel/internal/clock"
+	"squirrel/internal/core"
 	"squirrel/internal/delta"
 	"squirrel/internal/relation"
 	"squirrel/internal/sim"
@@ -888,6 +889,81 @@ func BenchmarkParallelPropagation(b *testing.B) {
 				if !ran {
 					b.Fatal("update transaction had nothing to do")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkE21SubscriptionFanout (E21) measures push-based continuous
+// queries (the subscription subsystem). The drain variant is the
+// steady-state fan-out cost: one 8-row commit published to N subscribers
+// that each receive and consume their delta frame — frames alias the
+// single committed delta, so the per-subscriber cost is queue bookkeeping,
+// not copying. The stalled variant is the backpressure guarantee under
+// load: N subscribers with 4-frame queues that never drain, so every
+// commit coalesces into each tail via Smash; what is measured is the
+// commit path itself, which must stay flat rather than stall on slow
+// consumers.
+func BenchmarkE21SubscriptionFanout(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("drain/subs=%d", n), func(b *testing.B) {
+			sys := benchSystem(b, 1000, 500, "materialized")
+			defer sys.Shutdown()
+			med := sys.Mediator()
+			subs := make([]*core.Subscription, n)
+			for i := range subs {
+				s, err := med.Subscribe("T", core.SubscribeOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok, err := s.TryRecv(); err != nil || !ok {
+					b.Fatalf("initial snapshot: ok=%v err=%v", ok, err)
+				}
+				subs[i] = s
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				commitR(b, sys, 8)
+				if _, err := sys.Sync(); err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range subs {
+					f, ok, err := s.TryRecv()
+					if err != nil || !ok || f.Kind != core.SubDelta {
+						b.Fatalf("frame: kind=%v ok=%v err=%v", f.Kind, ok, err)
+					}
+				}
+			}
+			b.StopTimer()
+			for _, s := range subs {
+				s.Close()
+			}
+		})
+		b.Run(fmt.Sprintf("stalled/subs=%d", n), func(b *testing.B) {
+			sys := benchSystem(b, 1000, 500, "materialized")
+			defer sys.Shutdown()
+			med := sys.Mediator()
+			subs := make([]*core.Subscription, n)
+			for i := range subs {
+				s, err := med.Subscribe("T", core.SubscribeOptions{MaxQueue: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok, err := s.TryRecv(); err != nil || !ok {
+					b.Fatalf("initial snapshot: ok=%v err=%v", ok, err)
+				}
+				subs[i] = s
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				commitR(b, sys, 8)
+				if _, err := sys.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for _, s := range subs {
+				s.Close()
 			}
 		})
 	}

@@ -8,6 +8,7 @@
 //	squirrel serve-mediator      assemble and serve a mediator over TCP sources
 //	squirrel query               one-shot query against TCP-served sources
 //	squirrel query-view          query a running mediator's exports
+//	squirrel subscribe           stream a view export's push frames as NDJSON
 //	squirrel readvise            trigger one annotation-advisor round
 //	squirrel scenario            run declarative YAML scenarios on virtual time
 //	squirrel stats|metrics|events  operator introspection of a mediator
@@ -41,6 +42,8 @@ func main() {
 		err = cmdServeMediator(os.Args[2:])
 	case "query-view":
 		err = cmdQueryView(os.Args[2:])
+	case "subscribe":
+		err = cmdSubscribe(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "readvise":
@@ -91,6 +94,11 @@ commands:
                              query a running mediator; -stale accepts a
                              degraded answer (bounded staleness) if a source
                              is down
+  subscribe -addr ... -export V [-from N] [-max-queue N] [-max-lag N] [-n N]
+                             stream a view export's subscription frames as
+                             NDJSON: one snapshot, then one delta frame per
+                             commit; -from resumes after a version, -max-lag
+                             bounds staleness (snapshot-resync past it)
   readvise -addr HOST:PORT [-dry-run]
                              trigger one advisor round on a running mediator:
                              observe, advise, and apply (or preview) the

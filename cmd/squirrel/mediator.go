@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -432,6 +433,64 @@ func cmdQueryView(args []string) error {
 	return nil
 }
 
+// cmdSubscribe registers for a view export's push stream on a running
+// mediator and prints each frame as one NDJSON line: first a snapshot of
+// the export at the pinned store version, then one delta frame per commit
+// (tagged with the committed version, stamp, and Reflect vector). With
+// -reconnect the client redials on disconnect and resumes from its last
+// delivered version, so the stream stays gap-free across outages.
+//
+//	squirrel subscribe -addr 127.0.0.1:7080 -export T -max-lag 100 | jq .
+func cmdSubscribe(args []string) error {
+	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7080", "mediator server address")
+	export := fs.String("export", "", "export relation name (must be fully materialized)")
+	from := fs.Uint64("from", 0, "resume after this committed store version (0 = start with a snapshot)")
+	maxQueue := fs.Int("max-queue", 0,
+		"server-side bound on undelivered frames; at the bound new commits coalesce "+
+			"into the newest frame (0 = server default 256)")
+	maxLag := fs.Int64("max-lag", 0,
+		"staleness bound in clock ticks (Theorem 7.2): a backlog older than this is "+
+			"dropped and the stream resyncs from a snapshot (0 = unbounded)")
+	count := fs.Int("n", 0, "stop after this many frames (0 = stream until interrupted)")
+	reconnect := fs.Bool("reconnect", true,
+		"redial on disconnect and resume from the last delivered version")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *export == "" {
+		return fmt.Errorf("subscribe needs -export")
+	}
+	sc, err := wire.SubscribeView(*addr, *export, wire.SubOptions{
+		FromVersion: *from, MaxQueue: *maxQueue, MaxLag: clock.Time(*maxLag),
+		Reconnect: *reconnect,
+	})
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		sc.Close()
+	}()
+	enc := json.NewEncoder(os.Stdout)
+	for n := 0; *count == 0 || n < *count; n++ {
+		f, err := sc.Next()
+		if err != nil {
+			if strings.Contains(err.Error(), "client closed") {
+				return nil // interrupted: a clean end of stream
+			}
+			return err
+		}
+		if err := enc.Encode(wire.EncodeSubFrame(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // cmdReadvise triggers one on-demand advisor round on a running mediator
 // (the §5.3 loop, operator-paced): observe the workload window since the
 // last round, ask the advisor, and apply the implied annotation flips —
@@ -528,6 +587,8 @@ func cmdStats(args []string) error {
 		st.DegradedQueries, st.GapsDetected)
 	fmt.Printf("queue:          %d high-water; store version %d (%d published)\n",
 		st.QueueHighWater, st.CurrentVersion, st.VersionsPublished)
+	fmt.Printf("subscriptions:  %d active, %d frames delivered, %d coalesces, %d lag drops, %d snapshot resyncs\n",
+		st.ActiveSubscribers, st.SubFramesDelivered, st.SubCoalesces, st.SubLagDrops, st.SubSnapshotResyncs)
 	names := make([]string, 0, len(st.Sources))
 	for name := range st.Sources {
 		names = append(names, name)

@@ -137,6 +137,16 @@ type Stats struct {
 	// version-continuity check still stops recovery at the unlogged
 	// publish — but it means the log lost its early-stop marker.
 	WALBarrierErrs int
+	// Subscription counters (subscribe.go): live subscriptions, frames
+	// delivered to consumers (snapshot and delta), frames folded into a
+	// slow subscriber's queue tail under backpressure, queues dropped for
+	// exceeding their MaxLag staleness bound, and snapshot resyncs forced
+	// on subscribers (barriers, continuity gaps, expired resume points).
+	ActiveSubscribers  int
+	SubFramesDelivered int
+	SubCoalesces       int
+	SubLagDrops        int
+	SubSnapshotResyncs int
 	// Sources is the per-source health view (breaker state, quarantine,
 	// last contact).
 	Sources map[string]SourceHealth
@@ -164,6 +174,10 @@ type counters struct {
 	txnRetries         atomic.Int64
 	annotationSwitches atomic.Int64
 	walBarrierErrs     atomic.Int64
+	subFrames          atomic.Int64
+	subCoalesces       atomic.Int64
+	subLagDrops        atomic.Int64
+	subResyncs         atomic.Int64
 }
 
 // Config assembles a Mediator.
@@ -328,6 +342,10 @@ type Mediator struct {
 	// obs caches the metrics instruments (observe.go); fixed at
 	// construction, never nil.
 	obs *mediatorObs
+
+	// subs is the push-delivery subscription registry (subscribe.go);
+	// fixed at construction, never nil. Its lock nests strictly inside mu.
+	subs *subRegistry
 }
 
 // New builds a mediator from the configuration. Call Initialize before
@@ -371,6 +389,7 @@ func New(cfg Config) (*Mediator, error) {
 	}
 	m.initHealth()
 	m.obs = newMediatorObs(cfg.Metrics, cfg.VDP)
+	m.subs = newSubRegistry(m, cfg.VDP)
 	return m, nil
 }
 
@@ -520,7 +539,12 @@ func (m *Mediator) Stats() Stats {
 		UpdateTxnRetries:   int(m.stats.txnRetries.Load()),
 		AnnotationSwitches: int(m.stats.annotationSwitches.Load()),
 		WALBarrierErrs:     int(m.stats.walBarrierErrs.Load()),
+		SubFramesDelivered: int(m.stats.subFrames.Load()),
+		SubCoalesces:       int(m.stats.subCoalesces.Load()),
+		SubLagDrops:        int(m.stats.subLagDrops.Load()),
+		SubSnapshotResyncs: int(m.stats.subResyncs.Load()),
 	}
+	s.ActiveSubscribers = m.subs.active()
 	s.Sources = m.sourceHealthStats()
 	for _, sh := range s.Sources {
 		if sh.ResyncStuck {

@@ -38,6 +38,16 @@ const (
 	MetricAttrAccessTotal         = "squirrel_query_attr_access_total" // labeled export=...,attr=...
 	MetricAnnouncementsTotal      = "squirrel_announcements_total"     // labeled source=...
 	MetricAnnotationSwitchesTotal = "squirrel_annotation_switches_total"
+	// Subscription instruments (subscribe.go): live subscription count,
+	// aggregate undelivered-frame depth across all queues, frames
+	// delivered, coalesces under backpressure, MaxLag queue drops, and
+	// forced snapshot resyncs.
+	MetricSubscribersActive = "squirrel_subscribers_active"
+	MetricSubQueueDepth     = "squirrel_sub_queue_depth"
+	MetricSubFramesTotal    = "squirrel_sub_frames_total"
+	MetricSubCoalescesTotal = "squirrel_sub_coalesces_total"
+	MetricSubLagDropsTotal  = "squirrel_sub_lag_drops_total"
+	MetricSubResyncsTotal   = "squirrel_sub_resyncs_total"
 )
 
 // mediatorObs caches the mediator's instruments. Per-source series are
@@ -80,6 +90,14 @@ type mediatorObs struct {
 	attrAccess    map[string]map[string]*metrics.Counter
 	queryCount    *metrics.Counter
 	annSwitches   *metrics.Counter
+
+	// Subscription instruments (subscribe.go).
+	subsActive    *metrics.Gauge
+	subQueueDepth *metrics.Gauge
+	subFrames     *metrics.Counter
+	subCoalesces  *metrics.Counter
+	subLagDrops   *metrics.Counter
+	subResyncs    *metrics.Counter
 }
 
 func newMediatorObs(reg *metrics.Registry, plan *vdp.VDP) *mediatorObs {
@@ -118,6 +136,12 @@ func newMediatorObs(reg *metrics.Registry, plan *vdp.VDP) *mediatorObs {
 		attrAccess:    make(map[string]map[string]*metrics.Counter),
 		queryCount:    reg.Counter(MetricQueryTxnsTotal),
 		annSwitches:   reg.Counter(MetricAnnotationSwitchesTotal),
+		subsActive:    reg.Gauge(MetricSubscribersActive),
+		subQueueDepth: reg.Gauge(MetricSubQueueDepth),
+		subFrames:     reg.Counter(MetricSubFramesTotal),
+		subCoalesces:  reg.Counter(MetricSubCoalescesTotal),
+		subLagDrops:   reg.Counter(MetricSubLagDropsTotal),
+		subResyncs:    reg.Counter(MetricSubResyncsTotal),
 	}
 	for _, src := range sources {
 		o.pollOK[src] = reg.Histogram(metrics.SeriesName(MetricSourcePollSeconds, "source", src, "outcome", "ok"), metrics.DefLatencyBuckets)

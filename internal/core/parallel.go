@@ -60,6 +60,12 @@ type stageNode struct {
 	preStore  *relation.Relation
 	postStore *relation.Relation
 
+	// captured is the store-schema-projected ΔR this node applied to its
+	// store portion in phase 1 (nil when the node stores nothing).
+	// Written by the node's own worker, harvested in the serial merge —
+	// the subscription registry ships it (subscribe.go).
+	captured *delta.RelDelta
+
 	contribs []stageContrib
 }
 
@@ -70,13 +76,14 @@ type stageContrib struct {
 
 // kernelStaged is the staged form of (*Mediator).kernel. workers bounds
 // the pool; workers == 1 runs the same staged code single-threaded.
-func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *tempResult, workers int) error {
+func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *tempResult, workers int) (map[string]*delta.RelDelta, error) {
 	var tempRels map[string]*relation.Relation
 	if temps != nil {
 		tempRels = temps.temps
 	}
 	base := resolverFor(b, tempRels)
 	pending := make(map[string]*delta.RelDelta)
+	captured := make(map[string]*delta.RelDelta)
 	v := m.curVDP() // stable: the staged kernel runs under txnMu
 
 	for stageIdx, stage := range v.Stages() {
@@ -120,7 +127,7 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 		if err := runBounded(workers, len(work), func(i int) error {
 			return m.applyStageDelta(work[i], temps)
 		}); err != nil {
-			return err
+			return nil, err
 		}
 		m.obs.stageApply.ObserveSince(applyStart)
 
@@ -145,7 +152,7 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 			}
 			return nil
 		}); err != nil {
-			return err
+			return nil, err
 		}
 		m.obs.stageRules.ObserveSince(rulesStart)
 
@@ -155,6 +162,9 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 		for _, w := range work {
 			if w.postTemp != nil {
 				tempRels[w.name] = w.postTemp
+			}
+			if w.captured != nil {
+				captured[w.name] = w.captured
 			}
 			for _, c := range w.contribs {
 				if acc, ok := pending[c.parent]; ok {
@@ -172,7 +182,7 @@ func (m *Mediator) kernelStaged(b *store.Builder, combined *delta.Delta, temps *
 			Fields: map[string]int64{"stage": int64(stageIdx), "nodes": int64(len(work)), "workers": int64(workers)},
 		})
 	}
-	return nil
+	return captured, nil
 }
 
 // applyStageDelta processes one node's own state: apply Δ to its
@@ -210,6 +220,7 @@ func (m *Mediator) applyStageDelta(w *stageNode, temps *tempResult) error {
 		if err := narrowed.ApplyTo(w.postStore, true); err != nil {
 			return fmt.Errorf("core: applying Δ%s to store: %w", w.name, err)
 		}
+		w.captured = narrowed
 	}
 	return nil
 }

@@ -297,6 +297,11 @@ func (m *Mediator) reannotateOnce(old *planEpoch, newV *vdp.VDP, newContribs map
 	// annotation would not match the older records' layout anyway). mu is
 	// held by the caller for the whole commit.
 	m.logBarrierLocked("reannotate")
+	// The relaid-out store was not produced by deltas, and the eligible
+	// export set may have changed with the annotation: clear the resume
+	// rings and drop every subscriber to snapshot-resync (or fail it, if
+	// its export lost full materialization).
+	m.subs.barrier("reannotate")
 	return false, nil
 }
 

@@ -248,6 +248,9 @@ func (m *Mediator) ResyncSource(src string) error {
 	// saw: replay cannot cross it. Mark it (mu is held for the whole
 	// resync) so recovery stops here and the log schedules a checkpoint.
 	m.logBarrierLocked("resync:" + src)
+	// The rebuilt state was never expressed as deltas either: subscribers
+	// cannot apply their way across it, so force them to snapshot-resync.
+	m.subs.barrier("resync:" + src)
 	m.stats.resyncs.Add(1)
 	m.obs.reg.Emit(metrics.Event{Type: metrics.EventResync, Subject: src, Dur: time.Since(start)})
 	seq := uint64(0)

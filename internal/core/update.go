@@ -92,6 +92,7 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 
 	combined, newRef := m.coalesceAnnouncements(snapshot)
 	var temps *tempResult
+	var captured map[string]*delta.RelDelta
 	polled := 0
 	dirty := combined.Relations()
 	if len(dirty) > 0 {
@@ -126,7 +127,8 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 		}
 		// Phase (c): the Kernel Algorithm, writing copy-on-write into b.
 		propStart := time.Now()
-		if err := m.runKernel(b, combined, temps); err != nil {
+		captured, err = m.runKernel(b, combined, temps)
+		if err != nil {
 			return false, false, err
 		}
 		m.obs.txnPropagate.ObserveSince(propStart)
@@ -189,11 +191,17 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 			m.lastProcessed[src] = t
 		}
 	}
-	m.vstore.Publish(b, reflect, committed)
+	published := m.vstore.Publish(b, reflect, committed)
 	m.pruneDoneLocked()
 	m.pruneEpochsLocked()
 	m.obs.queueLen.Set(int64(len(m.queue)))
 	m.qmu.Unlock()
+	// Fan the committed version out to subscribers (subscribe.go): one
+	// frame per eligible export, built from the kernel's captured ΔR.
+	// Still under mu — publishes and subscription state stay ordered —
+	// but never blocking: a slow subscriber coalesces, it cannot stall
+	// the commit.
+	m.subs.publish(published, captured)
 
 	m.stats.updateTxns.Add(1)
 	m.stats.atomsPropagated.Add(int64(combined.Card()))
@@ -253,8 +261,13 @@ func (m *Mediator) coalesceAnnouncements(snapshot []source.Announcement) (*delta
 
 // runKernel dispatches phase (c) to the configured executor: the serial
 // reference kernel (PropagateWorkers == 0, the differential oracle's
-// ground truth) or the staged kernel (parallel.go).
-func (m *Mediator) runKernel(b *store.Builder, combined *delta.Delta, temps *tempResult) error {
+// ground truth) or the staged kernel (parallel.go). Both return the
+// store-schema-projected ΔR applied to each stored node — the per-export
+// delta stream the subscription registry ships (subscribe.go). Retaining
+// the deltas by reference is safe: a node's pending accumulator receives
+// no further Smash once the node is processed (its children all precede
+// it in the topological order).
+func (m *Mediator) runKernel(b *store.Builder, combined *delta.Delta, temps *tempResult) (map[string]*delta.RelDelta, error) {
 	if m.workers >= 1 {
 		return m.kernelStaged(b, combined, temps, m.workers)
 	}
@@ -268,13 +281,14 @@ func (m *Mediator) runKernel(b *store.Builder, combined *delta.Delta, temps *tem
 // the in-place store used to provide. This serial form is the reference
 // implementation: the staged kernel must produce byte-identical stores
 // (randplan_test.go's differential oracle enforces it).
-func (m *Mediator) kernel(b *store.Builder, combined *delta.Delta, temps *tempResult) error {
+func (m *Mediator) kernel(b *store.Builder, combined *delta.Delta, temps *tempResult) (map[string]*delta.RelDelta, error) {
 	var tempRels map[string]*relation.Relation
 	if temps != nil {
 		tempRels = temps.temps
 	}
 	resolve := resolverFor(b, tempRels)
 	pending := make(map[string]*delta.RelDelta)
+	captured := make(map[string]*delta.RelDelta)
 	v := m.curVDP() // stable: the kernel runs under txnMu
 	for _, name := range v.Order() {
 		n := v.Node(name)
@@ -296,7 +310,7 @@ func (m *Mediator) kernel(b *store.Builder, combined *delta.Delta, temps *tempRe
 			}
 			contrib, err := v.Propagate(parent, name, dn, resolve)
 			if err != nil {
-				return fmt.Errorf("core: rule (%s, %s): %w", parent, name, err)
+				return nil, fmt.Errorf("core: rule (%s, %s): %w", parent, name, err)
 			}
 			if acc, ok := pending[parent]; ok {
 				acc.Smash(contrib)
@@ -318,29 +332,30 @@ func (m *Mediator) kernel(b *store.Builder, combined *delta.Delta, temps *tempRe
 					return algebra.EvalPred(cond, n.Schema, t)
 				})
 				if err != nil {
-					return err
+					return nil, err
 				}
 				toApply = filtered
 			}
 			narrowed, err := projectRelDelta(toApply, n.Schema, temp.Schema())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := narrowed.ApplyTo(temp, true); err != nil {
-				return fmt.Errorf("core: applying Δ%s to temporary: %w", name, err)
+				return nil, fmt.Errorf("core: applying Δ%s to temporary: %w", name, err)
 			}
 		}
 		if st := b.Mutable(name); st != nil {
 			narrowed, err := projectRelDelta(dn, n.Schema, st.Schema())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := narrowed.ApplyTo(st, true); err != nil {
-				return fmt.Errorf("core: applying Δ%s to store: %w", name, err)
+				return nil, fmt.Errorf("core: applying Δ%s to store: %w", name, err)
 			}
+			captured[name] = narrowed
 		}
 	}
-	return nil
+	return captured, nil
 }
 
 // projectRelDelta narrows a full-width node delta onto the attributes of a

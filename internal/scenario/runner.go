@@ -35,6 +35,17 @@ type runner struct {
 	h    *sim.Harness
 	out  strings.Builder
 	fail error
+	subs map[string]*scenSub
+}
+
+// scenSub is one named push subscription plus the replica its frames are
+// applied to. The replica outlives unsubscribe/resubscribe so a later
+// subscribe with `from` can resume onto it, mirroring a reconnecting
+// client that kept its local copy.
+type scenSub struct {
+	export  string
+	sub     *core.Subscription
+	replica *relation.Relation
 }
 
 // Run executes the scenario on deterministic virtual time. The returned
@@ -155,6 +166,12 @@ func (r *runner) step(st *Step) {
 		}
 	case "reannotate":
 		r.reannotate(st.Reannotate)
+	case "subscribe":
+		r.subscribe(st.Subscribe)
+	case "drain":
+		r.drain(st.Drain)
+	case "unsubscribe":
+		r.unsubscribe(st.Sub)
 	case "note":
 		r.linef("note: %s", st.Note)
 	case "assert":
@@ -326,6 +343,118 @@ func (r *runner) reannotate(anns []AnnSpec) {
 		strings.Join(names, ","), strings.Join(parts, " "), r.h.Med.StoreVersion())
 }
 
+func (r *runner) subscribe(s *SubscribeStep) {
+	var sub *core.Subscription
+	var err error
+	r.h.Exclusive(func() {
+		sub, err = r.h.Med.Subscribe(s.Export, core.SubscribeOptions{
+			FromVersion: s.From, MaxQueue: s.MaxQueue, MaxLag: s.MaxLag,
+		})
+	})
+	if err != nil {
+		r.linef("subscribe %s export=%s error: %v", s.Name, s.Export, err)
+		return
+	}
+	if r.subs == nil {
+		r.subs = map[string]*scenSub{}
+	}
+	ss := r.subs[s.Name]
+	if ss == nil {
+		ss = &scenSub{export: s.Export}
+		r.subs[s.Name] = ss
+	} else if ss.sub != nil {
+		ss.sub.Close()
+	}
+	if ss.export != s.Export {
+		// A name re-bound to a different export cannot resume onto the old
+		// replica; start over.
+		ss.export, ss.replica = s.Export, nil
+	}
+	ss.sub = sub
+	r.linef("subscribe %s export=%s from=%d", s.Name, s.Export, s.From)
+}
+
+func (r *runner) drain(d *DrainStep) {
+	ss := r.subs[d.Sub]
+	if ss == nil || ss.sub == nil {
+		r.failf("drain %s: subscription not active", d.Sub)
+		return
+	}
+	frames, coalesced := 0, 0
+	var kinds []string
+	for {
+		var f core.SubFrame
+		var ok bool
+		var err error
+		r.h.Exclusive(func() { f, ok, err = ss.sub.TryRecv() })
+		if err != nil {
+			r.linef("drain %s error: %v", d.Sub, err)
+			break
+		}
+		if !ok {
+			break
+		}
+		frames++
+		coalesced += f.Coalesced
+		kinds = append(kinds, f.Kind.String())
+		switch f.Kind {
+		case core.SubSnapshot:
+			ss.replica = f.Snapshot.Clone()
+			r.linef("frame %s snapshot v=%d rows=%d", d.Sub, f.Version, f.Snapshot.Len())
+		case core.SubDelta:
+			if ss.replica == nil {
+				r.failf("drain %s: delta frame before any snapshot", d.Sub)
+				return
+			}
+			if err := f.Delta.ApplyTo(ss.replica, false); err != nil {
+				r.failf("drain %s: apply delta v=%d: %v", d.Sub, f.Version, err)
+				return
+			}
+			line := fmt.Sprintf("frame %s delta v=%d first=%d atoms=%d", d.Sub, f.Version, f.First, f.Delta.Len())
+			if f.Coalesced > 0 {
+				line += fmt.Sprintf(" coalesced=%d", f.Coalesced)
+			}
+			r.linef("%s", line)
+		}
+	}
+	rows := -1
+	if ss.replica != nil {
+		rows = ss.replica.Len()
+	}
+	r.linef("drain %s frames=%d delivered=%d replica_rows=%d", d.Sub, frames, ss.sub.Delivered(), rows)
+	if d.Frames != nil && frames != *d.Frames {
+		r.failf("drain %s: %d frame(s), want %d", d.Sub, frames, *d.Frames)
+		return
+	}
+	if len(d.Kinds) > 0 && !equalStrings(kinds, d.Kinds) {
+		r.failf("drain %s: kinds [%s], want [%s]", d.Sub, strings.Join(kinds, " "), strings.Join(d.Kinds, " "))
+		return
+	}
+	if coalesced < d.MinCoalesced {
+		r.failf("drain %s: coalesced %d commit(s), want >= %d", d.Sub, coalesced, d.MinCoalesced)
+		return
+	}
+	if d.MatchStore {
+		var want *relation.Relation
+		r.h.Exclusive(func() { want = r.h.Med.StoreSnapshot(ss.export) })
+		if want == nil || ss.replica == nil || !ss.replica.Equal(want) {
+			r.failf("drain %s: replica does not match store snapshot of %s", d.Sub, ss.export)
+			return
+		}
+	}
+}
+
+func (r *runner) unsubscribe(name string) {
+	ss := r.subs[name]
+	if ss == nil || ss.sub == nil {
+		r.failf("unsubscribe %s: subscription not active", name)
+		return
+	}
+	ss.sub.Close()
+	ss.sub = nil
+	r.linef("unsubscribe %s", name)
+}
+
 func (r *runner) assert(a *AssertStep) {
 	var checked []string
 	env := r.h.Environment()
@@ -467,6 +596,16 @@ func statValue(st core.Stats, name string) int64 {
 		return int64(st.AnnotationSwitches)
 	case "update_txn_retries":
 		return int64(st.UpdateTxnRetries)
+	case "active_subscribers":
+		return int64(st.ActiveSubscribers)
+	case "sub_frames":
+		return int64(st.SubFramesDelivered)
+	case "sub_coalesces":
+		return int64(st.SubCoalesces)
+	case "sub_lag_drops":
+		return int64(st.SubLagDrops)
+	case "sub_resyncs":
+		return int64(st.SubSnapshotResyncs)
 	}
 	return -1
 }

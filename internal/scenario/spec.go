@@ -77,7 +77,7 @@ type DelaySpec struct {
 // Step is one timeline entry; Kind selects which payload field applies.
 type Step struct {
 	Line int
-	Kind string // advance|commit|burst|flush|query|crash|restore|hang|drop_announcements|reannotate|resync|note|assert
+	Kind string // advance|commit|burst|flush|query|crash|restore|hang|drop_announcements|reannotate|resync|note|assert|subscribe|drain|unsubscribe
 
 	Advance    clock.Time
 	Commit     *CommitStep
@@ -89,6 +89,37 @@ type Step struct {
 	Reannotate []AnnSpec
 	Note       string
 	Assert     *AssertStep
+	Subscribe  *SubscribeStep
+	Drain      *DrainStep
+	Sub        string // unsubscribe target
+}
+
+// SubscribeStep registers a named push subscription on a fully
+// materialized export. Re-subscribing an existing name closes the old
+// stream but keeps its replica, so `from` can resume where it left off.
+type SubscribeStep struct {
+	Name     string
+	Export   string
+	From     uint64 // resume after this store version (0 = snapshot start)
+	MaxQueue int
+	MaxLag   clock.Time
+}
+
+// DrainStep consumes every queued frame of a subscription, applying each
+// to the subscription's replica, and optionally asserts the drained
+// sequence and the replica's convergence with the store.
+type DrainStep struct {
+	Sub string
+	// Frames, if non-nil, is the exact number of frames expected.
+	Frames *int
+	// Kinds, if non-empty, is the exact kind sequence ("snapshot"/"delta").
+	Kinds []string
+	// MatchStore asserts the replica equals the export's current store
+	// snapshot after the drain.
+	MatchStore bool
+	// MinCoalesced asserts at least this many commits were coalesced into
+	// the drained frames (backpressure actually engaged).
+	MinCoalesced int
 }
 
 // CommitStep applies one source transaction at the current virtual time.

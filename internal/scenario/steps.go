@@ -18,7 +18,8 @@ var statNames = map[string]bool{
 	"queue_high_water": true, "current_version": true, "versions_published": true,
 	"poll_failures": true, "poll_retries": true, "degraded_queries": true,
 	"gaps_detected": true, "resyncs": true, "annotation_switches": true,
-	"update_txn_retries": true,
+	"update_txn_retries": true, "active_subscribers": true, "sub_frames": true,
+	"sub_coalesces": true, "sub_lag_drops": true, "sub_resyncs": true,
 }
 
 func bindTimeline(n *node, spec *Spec) error {
@@ -181,6 +182,24 @@ func bindStep(n *node, spec *Spec) (Step, error) {
 			}
 			st.Reannotate = []AnnSpec{a}
 		}
+	case "subscribe":
+		sub, err := bindSubscribe(body)
+		if err != nil {
+			return st, err
+		}
+		st.Subscribe = sub
+	case "drain":
+		d, err := bindDrain(body)
+		if err != nil {
+			return st, err
+		}
+		st.Drain = d
+	case "unsubscribe":
+		s, err := body.asString()
+		if err != nil {
+			return st, err
+		}
+		st.Sub = s
 	case "note":
 		s, err := body.asString()
 		if err != nil {
@@ -590,6 +609,104 @@ func bindFreeValue(c *node) (relation.Value, error) {
 	return relation.Str(c.scalar), nil
 }
 
+func bindSubscribe(n *node) (*SubscribeStep, error) {
+	b, err := bindMap(n)
+	if err != nil {
+		return nil, err
+	}
+	out := &SubscribeStep{}
+	nn, err := b.need("name")
+	if err != nil {
+		return nil, err
+	}
+	if out.Name, err = nn.asString(); err != nil {
+		return nil, err
+	}
+	if !validName(out.Name) {
+		return nil, errAt(nn.line, "subscription name %q must be lowercase [a-z0-9-]", out.Name)
+	}
+	en, err := b.need("export")
+	if err != nil {
+		return nil, err
+	}
+	if out.Export, err = en.asString(); err != nil {
+		return nil, err
+	}
+	uints := []struct {
+		key string
+		dst func(int64)
+	}{
+		{"from", func(v int64) { out.From = uint64(v) }},
+		{"max_queue", func(v int64) { out.MaxQueue = int(v) }},
+		{"max_lag", func(v int64) { out.MaxLag = clock.Time(v) }},
+	}
+	for _, u := range uints {
+		if v := b.get(u.key); v != nil {
+			i, err := v.asInt()
+			if err != nil {
+				return nil, err
+			}
+			if i < 0 {
+				return nil, errAt(v.line, "%s must be >= 0", u.key)
+			}
+			u.dst(i)
+		}
+	}
+	return out, b.finish("subscribe " + out.Name)
+}
+
+func bindDrain(n *node) (*DrainStep, error) {
+	b, err := bindMap(n)
+	if err != nil {
+		return nil, err
+	}
+	out := &DrainStep{}
+	sn, err := b.need("sub")
+	if err != nil {
+		return nil, err
+	}
+	if out.Sub, err = sn.asString(); err != nil {
+		return nil, err
+	}
+	if fn := b.get("frames"); fn != nil {
+		v, err := fn.asInt()
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, errAt(fn.line, "frames must be >= 0")
+		}
+		f := int(v)
+		out.Frames = &f
+	}
+	if kn := b.get("kinds"); kn != nil {
+		if out.Kinds, err = kn.asStringList(); err != nil {
+			return nil, err
+		}
+		for _, k := range out.Kinds {
+			if k != "snapshot" && k != "delta" {
+				return nil, errAt(kn.line, "frame kind %q must be snapshot or delta", k)
+			}
+		}
+	}
+	if mn := b.get("match_store"); mn != nil {
+		if out.MatchStore, err = mn.asBool(); err != nil {
+			return nil, err
+		}
+	}
+	if cn := b.get("min_coalesced"); cn != nil {
+		v, err := cn.asInt()
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, errAt(cn.line, "min_coalesced must be >= 0")
+		}
+		out.MinCoalesced = int(v)
+	}
+	return out, b.finish("drain " + out.Sub)
+}
+
 func bindAssert(n *node, spec *Spec) (*AssertStep, error) {
 	b, err := bindMap(n)
 	if err != nil {
@@ -772,9 +889,24 @@ func (s *Spec) validate() error {
 	for _, e := range plan.Exports() {
 		exports[e] = true
 	}
+	declaredSubs := map[string]bool{}
 	for i := range s.Steps {
 		st := &s.Steps[i]
 		switch st.Kind {
+		case "subscribe":
+			if !exports[st.Subscribe.Export] {
+				return errAt(st.Line, "subscribe: %q is not an export (have %s)",
+					st.Subscribe.Export, strings.Join(plan.Exports(), ", "))
+			}
+			declaredSubs[st.Subscribe.Name] = true
+		case "drain":
+			if !declaredSubs[st.Drain.Sub] {
+				return errAt(st.Line, "drain: subscription %q not declared by an earlier subscribe step", st.Drain.Sub)
+			}
+		case "unsubscribe":
+			if !declaredSubs[st.Sub] {
+				return errAt(st.Line, "unsubscribe: subscription %q not declared by an earlier subscribe step", st.Sub)
+			}
 		case "query":
 			q := st.Query
 			if !exports[q.Export] {

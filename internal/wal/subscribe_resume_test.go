@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"testing"
+
+	"squirrel/internal/core"
+	"squirrel/internal/relation"
+)
+
+// TestSubscriptionResumeAfterRecovery pins the WAL half of the
+// resume-from-version contract: recovery replays committed transactions
+// through the normal commit path, so the subscription registry's
+// per-export rings are rehydrated before any listener comes up — a
+// subscriber reconnecting with its pre-crash position receives exactly
+// the delta frames it missed, no snapshot. A resume point older than the
+// recovered ring (e.g. after a checkpoint truncated the tail) degrades to
+// a snapshot instead of silently skipping versions.
+func TestSubscriptionResumeAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e := newWalEnv(t)
+	med1 := e.startFresh(t)
+	mgr1 := openManager(t, dir, nil)
+	if err := mgr1.Start(med1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A subscriber tracks the export up to the pre-crash version.
+	sub, err := med1.Subscribe("T", core.SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replica *relation.Relation
+	f, rerr := sub.Recv()
+	if rerr != nil || f.Kind != core.SubSnapshot {
+		t.Fatalf("first frame: %+v %v", f, rerr)
+	}
+	replica = f.Snapshot.Clone()
+	for i := 0; i < 3; i++ {
+		e.commit(t, med1)
+		f, err := sub.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Delta.ApplyTo(replica, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumeAt := sub.Delivered()
+	sub.Close()
+
+	// More commits the subscriber never hears about, then a power cut.
+	for i := 0; i < 4; i++ {
+		e.commit(t, med1)
+	}
+	wantVersion := med1.StoreVersion()
+	mgr1.Kill()
+
+	// Recover: replay runs the commit path, so the rings cover everything
+	// since the checkpoint — including the subscriber's missed window.
+	med2 := e.newMediator(t)
+	mgr2 := openManager(t, dir, nil)
+	info, err := mgr2.Recover(med2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != wantVersion || info.Replayed != 7 {
+		t.Fatalf("recovery info %+v, want version=%d replayed=7", info, wantVersion)
+	}
+	sub2, err := med2.Subscribe("T", core.SubscribeOptions{FromVersion: resumeAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := resumeAt
+	for i := 0; i < 4; i++ {
+		f, ok, err := sub2.TryRecv()
+		if err != nil || !ok {
+			t.Fatalf("resume frame %d: ok=%v err=%v", i, ok, err)
+		}
+		if f.Kind != core.SubDelta || f.First != prev+1 {
+			t.Fatalf("resume frame %d: kind=%v first=%d (prev %d)", i, f.Kind, f.First, prev)
+		}
+		prev = f.Version
+		if err := f.Delta.ApplyTo(replica, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prev != wantVersion {
+		t.Fatalf("resumed to v%d, want v%d", prev, wantVersion)
+	}
+	if want := med2.StoreSnapshot("T"); !replica.Equal(want) {
+		t.Fatalf("resumed replica differs:\n%s\nwant\n%s", replica, want)
+	}
+	sub2.Close()
+
+	// A clean shutdown checkpoints at the tip: the next recovery replays
+	// nothing, the rings are empty, and the same resume point now falls
+	// back to a snapshot of the recovered state.
+	if err := mgr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	med3 := e.newMediator(t)
+	mgr3 := openManager(t, dir, nil)
+	if info, err = mgr3.Recover(med3); err != nil || info.Replayed != 0 {
+		t.Fatalf("post-Close recovery: %+v %v", info, err)
+	}
+	defer mgr3.Close()
+	sub3, err := med3.Subscribe("T", core.SubscribeOptions{FromVersion: resumeAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub3.Close()
+	f, ok, err := sub3.TryRecv()
+	if err != nil || !ok || f.Kind != core.SubSnapshot || f.Version != wantVersion {
+		t.Fatalf("off-ring resume: kind=%v v=%d ok=%v err=%v", f.Kind, f.Version, ok, err)
+	}
+	if st := med3.Stats(); st.SubSnapshotResyncs == 0 {
+		t.Fatal("snapshot fallback not counted as a resync")
+	}
+	if !f.Snapshot.Equal(med3.StoreSnapshot("T")) {
+		t.Fatal("fallback snapshot differs from recovered store")
+	}
+}

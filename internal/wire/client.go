@@ -62,6 +62,16 @@ type Client struct {
 	handler func(source.Announcement)
 	closed  bool
 	readErr error
+	// ready gates roundTrip: it is false from the moment a connection is
+	// lost until the replacement is fully adopted — redialed, hello'd,
+	// AND OnReconnect has returned. Without the gate, a request could
+	// race the redial and return an answer reflecting commits whose
+	// announcements were lost in the outage BEFORE OnReconnect
+	// (typically Mediator.QuarantineSource) has marked the stream
+	// untrusted — violating the announcement-before-answer FIFO contract
+	// the Eager Compensation Algorithm needs. Requests issued while not
+	// ready fail fast, exactly like requests issued while disconnected.
+	ready bool
 }
 
 // Dial connects to a source server and waits for its hello.
@@ -86,6 +96,11 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
+	// The initial dial has no reconnect window to order against: the
+	// connection is ready as soon as the hello resolves.
+	c.mu.Lock()
+	c.ready = true
+	c.mu.Unlock()
 	return c, nil
 }
 
@@ -203,6 +218,11 @@ func (c *Client) readLoop(conn net.Conn, hello chan<- string, done chan struct{}
 	}
 	closed := c.closed
 	stale := c.conn != conn // a newer connection already took over
+	if !stale {
+		// Gate requests until the reconnect protocol (redial + hello +
+		// OnReconnect) has fully adopted a replacement connection.
+		c.ready = false
+	}
 	c.mu.Unlock()
 	if closed || stale {
 		return
@@ -227,9 +247,17 @@ func (c *Client) reconnectLoop() {
 			return
 		}
 		if err := c.connect(); err == nil {
+			// OnReconnect must complete BEFORE requests may flow again:
+			// it is the hook that accounts for announcements lost in the
+			// outage (quarantine + resync), and an answer returned ahead
+			// of it could reflect commits the mediator has not yet
+			// learned to distrust.
 			if c.opts.OnReconnect != nil {
 				c.opts.OnReconnect()
 			}
+			c.mu.Lock()
+			c.ready = true
+			c.mu.Unlock()
 			return
 		}
 		time.Sleep(backoff)
@@ -250,6 +278,10 @@ func (c *Client) roundTrip(m Message) (Message, error) {
 	if c.closed {
 		c.mu.Unlock()
 		return Message{}, fmt.Errorf("wire: client closed")
+	}
+	if !c.ready {
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("wire: not connected (reconnect in progress)")
 	}
 	c.nextID++
 	id := c.nextID

@@ -12,6 +12,7 @@ import (
 
 	"squirrel/internal/algebra"
 	"squirrel/internal/clock"
+	"squirrel/internal/core"
 	"squirrel/internal/delta"
 	"squirrel/internal/metrics"
 	"squirrel/internal/relation"
@@ -582,6 +583,79 @@ type Message struct {
 	// type "answer" to "readvise": the advisor round's decision — observed
 	// profile, proposed/applied flips, and justifications.
 	Advice *AdvicePayload `json:"advice,omitempty"`
+	// type "subscribe"/"unsubscribe": the view export to stream (must be a
+	// fully materialized export of the mediator's current plan).
+	Export string `json:"export,omitempty"`
+	// type "subscribe": resume after this committed store version (0 = start
+	// with a snapshot of the current version). MaxQueue/MaxLag mirror
+	// core.SubscribeOptions (0 = server defaults / unbounded lag).
+	FromVersion uint64     `json:"fromversion,omitempty"`
+	MaxQueue    int        `json:"maxqueue,omitempty"`
+	MaxLag      clock.Time `json:"maxlag,omitempty"`
+	// type "frame": one subscription stream element. FrameKind is
+	// "snapshot" (Snapshot holds the export's relation at version Version)
+	// or "delta" (FrameDelta covers versions (First-1, Version]); Version,
+	// Time, and Reflect carry the committed version's sequence number,
+	// commit stamp, and Reflect vector; Coalesced counts extra commits
+	// folded in under backpressure.
+	FrameKind  string        `json:"framekind,omitempty"`
+	First      uint64        `json:"first,omitempty"`
+	Reflect    clock.Vector  `json:"reflect,omitempty"`
+	Snapshot   *Relation     `json:"snapshot,omitempty"`
+	FrameDelta *RelDeltaCols `json:"framedelta,omitempty"`
+	Coalesced  int           `json:"coalesced,omitempty"`
+}
+
+// EncodeSubFrame converts a core subscription frame to its wire form
+// (snapshot relations and deltas travel columnar).
+func EncodeSubFrame(f core.SubFrame) Message {
+	m := Message{
+		Type: "frame", Export: f.Export, FrameKind: f.Kind.String(),
+		First: f.First, Version: f.Version,
+		Time: f.Stamp, Reflect: f.Reflect, Coalesced: f.Coalesced,
+	}
+	if f.Snapshot != nil {
+		snap := EncodeRelationColumnar(f.Snapshot)
+		m.Snapshot = &snap
+	}
+	if f.Delta != nil {
+		d := EncodeRelDeltaColumnar(f.Delta)
+		m.FrameDelta = &d
+	}
+	return m
+}
+
+// DecodeSubFrame converts a wire "frame" message back to a core frame.
+func DecodeSubFrame(m Message) (core.SubFrame, error) {
+	f := core.SubFrame{
+		Export: m.Export, First: m.First, Version: m.Version,
+		Stamp: m.Time, Reflect: m.Reflect, Coalesced: m.Coalesced,
+	}
+	switch m.FrameKind {
+	case "snapshot":
+		f.Kind = core.SubSnapshot
+		if m.Snapshot == nil {
+			return core.SubFrame{}, fmt.Errorf("wire: snapshot frame without relation")
+		}
+		rel, err := m.Snapshot.Decode()
+		if err != nil {
+			return core.SubFrame{}, err
+		}
+		f.Snapshot = rel
+	case "delta":
+		f.Kind = core.SubDelta
+		if m.FrameDelta == nil {
+			return core.SubFrame{}, fmt.Errorf("wire: delta frame without delta")
+		}
+		d, err := m.FrameDelta.Decode()
+		if err != nil {
+			return core.SubFrame{}, err
+		}
+		f.Delta = d
+	default:
+		return core.SubFrame{}, fmt.Errorf("wire: unknown frame kind %q", m.FrameKind)
+	}
+	return f, nil
 }
 
 // encode marshals a message plus newline.

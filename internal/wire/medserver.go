@@ -34,13 +34,14 @@ type MediatorServer struct {
 	mu     sync.Mutex
 	adapt  *core.AdaptController
 	ln     net.Listener
+	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
 
 // NewMediatorServer wraps a mediator.
 func NewMediatorServer(med *core.Mediator) *MediatorServer {
-	return &MediatorServer{med: med}
+	return &MediatorServer{med: med, conns: make(map[net.Conn]struct{})}
 }
 
 // SetAdaptController attaches an adaptive-annotation controller so
@@ -95,17 +96,46 @@ func (s *MediatorServer) acceptLoop(ln net.Listener) {
 func (s *MediatorServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// Subscription pump goroutines share the connection's writer with the
+	// request/reply loop, so sends are serialized behind wmu. Replies and
+	// frames may interleave, but each message is written atomically.
 	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex
 	send := func(m Message) bool {
 		b, err := encode(m)
 		if err != nil {
 			return false
 		}
+		wmu.Lock()
+		defer wmu.Unlock()
 		if _, err := w.Write(b); err != nil {
 			return false
 		}
 		return w.Flush() == nil
 	}
+	// subs tracks this connection's live subscriptions by export (touched
+	// only by this goroutine); their pump goroutines exit when the
+	// subscription closes or the connection dies.
+	subs := make(map[string]*core.Subscription)
+	var pumps sync.WaitGroup
+	defer func() {
+		for _, sub := range subs {
+			sub.Close()
+		}
+		pumps.Wait()
+	}()
 	if !send(Message{Type: "hello", Name: "mediator"}) {
 		return
 	}
@@ -185,6 +215,50 @@ func (s *MediatorServer) serveConn(conn net.Conn) {
 			if !send(Message{Type: "answer", ID: m.ID, Advice: dec}) {
 				return
 			}
+		case "subscribe":
+			sub, err := s.med.Subscribe(m.Export, core.SubscribeOptions{
+				FromVersion: m.FromVersion, MaxQueue: m.MaxQueue, MaxLag: m.MaxLag})
+			if err != nil {
+				if !send(Message{Type: "error", ID: m.ID, Error: err.Error()}) {
+					return
+				}
+				continue
+			}
+			if old := subs[m.Export]; old != nil {
+				old.Close()
+			}
+			subs[m.Export] = sub
+			if !send(Message{Type: "answer", ID: m.ID, Export: m.Export,
+				Version: s.med.StoreVersion()}) {
+				return
+			}
+			pumps.Add(1)
+			go func(export string, sub *core.Subscription) {
+				defer pumps.Done()
+				for {
+					f, err := sub.Recv()
+					if err != nil {
+						if err != core.ErrSubscriptionClosed {
+							// A registry-side failure (barrier on a plan that
+							// dropped the export): surface it on the stream.
+							send(Message{Type: "error", Export: export, Error: err.Error()})
+						}
+						return
+					}
+					if !send(EncodeSubFrame(f)) {
+						sub.Close()
+						return
+					}
+				}
+			}(m.Export, sub)
+		case "unsubscribe":
+			if sub := subs[m.Export]; sub != nil {
+				sub.Close()
+				delete(subs, m.Export)
+			}
+			if !send(Message{Type: "answer", ID: m.ID, Export: m.Export}) {
+				return
+			}
 		case "sync":
 			// Drain the update queue on request (a remote Flush).
 			var flushed int
@@ -214,15 +288,23 @@ func (s *MediatorServer) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, drops every connection (ending their
+// subscription streams), and waits for in-flight handlers.
 func (s *MediatorServer) Close() error {
 	s.mu.Lock()
 	ln := s.ln
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return err

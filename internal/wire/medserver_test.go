@@ -53,7 +53,15 @@ func startMediator(t *testing.T) (*source.DB, *core.Mediator, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.Close() })
+	srvMu.Lock()
+	srvByAddr[addr] = srv
+	srvMu.Unlock()
+	t.Cleanup(func() {
+		srv.Close()
+		srvMu.Lock()
+		delete(srvByAddr, addr)
+		srvMu.Unlock()
+	})
 	return db, med, addr
 }
 

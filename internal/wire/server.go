@@ -25,6 +25,11 @@ type SourceServer struct {
 	wg     sync.WaitGroup
 	// Logf, if set, receives protocol errors (default: log.Printf).
 	Logf func(format string, args ...any)
+	// OutboxCap bounds each connection's outgoing message queue (0 =
+	// default 1024). Set before Serve/Start. A connection whose reader
+	// stalls long enough to fill its outbox is dropped — the announcement
+	// feed never blocks on one slow consumer.
+	OutboxCap int
 }
 
 type srvConn struct {
@@ -71,16 +76,29 @@ func (s *SourceServer) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 	// One subscription on the database fans out to all live connections.
+	// The callback runs inside the source's commit, so it must never
+	// block: the connection set is snapshotted under mu (released before
+	// any send), and each send is non-blocking — a connection whose
+	// bounded outbox is full has a stalled reader and is dropped, rather
+	// than stalling the feed to every other connection (and the committer
+	// behind it).
 	s.db.Subscribe(func(a source.Announcement) {
 		msg := Message{Type: "announce", Source: a.Source, Time: a.Time,
 			Seq: a.Seq, FirstSeq: a.FirstSeq}
 		d := EncodeDelta(a.Delta)
 		msg.Delta = &d
 		s.mu.Lock()
+		live := make([]*srvConn, 0, len(s.conns))
 		for c := range s.conns {
-			c.send(msg)
+			live = append(live, c)
 		}
 		s.mu.Unlock()
+		for _, c := range live {
+			if !c.trySend(msg) {
+				s.logf("wire: dropping %v: announcement outbox full (stalled reader)", c.conn.RemoteAddr())
+				s.drop(c)
+			}
+		}
 	})
 	for {
 		conn, err := ln.Accept()
@@ -93,7 +111,11 @@ func (s *SourceServer) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		c := &srvConn{conn: conn, out: make(chan Message, 1024), done: make(chan struct{})}
+		outCap := s.OutboxCap
+		if outCap <= 0 {
+			outCap = 1024
+		}
+		c := &srvConn{conn: conn, out: make(chan Message, outCap), done: make(chan struct{})}
 		s.mu.Lock()
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
@@ -107,6 +129,20 @@ func (c *srvConn) send(m Message) {
 	select {
 	case c.out <- m:
 	case <-c.done:
+	}
+}
+
+// trySend is the non-blocking send the announcement fan-out uses. It
+// reports false only when the outbox is full (a stalled reader); a
+// closed connection swallows the message and reports true.
+func (c *srvConn) trySend(m Message) bool {
+	select {
+	case c.out <- m:
+		return true
+	case <-c.done:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+)
+
+// SubOptions tunes a SubClient.
+type SubOptions struct {
+	// FromVersion resumes delivery after the given committed store version
+	// (0 = start with a snapshot). On auto-reconnect the client always
+	// resumes from its own last delivered version, so the stream stays
+	// gap-free across outages without re-transferring state it already has
+	// (unless the server's resume ring no longer covers it, in which case
+	// the server falls back to a snapshot frame).
+	FromVersion uint64
+	// MaxQueue and MaxLag are forwarded to core.SubscribeOptions on the
+	// server (0 = server defaults / unbounded lag).
+	MaxQueue int
+	MaxLag   clock.Time
+	// Reconnect enables automatic redial + resubscribe when the connection
+	// drops. Without it, Next returns the transport error.
+	Reconnect bool
+	// RetryBase/RetryMax bound the reconnect backoff (defaults 50ms / 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+// SubClient consumes one export's subscription stream from a
+// MediatorServer over its own connection. Next is single-consumer; Close
+// may be called from any goroutine.
+type SubClient struct {
+	addr   string
+	export string
+	opts   SubOptions
+
+	mu        sync.Mutex
+	conn      net.Conn
+	scanner   *bufio.Scanner
+	delivered uint64
+	resumes   int
+	closed    bool
+}
+
+// SubscribeView connects to a mediator server and registers for export's
+// delta stream. The first frame Next returns is a snapshot (or, with
+// FromVersion set and the server's ring covering it, the deltas since).
+func SubscribeView(addr, export string, opts SubOptions) (*SubClient, error) {
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 2 * time.Second
+	}
+	c := &SubClient{addr: addr, export: export, opts: opts}
+	if err := c.connect(opts.FromVersion); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials, consumes the hello, and performs the subscribe handshake
+// resuming after version from.
+func (c *SubClient) connect(from uint64) error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	read := func() (Message, error) {
+		if !scanner.Scan() {
+			if err := scanner.Err(); err != nil {
+				return Message{}, err
+			}
+			return Message{}, fmt.Errorf("wire: connection closed")
+		}
+		var m Message
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			return Message{}, err
+		}
+		return m, nil
+	}
+	if m, err := read(); err != nil || m.Type != "hello" {
+		conn.Close()
+		return fmt.Errorf("wire: mediator handshake failed: %v", err)
+	}
+	req := Message{Type: "subscribe", ID: 1, Export: c.export,
+		FromVersion: from, MaxQueue: c.opts.MaxQueue, MaxLag: c.opts.MaxLag}
+	b, err := encode(req)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	w := bufio.NewWriter(conn)
+	if _, err := w.Write(b); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	reply, err := read()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if reply.Type == "error" {
+		conn.Close()
+		return fmt.Errorf("wire: subscribe rejected: %s", reply.Error)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("wire: subscription client closed")
+	}
+	c.conn = conn
+	c.scanner = scanner
+	c.mu.Unlock()
+	return nil
+}
+
+// reconnect redials with exponential backoff and resubscribes after the
+// last delivered version, so an outage costs at most one coalesced delta
+// frame (or a snapshot, if the server's ring moved on).
+func (c *SubClient) reconnect() error {
+	delay := c.opts.RetryBase
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		from := c.delivered
+		c.mu.Unlock()
+		if closed {
+			return fmt.Errorf("wire: subscription client closed")
+		}
+		if err := c.connect(from); err == nil {
+			c.mu.Lock()
+			c.resumes++
+			c.mu.Unlock()
+			return nil
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > c.opts.RetryMax {
+			delay = c.opts.RetryMax
+		}
+	}
+}
+
+// Next blocks for the next frame. Frames arrive in version order; the
+// caller applies delta frames to its copy of the export (or replaces it
+// on a snapshot frame) to track the mediator's published state.
+func (c *SubClient) Next() (core.SubFrame, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return core.SubFrame{}, fmt.Errorf("wire: subscription client closed")
+		}
+		scanner := c.scanner
+		c.mu.Unlock()
+		if !scanner.Scan() {
+			err := scanner.Err()
+			if err == nil {
+				err = fmt.Errorf("wire: connection closed")
+			}
+			if !c.opts.Reconnect {
+				return core.SubFrame{}, err
+			}
+			if rerr := c.reconnect(); rerr != nil {
+				return core.SubFrame{}, rerr
+			}
+			continue
+		}
+		var m Message
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			return core.SubFrame{}, err
+		}
+		switch m.Type {
+		case "frame":
+			f, err := DecodeSubFrame(m)
+			if err != nil {
+				return core.SubFrame{}, err
+			}
+			c.mu.Lock()
+			c.delivered = f.Version
+			c.mu.Unlock()
+			return f, nil
+		case "error":
+			return core.SubFrame{}, fmt.Errorf("wire: subscription error: %s", m.Error)
+		default:
+			// Stray replies (e.g. the unsubscribe ack) are not frames.
+			continue
+		}
+	}
+}
+
+// Delivered returns the last delivered version (the implicit resume point).
+func (c *SubClient) Delivered() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered
+}
+
+// Resumes returns how many times the client reconnected and resubscribed.
+func (c *SubClient) Resumes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumes
+}
+
+// Close tears the stream down; a blocked Next returns with an error.
+func (c *SubClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
