@@ -18,6 +18,7 @@ import (
 	"squirrel/internal/clock"
 	"squirrel/internal/core"
 	"squirrel/internal/delta"
+	"squirrel/internal/experiments"
 	"squirrel/internal/relation"
 	"squirrel/internal/sim"
 	"squirrel/internal/vdp"
@@ -964,6 +965,27 @@ func BenchmarkE21SubscriptionFanout(b *testing.B) {
 			b.StopTimer()
 			for _, s := range subs {
 				s.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkE22FederationFanIn (E22) measures two-hop propagation through
+// the 1×2×4 federation tree (DESIGN.md §11): per iteration, `batch`
+// round-robin leaf commits are absorbed by the two tier mediators and
+// lifted into the top mediator through the export-as-source hop.
+func BenchmarkE22FederationFanIn(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			f, err := experiments.NewFederationBench(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Step(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -1,7 +1,7 @@
 // Command squirrel is the CLI for the Squirrel data-integration
 // reproduction (Hull & Zhou, SIGMOD 1996):
 //
-//	squirrel bench [-e E1,...]   regenerate the experiment tables (E1–E18)
+//	squirrel bench [-e E1,...]   regenerate the experiment tables (E1–E22)
 //	squirrel demo                run the paper's running example end to end
 //	squirrel figure2             print the Figure 2 scenario and verdicts
 //	squirrel serve-source        serve a demo source database over TCP
@@ -88,6 +88,10 @@ commands:
       [-adapt [-adapt-interval D] [-adapt-cooldown D]]
                              online annotation advisor loop: observe the live
                              workload and re-annotate without downtime
+      [-export-as-source ADDR [-export-name NAME]]
+                             serve the fully materialized exports as an
+                             autonomous source, so another mediator can stack
+                             on top with a plain -source (tiered federation)
   query -addr HOST:PORT ...  one-shot snapshot query against a source server
   query-view -addr ... -export V [-attrs a,b] [-where 'a = 1'] [-sync]
       [-stale [-max-staleness N]]

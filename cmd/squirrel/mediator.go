@@ -16,6 +16,7 @@ import (
 	"squirrel/internal/algebra"
 	"squirrel/internal/clock"
 	"squirrel/internal/core"
+	"squirrel/internal/federate"
 	"squirrel/internal/persist"
 	"squirrel/internal/relation"
 	"squirrel/internal/resilience"
@@ -74,6 +75,12 @@ func cmdServeMediator(args []string) error {
 			"drain in one coalesced transaction (0 = periodic -flush loop)")
 	gcMax := fs.Int("group-commit-max", 0,
 		"close a group-commit batch early once this many announcements are queued (0 = window only)")
+	exportAddr := fs.String("export-as-source", "",
+		"serve this mediator's fully materialized exports as an autonomous source on this "+
+			"address, so an upstream mediator can consume them with a plain -source "+
+			"(DESIGN.md §11; empty = disabled)")
+	exportName := fs.String("export-name", "med",
+		"source name announced to upstream consumers when -export-as-source is set")
 	metricsAddr := fs.String("metrics-addr", "",
 		"observability HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = disabled)")
 	adapt := fs.Bool("adapt", false,
@@ -285,6 +292,24 @@ func cmdServeMediator(args []string) error {
 		for name := range conns {
 			med.QuarantineSource(name, "recovered from WAL; commits during downtime unseen")
 		}
+	}
+
+	// The export face installs before the update loop starts, so its
+	// announcement stream is seq-dense from this mediator's first commit:
+	// an upstream consumer never sees a silent baseline jump.
+	if *exportAddr != "" {
+		x, err := federate.New(med, *exportName)
+		if err != nil {
+			return fmt.Errorf("-export-as-source: %w", err)
+		}
+		expSrv := wire.NewBackendServer(x)
+		ebound, err := expSrv.Start(*exportAddr)
+		if err != nil {
+			return err
+		}
+		defer expSrv.Close()
+		fmt.Printf("exports served as source %q on %s: %s\n",
+			*exportName, ebound, strings.Join(x.Relations(), " "))
 	}
 
 	var rt *core.Runtime

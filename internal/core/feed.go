@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/store"
+)
+
+// This file is the mediator side of tiered federation (DESIGN.md §11):
+// the commit feed that lets an adapter re-announce this mediator's
+// committed versions as an autonomous source (internal/federate), and the
+// Reflect-vector composition that translates an upstream answer's
+// validity vector from tier coordinates (per downstream mediator) into
+// base-source coordinates, so Theorem 7.1 consistency statements survive
+// a hop.
+
+// CommitFeed observes the mediator's publishes synchronously from inside
+// the commit path. FeedCommit is called once per committed update
+// transaction, in version order, with the published version and the
+// kernel's captured per-node deltas (store-schema projected; exports
+// absent from the map had an empty delta this transaction). FeedBarrier
+// is called for every publish NOT produced by a delta on the previous
+// version (a source resync or a re-annotation): the feed's consumers must
+// treat their derived state as unusable and resynchronize from a
+// snapshot.
+//
+// Concurrency: both methods run with the mediator's update mutex held, so
+// they are mutually serialized and ordered exactly like the publishes
+// they describe. Implementations must not call back into the mediator's
+// transaction API (RunUpdateTransaction, ResyncSource, Reannotate) and
+// must return quickly — the commit blocks until the feed returns.
+type CommitFeed interface {
+	FeedCommit(v *store.Version, deltas map[string]*delta.RelDelta)
+	FeedBarrier(reason string, v *store.Version)
+}
+
+// SetCommitFeed installs the commit feed (nil to remove). At most one
+// feed is supported; installing a second replaces the first. Safe to call
+// concurrently with transactions: the swap happens under the update
+// mutex, so a feed sees either all of a commit or none of it.
+func (m *Mediator) SetCommitFeed(f CommitFeed) {
+	m.mu.Lock()
+	m.feed = f
+	m.mu.Unlock()
+}
+
+// feedCommitLocked forwards a published update transaction to the commit
+// feed. Requires mu.
+func (m *Mediator) feedCommitLocked(v *store.Version, deltas map[string]*delta.RelDelta) {
+	if m.feed != nil {
+		m.feed.FeedCommit(v, deltas)
+	}
+}
+
+// feedBarrierLocked forwards a barrier publish to the commit feed.
+// Requires mu.
+func (m *Mediator) feedBarrierLocked(reason string, v *store.Version) {
+	if m.feed != nil {
+		m.feed.FeedBarrier(reason, v)
+	}
+}
+
+// TieredConn is an optional SourceConn extension implemented by
+// connections to federated mediators (a downstream tier serving its
+// exports through the source protocol). QueryMultiBase is QueryMulti
+// plus the answering tier's ref′ vector at the answer's serialization
+// instant, expressed in base-source coordinates — nil when the peer is a
+// plain source. The mediator uses it to keep the per-source translation
+// ring exact for polled states, not only announced ones.
+type TieredConn interface {
+	QueryMultiBase(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, clock.Vector, error)
+}
+
+// refMapEntry is one point of a tier's time-to-base-coordinates mapping:
+// at tier time t, the tier's published state reflected base vector base.
+type refMapEntry struct {
+	t    clock.Time
+	base clock.Vector
+}
+
+// refRingCap bounds the per-source translation ring. Entries are evicted
+// oldest-first; a query pinned to a state older than every retained entry
+// keeps its tier coordinate untranslated (see composeBaseReflect).
+const refRingCap = 1024
+
+// noteBaseReflectLocked records that src's state at tier time t reflects
+// the given base vector. Entries arrive in (mostly) increasing t —
+// announcements in commit order, poll instants monotone — so the ring is
+// kept sorted with an append fast path. Requires qmu.
+func (m *Mediator) noteBaseReflectLocked(src string, t clock.Time, base clock.Vector) {
+	if base == nil {
+		return
+	}
+	if m.refRing == nil {
+		m.refRing = make(map[string][]refMapEntry)
+	}
+	ring := m.refRing[src]
+	n := len(ring)
+	if n == 0 || ring[n-1].t < t {
+		ring = append(ring, refMapEntry{t: t, base: base.Clone()})
+	} else {
+		i := sort.Search(n, func(i int) bool { return ring[i].t >= t })
+		if ring[i].t == t {
+			return // already mapped; the first report wins
+		}
+		ring = append(ring, refMapEntry{})
+		copy(ring[i+1:], ring[i:])
+		ring[i] = refMapEntry{t: t, base: base.Clone()}
+	}
+	if len(ring) > refRingCap {
+		ring = append(ring[:0], ring[len(ring)-refRingCap:]...)
+	}
+	m.refRing[src] = ring
+}
+
+// noteBaseReflect is noteBaseReflectLocked taking qmu.
+func (m *Mediator) noteBaseReflect(src string, t clock.Time, base clock.Vector) {
+	m.qmu.Lock()
+	m.noteBaseReflectLocked(src, t, base)
+	m.qmu.Unlock()
+}
+
+// composeBaseReflect translates a query's Reflect vector into base-source
+// coordinates. For each component (src, t): if src has a translation ring
+// (it is a federated tier), the entry with the greatest time ≤ t
+// contributes its base vector — exact, because every tier coordinate a
+// query can report (an announcement time or a poll instant) inserted an
+// entry at exactly that time before the query completed; components
+// without a ring (plain sources) pass through unchanged. Overlapping base
+// components merge by maximum, which is sound because vectors over
+// distinct tiers cover disjoint base sources in a tree. A component older
+// than every retained ring entry (evicted: a very long-pinned query)
+// keeps its tier coordinate, which is still a valid per-source time — in
+// the tier's own clock — just not translated.
+func (m *Mediator) composeBaseReflect(ref clock.Vector) clock.Vector {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	if len(m.refRing) == 0 {
+		return ref.Clone()
+	}
+	out := make(clock.Vector, len(ref))
+	for src, t := range ref {
+		ring := m.refRing[src]
+		i := sort.Search(len(ring), func(i int) bool { return ring[i].t > t })
+		if i == 0 {
+			if cur := out[src]; t > cur {
+				out[src] = t
+			}
+			continue
+		}
+		for b, bt := range ring[i-1].base {
+			if bt > out[b] {
+				out[b] = bt
+			}
+		}
+	}
+	return out
+}

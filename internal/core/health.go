@@ -102,13 +102,19 @@ func (m *Mediator) pollSource(src string, specs []source.QuerySpec, allowQuarant
 		}
 		m.obs.observeBreaker(src, before, h.breaker.State().String(), h.breaker.Trips())
 		start := time.Now()
-		answers, asOf, err := m.callSource(conn, specs)
+		answers, asOf, base, err := m.callSource(conn, specs)
 		m.obs.observePollAttempt(src, start, err)
 		if err == nil {
 			before = h.breaker.State().String()
 			h.breaker.Success()
 			m.obs.observeBreaker(src, before, h.breaker.State().String(), h.breaker.Trips())
 			m.noteContact(src, asOf)
+			if base != nil {
+				// A federated tier's answer carries its ref′ in base
+				// coordinates: extend the translation ring so the poll
+				// instant this query will report maps exactly (feed.go).
+				m.noteBaseReflect(src, asOf, base)
+			}
 			return answers, asOf, nil
 		}
 		lastErr = err
@@ -125,29 +131,39 @@ func (m *Mediator) pollSource(src string, specs []source.QuerySpec, allowQuarant
 }
 
 // callSource performs one attempt, bounded by the configured per-attempt
-// deadline.
-func (m *Mediator) callSource(conn SourceConn, specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+// deadline. Connections to federated tiers (TieredConn) additionally
+// return the answer's ref′ in base-source coordinates; plain sources
+// return a nil vector.
+func (m *Mediator) callSource(conn SourceConn, specs []source.QuerySpec) ([]*relation.Relation, clock.Time, clock.Vector, error) {
+	call := func() ([]*relation.Relation, clock.Time, clock.Vector, error) {
+		if tc, ok := conn.(TieredConn); ok {
+			return tc.QueryMultiBase(specs)
+		}
+		a, t, err := conn.QueryMulti(specs)
+		return a, t, nil, err
+	}
 	to := m.resil.PollTimeout
 	if to <= 0 {
-		return conn.QueryMulti(specs)
+		return call()
 	}
 	type reply struct {
 		answers []*relation.Relation
 		asOf    clock.Time
+		base    clock.Vector
 		err     error
 	}
 	ch := make(chan reply, 1)
 	go func() {
-		a, t, err := conn.QueryMulti(specs)
-		ch <- reply{a, t, err}
+		a, t, base, err := call()
+		ch <- reply{a, t, base, err}
 	}()
 	timer := time.NewTimer(to)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		return r.answers, r.asOf, r.err
+		return r.answers, r.asOf, r.base, r.err
 	case <-timer.C:
-		return nil, 0, fmt.Errorf("core: poll timed out after %s", to)
+		return nil, 0, nil, fmt.Errorf("core: poll timed out after %s", to)
 	}
 }
 

@@ -326,6 +326,14 @@ type Mediator struct {
 	// the source announcing sets the flag before its backfill poll, so
 	// no commit between the poll and the epoch swap can be lost.
 	capture map[string]bool
+	// refRing holds, per federated tier source, the time-to-base-
+	// coordinates translation ring (feed.go). Under qmu.
+	refRing map[string][]refMapEntry
+
+	// feed, when non-nil, observes every publish from inside the commit
+	// path (feed.go) — the export-as-source adapter hangs off it. Under
+	// mu, like the publishes it orders with.
+	feed CommitFeed
 
 	// Per-source fault boundary (health.go). resil and health are fixed
 	// at construction; sleep is the retry-backoff pause, replaceable in
@@ -810,6 +818,24 @@ func (m *Mediator) OnAnnouncement(a source.Announcement) {
 	}
 	if a.Time > m.lastContact[a.Source] {
 		m.lastContact[a.Source] = a.Time
+	}
+	// A federated tier's announcement carries its ref′ in base-source
+	// coordinates: record the translation point even when the
+	// announcement itself is penned or dropped below — the mapping
+	// describes the tier's published state at that time regardless.
+	if a.Reflect != nil {
+		m.noteBaseReflectLocked(a.Source, a.Time, a.Reflect)
+	}
+	// A barrier announcement says the tier published a state NOT derived
+	// from its previous announcement by a delta (a resync or a
+	// re-annotation downstream): the delta stream cannot be trusted
+	// across it, exactly like a detected gap, so quarantine and let the
+	// next flush snapshot-resync the tier. The barrier consumed a
+	// sequence number downstream, so even a receiver that misses this
+	// message detects the hole when the next commit announces.
+	if a.Barrier != "" {
+		m.quarantineLocked(a.Source, "downstream barrier: "+a.Barrier)
+		return
 	}
 	if m.quarantined[a.Source] != "" {
 		m.penAppendLocked(a)

@@ -83,6 +83,12 @@ type QueryResult struct {
 	// absent from Staleness were reached normally.
 	Degraded  bool
 	Staleness clock.Vector
+	// BaseReflect is Reflect with every federated-tier component
+	// translated into base-source coordinates (DESIGN.md §11): the same
+	// validity statement an equivalent flat mediator over the base
+	// sources would stamp. Equal to Reflect (cloned) when no source is a
+	// federated tier.
+	BaseReflect clock.Vector
 }
 
 // Query answers π_attrs σ_cond (export) with default options. attrs nil
@@ -170,6 +176,9 @@ func (m *Mediator) QueryOpts(export string, attrs []string, cond algebra.Expr, o
 	res0, err := m.queryOpts(export, attrs, cond, opts, start)
 	if err != nil {
 		m.obs.queryErrors.Inc()
+	}
+	if res0 != nil && err == nil {
+		res0.BaseReflect = m.composeBaseReflect(res0.Reflect)
 	}
 	return res0, err
 }

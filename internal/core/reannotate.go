@@ -302,6 +302,7 @@ func (m *Mediator) reannotateOnce(old *planEpoch, newV *vdp.VDP, newContribs map
 	// rings and drop every subscriber to snapshot-resync (or fail it, if
 	// its export lost full materialization).
 	m.subs.barrier("reannotate")
+	m.feedBarrierLocked("reannotate", m.vstore.Current())
 	return false, nil
 }
 

@@ -251,6 +251,7 @@ func (m *Mediator) ResyncSource(src string) error {
 	// The rebuilt state was never expressed as deltas either: subscribers
 	// cannot apply their way across it, so force them to snapshot-resync.
 	m.subs.barrier("resync:" + src)
+	m.feedBarrierLocked("resync:"+src, m.vstore.Current())
 	m.stats.resyncs.Add(1)
 	m.obs.reg.Emit(metrics.Event{Type: metrics.EventResync, Subject: src, Dur: time.Since(start)})
 	seq := uint64(0)

@@ -202,6 +202,10 @@ func (m *Mediator) runUpdateOnce(attempt int) (ran, retry bool, err error) {
 	// but never blocking: a slow subscriber coalesces, it cannot stall
 	// the commit.
 	m.subs.publish(published, captured)
+	// And to the commit feed (feed.go): the export-as-source adapter
+	// re-announces this commit as the tier's own, keyed by the version's
+	// sequence number, before the next publish can happen.
+	m.feedCommitLocked(published, captured)
 
 	m.stats.updateTxns.Add(1)
 	m.stats.atomsPropagated.Add(int64(combined.Card()))

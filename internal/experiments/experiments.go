@@ -293,6 +293,7 @@ var Registry = map[string]func(w io.Writer) error{
 	"E13": E13JoinStrategyAblation,
 	"E14": E14AdvisorEvaluation,
 	"E18": E18AdaptiveSkewSweep,
+	"E22": E22FederationTree,
 }
 
 // IDs returns the experiment identifiers in order.

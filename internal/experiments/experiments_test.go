@@ -34,7 +34,7 @@ func TestIDsOrdered(t *testing.T) {
 	if len(ids) != len(Registry) {
 		t.Fatalf("IDs() incomplete: %v", ids)
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E18" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E22" {
 		t.Errorf("ordering: %v", ids)
 	}
 }

@@ -1,0 +1,220 @@
+// Package federate adapts a mediator's fully materialized exports into
+// the autonomous-source contract of §4, so an upstream mediator can list
+// a downstream mediator in its VDP like any wrapper and mediators compose
+// into trees (the paper's Figure 4 read literally; DESIGN.md §11).
+//
+// The Exporter is an export-as-source adapter: it observes the
+// downstream mediator's commit feed (core.CommitFeed) and re-announces
+// every committed update transaction as one source announcement whose
+// sequence number IS the published store version's sequence number.
+// Update-transaction commits publish consecutive versions, so the
+// announced stream is dense and the consuming mediator's standard gap
+// detection applies unchanged. A barrier publish (a source resync or a
+// re-annotation downstream) consumes a sequence number without a
+// trustworthy delta; the Exporter announces it with Announcement.Barrier
+// set, which quarantines the stream upstream and forces a snapshot
+// resync — and even a consumer that misses the barrier message detects
+// the sequence hole at the next commit.
+//
+// Every announcement and every query answer carries the downstream
+// version's ref′ vector in base-source coordinates
+// (Announcement.Reflect / QueryMultiBase), which is what lets the
+// upstream mediator express its own answers' validity vectors in base
+// coordinates (core.QueryResult.BaseReflect) and Theorem 7.1/7.2
+// statements survive the hop.
+package federate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
+	"squirrel/internal/source"
+	"squirrel/internal/store"
+)
+
+// Exporter serves a mediator's fully materialized exports as one
+// autonomous source: each export is a relation, announcements follow
+// commits, and snapshot queries answer from the last announced version.
+//
+// Concurrency: all methods are safe for concurrent use. One mutex
+// serializes announcement emission (driven by the downstream commit
+// path) against query answers, preserving the §6.3 message-ordering
+// contract — an answer reflecting version v is produced after v's
+// announcement. Handlers registered with Subscribe run synchronously
+// inside the downstream mediator's commit, so they must enqueue and
+// return, and must not call back into the downstream mediator.
+type Exporter struct {
+	med     *core.Mediator
+	name    string
+	exports []string
+	schemas map[string]*relation.Schema
+
+	mu       sync.Mutex
+	handlers []source.Handler
+	cur      *store.Version // last version fed (announced or barriered)
+}
+
+// New builds an export-as-source adapter named name over med's fully
+// materialized exports and installs it as med's commit feed. Hybrid and
+// virtual exports are not served: only a fully materialized export's
+// delta stream reconstructs the export exactly (the same eligibility
+// rule the subscription registry applies). Errors if no export
+// qualifies.
+//
+// Call New after the downstream mediator is constructed; it may be
+// before or after Initialize. Re-annotating an exported relation away
+// from full materialization afterwards breaks upstream consumers — the
+// barrier quarantines them, and their resync polls fail until the
+// annotation is restored (see the DESIGN.md §11 failure matrix).
+func New(med *core.Mediator, name string) (*Exporter, error) {
+	if name == "" {
+		return nil, fmt.Errorf("federate: exporter needs a non-empty source name")
+	}
+	plan := med.VDP()
+	x := &Exporter{med: med, name: name, schemas: map[string]*relation.Schema{}}
+	for _, e := range plan.Exports() {
+		n := plan.Node(e)
+		if !n.FullyMaterialized() {
+			continue
+		}
+		x.exports = append(x.exports, e)
+		x.schemas[e] = n.Schema
+	}
+	sort.Strings(x.exports)
+	if len(x.exports) == 0 {
+		return nil, fmt.Errorf("federate: mediator has no fully materialized export to serve")
+	}
+	med.SetCommitFeed(x)
+	return x, nil
+}
+
+// Name returns the adapter's source name (what upstream VDPs bind as the
+// source of its relations).
+func (x *Exporter) Name() string { return x.name }
+
+// Relations lists the served export relations, sorted.
+func (x *Exporter) Relations() []string {
+	out := make([]string, len(x.exports))
+	copy(out, x.exports)
+	return out
+}
+
+// Schema returns an export's full relation schema.
+func (x *Exporter) Schema(rel string) (*relation.Schema, error) {
+	s, ok := x.schemas[rel]
+	if !ok {
+		return nil, fmt.Errorf("federate: %s serves no relation %q", x.name, rel)
+	}
+	return s, nil
+}
+
+// Subscribe registers a handler for future announcements. Handlers run
+// synchronously inside the downstream mediator's commit, in commit
+// order; they must be fast and must not call back into the mediator.
+func (x *Exporter) Subscribe(h source.Handler) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.handlers = append(x.handlers, h)
+}
+
+// Apply rejects writes: a federated tier is read-only from above —
+// updates enter the tree at the base sources.
+func (x *Exporter) Apply(*delta.Delta) (clock.Time, error) {
+	return 0, fmt.Errorf("federate: %s is a mediator export face; it accepts no writes", x.name)
+}
+
+// QueryMulti answers several snapshot reads atomically from the last fed
+// version (§6.3's single-transaction packaging). The returned time is
+// the version's commit stamp on the downstream mediator's clock: the
+// answers are exactly the tier's published state at that instant.
+func (x *Exporter) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	out, asOf, _, err := x.QueryMultiBase(specs)
+	return out, asOf, err
+}
+
+// QueryMultiBase is QueryMulti plus the answered version's ref′ vector
+// in base-source coordinates (core.TieredConn). Safe for concurrent use;
+// serialized with announcement emission so an answer reflecting a
+// version is always produced after that version's announcement.
+func (x *Exporter) QueryMultiBase(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, clock.Vector, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	v := x.cur
+	if v == nil {
+		// No commit fed yet: serve the downstream mediator's current
+		// version (the adapter may be built after the mediator
+		// initialized or restored).
+		v = x.med.CurrentVersion()
+		x.cur = v
+	}
+	if v == nil {
+		return nil, 0, nil, fmt.Errorf("federate: %s: downstream mediator not initialized", x.name)
+	}
+	out := make([]*relation.Relation, len(specs))
+	for i, spec := range specs {
+		if _, ok := x.schemas[spec.Rel]; !ok {
+			return nil, 0, nil, fmt.Errorf("federate: %s serves no relation %q", x.name, spec.Rel)
+		}
+		rel := v.Rel(spec.Rel)
+		if rel == nil {
+			return nil, 0, nil, fmt.Errorf("federate: %s: export %q has no materialized state", x.name, spec.Rel)
+		}
+		ans, err := source.EvalSpec(rel, spec)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		out[i] = ans
+	}
+	return out, v.Stamp(), v.Reflect(), nil
+}
+
+// FeedCommit implements core.CommitFeed: announce one committed update
+// transaction, sequence number = the published version's sequence
+// number. Empty transactions are announced too — sequence density is
+// what makes upstream gap detection sound.
+func (x *Exporter) FeedCommit(v *store.Version, deltas map[string]*delta.RelDelta) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	d := delta.New()
+	for _, e := range x.exports {
+		if rd := deltas[e]; rd != nil && !rd.IsEmpty() {
+			d.Put(rd.Clone())
+		}
+	}
+	x.cur = v
+	x.emitLocked(source.Announcement{
+		Source: x.name, Time: v.Stamp(), Delta: d,
+		Seq: v.Seq(), FirstSeq: v.Seq(), Reflect: v.Reflect(),
+	})
+}
+
+// FeedBarrier implements core.CommitFeed: announce a publish whose state
+// was not produced by a delta (resync, re-annotation). The announcement
+// carries no delta and sets Barrier, quarantining consumers into a
+// snapshot resync; subsequent QueryMulti answers serve the post-barrier
+// state.
+func (x *Exporter) FeedBarrier(reason string, v *store.Version) {
+	if v == nil {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.cur = v
+	x.emitLocked(source.Announcement{
+		Source: x.name, Time: v.Stamp(),
+		Seq: v.Seq(), FirstSeq: v.Seq(), Reflect: v.Reflect(),
+		Barrier: reason,
+	})
+}
+
+// emitLocked fans one announcement out to every handler. Requires mu.
+func (x *Exporter) emitLocked(a source.Announcement) {
+	for _, h := range x.handlers {
+		h(a)
+	}
+}

@@ -20,9 +20,33 @@ type Spec struct {
 	Horizon clock.Time
 	Delays  DelaySpec
 	Sources []SourceSpec
+	// Mediators, when non-empty, makes the scenario a two-level
+	// federation (DESIGN.md §11): each entry is a middle-tier mediator
+	// over the leaf sources, served upward as an autonomous source, and
+	// the top-level Views read the tiers' exports instead of leaf
+	// relations.
+	Mediators []MediatorSpec
+	Views     []ViewSpec
+	Annotat   []AnnSpec
+	Steps     []Step
+}
+
+// MediatorSpec declares one middle-tier mediator: the leaf sources it
+// consumes, its views (all fully materialized — the export-as-source
+// adapter serves nothing else), and the delay triple of its link to the
+// top mediator.
+type MediatorSpec struct {
+	Line    int
+	Name    string
+	Sources []string
 	Views   []ViewSpec
-	Annotat []AnnSpec
-	Steps   []Step
+	Link    LinkSpec
+}
+
+// LinkSpec is one federation hop's delay triple, mirroring a source's
+// {ann, comm, q_proc} (all in virtual ticks).
+type LinkSpec struct {
+	Ann, Comm, QProc clock.Time
 }
 
 // SourceSpec declares one autonomous source database.
@@ -283,6 +307,11 @@ func ParseSpec(data []byte) (*Spec, error) {
 	}
 	if err := bindSources(srcs, spec); err != nil {
 		return nil, err
+	}
+	if mn := b.get("mediators"); mn != nil {
+		if err := bindMediators(mn, spec); err != nil {
+			return nil, err
+		}
 	}
 	views, err := b.need("views")
 	if err != nil {
@@ -578,6 +607,133 @@ func bindValue(c *node, attr AttrSpec) (relation.Value, error) {
 	default:
 		return relation.Str(c.scalar), nil
 	}
+}
+
+func bindMediators(n *node, spec *Spec) error {
+	list, err := n.asList()
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, item := range list {
+		b, err := bindMap(item)
+		if err != nil {
+			return err
+		}
+		m := MediatorSpec{Line: item.line}
+		nn, err := b.need("name")
+		if err != nil {
+			return err
+		}
+		if m.Name, err = nn.asString(); err != nil {
+			return err
+		}
+		if !validName(m.Name) {
+			return errAt(nn.line, "mediator name %q must be lowercase [a-z0-9-]", m.Name)
+		}
+		if seen[m.Name] {
+			return errAt(nn.line, "duplicate mediator %q", m.Name)
+		}
+		if spec.hasSource(m.Name) {
+			return errAt(nn.line, "mediator %q collides with a source name", m.Name)
+		}
+		seen[m.Name] = true
+		sn, err := b.need("sources")
+		if err != nil {
+			return err
+		}
+		if m.Sources, err = sn.asStringList(); err != nil {
+			return err
+		}
+		if len(m.Sources) == 0 {
+			return errAt(sn.line, "mediator %q consumes no sources", m.Name)
+		}
+		srcSeen := map[string]bool{}
+		for _, src := range m.Sources {
+			if !spec.hasSource(src) {
+				return errAt(sn.line, "mediator %q: unknown source %q", m.Name, src)
+			}
+			if srcSeen[src] {
+				return errAt(sn.line, "mediator %q: duplicate source %q", m.Name, src)
+			}
+			srcSeen[src] = true
+		}
+		vn, err := b.need("views")
+		if err != nil {
+			return err
+		}
+		vlist, err := vn.asList()
+		if err != nil {
+			return err
+		}
+		for _, vitem := range vlist {
+			vb, err := bindMap(vitem)
+			if err != nil {
+				return err
+			}
+			v := ViewSpec{Line: vitem.line}
+			vnn, err := vb.need("name")
+			if err != nil {
+				return err
+			}
+			if v.Name, err = vnn.asString(); err != nil {
+				return err
+			}
+			vsn, err := vb.need("sql")
+			if err != nil {
+				return err
+			}
+			if v.SQL, err = vsn.asString(); err != nil {
+				return err
+			}
+			if err := vb.finish("view " + v.Name); err != nil {
+				return err
+			}
+			m.Views = append(m.Views, v)
+		}
+		if len(m.Views) == 0 {
+			return errAt(vn.line, "mediator %q declares no views", m.Name)
+		}
+		if ln := b.get("link"); ln != nil {
+			lb, err := bindMap(ln)
+			if err != nil {
+				return err
+			}
+			g := func(key string, dst *clock.Time) error {
+				if v := lb.get(key); v != nil {
+					i, err := v.asInt()
+					if err != nil {
+						return err
+					}
+					if i < 0 {
+						return errAt(v.line, "%s must be >= 0", key)
+					}
+					*dst = clock.Time(i)
+				}
+				return nil
+			}
+			if err := g("ann", &m.Link.Ann); err != nil {
+				return err
+			}
+			if err := g("comm", &m.Link.Comm); err != nil {
+				return err
+			}
+			if err := g("q_proc", &m.Link.QProc); err != nil {
+				return err
+			}
+			if err := lb.finish("link for mediator " + m.Name); err != nil {
+				return err
+			}
+		}
+		if err := b.finish("mediator " + m.Name); err != nil {
+			return err
+		}
+		spec.Mediators = append(spec.Mediators, m)
+	}
+	if len(spec.Mediators) == 0 {
+		return errAt(n.line, "mediators list is empty (omit the key for a flat scenario)")
+	}
+	return nil
 }
 
 func bindViews(n *node, spec *Spec) error {

@@ -96,7 +96,7 @@ func bindStep(n *node, spec *Spec) (Step, error) {
 		if err != nil {
 			return st, err
 		}
-		if !spec.hasSource(src) {
+		if !spec.hasFaultTarget(src) {
 			return st, errAt(body.line, "%s: unknown source %q", kind, src)
 		}
 		st.Source = src
@@ -113,7 +113,7 @@ func bindStep(n *node, spec *Spec) (Step, error) {
 		if h.Source, err = sn.asString(); err != nil {
 			return st, err
 		}
-		if !spec.hasSource(h.Source) {
+		if !spec.hasFaultTarget(h.Source) {
 			return st, errAt(sn.line, "hang: unknown source %q", h.Source)
 		}
 		tn, err := b.need("ticks")
@@ -145,7 +145,7 @@ func bindStep(n *node, spec *Spec) (Step, error) {
 		if d.Source, err = sn.asString(); err != nil {
 			return st, err
 		}
-		if !spec.hasSource(d.Source) {
+		if !spec.hasFaultTarget(d.Source) {
 			return st, errAt(sn.line, "drop_announcements: unknown source %q", d.Source)
 		}
 		cn, err := b.need("count")
@@ -225,6 +225,25 @@ func (s *Spec) hasSource(name string) bool {
 		}
 	}
 	return false
+}
+
+// Tiered reports whether the scenario declares a federation (mediators
+// between the leaf sources and the top-level views).
+func (s *Spec) Tiered() bool { return len(s.Mediators) > 0 }
+
+func (s *Spec) hasMediator(name string) bool {
+	for _, m := range s.Mediators {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFaultTarget accepts anything crash/restore/hang/drop steps may
+// name: a leaf source or (in a tiered scenario) a mediator tier.
+func (s *Spec) hasFaultTarget(name string) bool {
+	return s.hasSource(name) || s.hasMediator(name)
 }
 
 // relSpec resolves (source, relation) to the declared relation spec.
@@ -746,7 +765,7 @@ func bindAssert(n *node, spec *Spec) (*AssertStep, error) {
 			return nil, err
 		}
 		for _, src := range list {
-			if !spec.hasSource(src) {
+			if !spec.hasFaultTarget(src) {
 				return nil, errAt(qn.line, "quarantined: unknown source %q", src)
 			}
 		}
@@ -857,7 +876,7 @@ func bindAssert(n *node, spec *Spec) (*AssertStep, error) {
 		}
 		out.DroppedAnns = map[string]int{}
 		for _, src := range db.n.keys {
-			if !spec.hasSource(src) {
+			if !spec.hasFaultTarget(src) {
 				return nil, errAt(dn.line, "dropped_announcements: unknown source %q", src)
 			}
 			v, err := db.get(src).asInt()
@@ -879,11 +898,28 @@ func sortStrings(s []string) {
 }
 
 // validate builds the VDP (proving sources/views/annotations coherent)
-// and checks every timeline reference against it.
+// and checks every timeline reference against it. For a tiered scenario
+// every plan layer must build: each tier's plan over its leaf sources,
+// the top plan over the tiers' exports, and the composed flat plan the
+// correctness checkers evaluate.
 func (s *Spec) validate() error {
-	plan, err := s.BuildPlan()
-	if err != nil {
-		return err
+	var plan *vdp.VDP
+	if s.Tiered() {
+		tiers, err := s.BuildTierPlans()
+		if err != nil {
+			return err
+		}
+		if plan, err = s.BuildTopPlan(tiers); err != nil {
+			return err
+		}
+		if _, err := s.BuildFlatPlan(); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if plan, err = s.BuildPlan(); err != nil {
+			return err
+		}
 	}
 	exports := map[string]bool{}
 	for _, e := range plan.Exports() {
@@ -958,13 +994,9 @@ func (s *Spec) BuildPlan() (*vdp.VDP, error) {
 	b := vdp.NewBuilder()
 	for _, src := range s.Sources {
 		for _, rs := range src.Relations {
-			attrs := make([]relation.Attribute, len(rs.Attrs))
-			for i, a := range rs.Attrs {
-				attrs[i] = relation.Attribute{Name: a.Name, Type: a.Kind}
-			}
-			schema, err := relation.NewSchema(rs.Name, attrs, rs.Key...)
+			schema, err := relSchema(rs)
 			if err != nil {
-				return nil, errAt(rs.Line, "relation %s: %v", rs.Name, err)
+				return nil, err
 			}
 			if err := b.AddSource(src.Name, schema); err != nil {
 				return nil, errAt(rs.Line, "source %s: %v", src.Name, err)
@@ -989,6 +1021,125 @@ func (s *Spec) BuildPlan() (*vdp.VDP, error) {
 		}
 	}
 	return plan, nil
+}
+
+// BuildTierPlans constructs one plan per declared mediator, each over
+// its listed leaf sources' relations only.
+func (s *Spec) BuildTierPlans() (map[string]*vdp.VDP, error) {
+	out := map[string]*vdp.VDP{}
+	for _, m := range s.Mediators {
+		b := vdp.NewBuilder()
+		for _, srcName := range m.Sources {
+			for i := range s.Sources {
+				if s.Sources[i].Name != srcName {
+					continue
+				}
+				for _, rs := range s.Sources[i].Relations {
+					schema, err := relSchema(rs)
+					if err != nil {
+						return nil, err
+					}
+					if err := b.AddSource(srcName, schema); err != nil {
+						return nil, errAt(m.Line, "mediator %s: source %s: %v", m.Name, srcName, err)
+					}
+				}
+			}
+		}
+		for _, v := range m.Views {
+			if err := b.AddViewSQL(v.Name, v.SQL); err != nil {
+				return nil, errAt(v.Line, "mediator %s: view %s: %v", m.Name, v.Name, err)
+			}
+		}
+		plan, err := b.Build()
+		if err != nil {
+			return nil, errAt(m.Line, "mediator %s plan: %v", m.Name, err)
+		}
+		out[m.Name] = plan
+	}
+	return out, nil
+}
+
+// BuildTopPlan constructs the top mediator's plan: each tier's exports
+// bound as source relations under the tier's name, the spec's views
+// over them, and the spec's annotations applied.
+func (s *Spec) BuildTopPlan(tiers map[string]*vdp.VDP) (*vdp.VDP, error) {
+	b := vdp.NewBuilder()
+	for _, m := range s.Mediators {
+		tp := tiers[m.Name]
+		for _, e := range tp.Exports() {
+			if err := b.AddSource(m.Name, tp.Node(e).Schema); err != nil {
+				return nil, errAt(m.Line, "mediator %s export %s: %v", m.Name, e, err)
+			}
+		}
+	}
+	for _, v := range s.Views {
+		if err := b.AddViewSQL(v.Name, v.SQL); err != nil {
+			return nil, errAt(v.Line, "view %s: %v", v.Name, err)
+		}
+	}
+	for _, a := range s.Annotat {
+		b.Annotate(a.Node, vdp.Ann(a.Materialized, a.Virtual))
+	}
+	plan, err := b.Build()
+	if err != nil {
+		return nil, errAt(1, "top plan: %v", err)
+	}
+	for _, a := range s.Annotat {
+		if err := checkAnnSpec(plan, a, a.Line); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// BuildFlatPlan composes the federation into one single-mediator plan
+// over the leaf sources — every tier view, then every top view, as
+// views of one VDP. The correctness checkers evaluate this plan at
+// base-coordinate Reflect vectors: it defines what the federation's
+// answers must equal (DESIGN.md §11's composition argument).
+func (s *Spec) BuildFlatPlan() (*vdp.VDP, error) {
+	b := vdp.NewBuilder()
+	for _, src := range s.Sources {
+		for _, rs := range src.Relations {
+			schema, err := relSchema(rs)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.AddSource(src.Name, schema); err != nil {
+				return nil, errAt(rs.Line, "source %s: %v", src.Name, err)
+			}
+		}
+	}
+	for _, m := range s.Mediators {
+		for _, v := range m.Views {
+			if err := b.AddViewSQL(v.Name, v.SQL); err != nil {
+				return nil, errAt(v.Line, "mediator %s: view %s: %v", m.Name, v.Name, err)
+			}
+		}
+	}
+	for _, v := range s.Views {
+		if err := b.AddViewSQL(v.Name, v.SQL); err != nil {
+			return nil, errAt(v.Line, "view %s: %v", v.Name, err)
+		}
+	}
+	plan, err := b.Build()
+	if err != nil {
+		return nil, errAt(1, "flat plan: %v", err)
+	}
+	return plan, nil
+}
+
+// relSchema builds the relation schema one RelSpec declares.
+func relSchema(rs RelSpec) (*relation.Schema, error) {
+	attrs := make([]relation.Attribute, len(rs.Attrs))
+	for i, a := range rs.Attrs {
+		attrs[i] = relation.Attribute{Name: a.Name, Type: a.Kind}
+	}
+	schema, err := relation.NewSchema(rs.Name, attrs, rs.Key...)
+	if err != nil {
+		return nil, errAt(rs.Line, "relation %s: %v", rs.Name, err)
+	}
+	return schema, nil
 }
 
 // SeedRelations materializes the declared seed rows per source.

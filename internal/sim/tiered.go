@@ -1,0 +1,369 @@
+package sim
+
+import (
+	"fmt"
+
+	"squirrel/internal/checker"
+	"squirrel/internal/clock"
+	"squirrel/internal/core"
+	"squirrel/internal/delta"
+	"squirrel/internal/federate"
+	"squirrel/internal/relation"
+	"squirrel/internal/resilience"
+	"squirrel/internal/source"
+	"squirrel/internal/trace"
+	"squirrel/internal/vdp"
+)
+
+// This file is the simulated form of DESIGN.md §11: a two-level mediator
+// tree on ONE virtual clock. Leaf sources announce to middle-tier
+// mediators exactly as in the flat Harness; each middle tier is wrapped
+// in a federate.Exporter and consumed by the top mediator through a
+// link with its own delay vocabulary, so the composed Theorem 7.2 bound
+// (resilience.ComposeFreshness) is checkable against the run.
+
+// LinkDelays is the delay vocabulary of one federation hop — the top
+// mediator's view of a middle tier, mirroring a source's {ann, comm,
+// q_proc} triple: announcement lag from tier commit to publication,
+// one-way communication, and the exporter's answer processing time.
+type LinkDelays struct {
+	Ann, Comm, QProc clock.Time
+}
+
+// TierSpec declares one middle-tier mediator: its name (the source name
+// the top mediator binds), its plan over leaf sources, and the link
+// delays of its hop to the top.
+type TierSpec struct {
+	Name string
+	Plan *vdp.VDP
+	Link LinkDelays
+}
+
+// Tier is one constructed middle tier.
+type Tier struct {
+	Name string
+	Plan *vdp.VDP
+	Link LinkDelays
+	Med  *core.Mediator
+	Exp  *federate.Exporter
+}
+
+// TieredHarness wires leaf source databases, middle-tier mediators with
+// export-as-source adapters, and a top mediator on a shared simulator.
+// Faults are addressed by name and cover both layers: a leaf source
+// name fails leaf polls and drops leaf announcements; a tier name fails
+// the top's polls of that tier and drops the tier's announcements (the
+// link is down — the tier itself keeps materializing, like a crashed
+// leaf's database keeps committing).
+type TieredHarness struct {
+	Sim   *Sim
+	DBs   map[string]*source.DB
+	Tiers []*Tier
+	Top   *core.Mediator
+	// Rec is the base-coordinate trace: the driver records the top
+	// mediator's queries with their BaseReflect vectors, so the §3/§7
+	// checkers run against leaf commit logs (Environment).
+	Rec   *trace.Recorder
+	Plan  *vdp.VDP // the top mediator's plan (tier coordinates)
+	Delay Delays   // leaf-side delays, shared by every tier
+
+	// OnTxnError, if non-nil, receives periodic update-loop errors
+	// instead of panicking.
+	OnTxnError func(error)
+
+	busy   bool
+	faults map[string]*SourceFault
+}
+
+// Fault returns the mutable fault state for a leaf source or tier name
+// (created on demand).
+func (h *TieredHarness) Fault(name string) *SourceFault {
+	f, ok := h.faults[name]
+	if !ok {
+		f = &SourceFault{}
+		h.faults[name] = f
+	}
+	return f
+}
+
+// leafTierConn is delayedConn's tiered twin: the path between one
+// middle-tier mediator and one leaf source, with the shared per-source
+// delays and fault state.
+type leafTierConn struct {
+	h    *TieredHarness
+	tier *Tier
+	db   *source.DB
+	src  string
+}
+
+func (c leafTierConn) Name() string { return c.src }
+
+func (c leafTierConn) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	d := c.h.Delay
+	c.h.Sim.AdvanceBy(d.Comm[c.src]) // request travels
+	if f := c.h.faults[c.src]; f != nil {
+		if f.HangTicks > 0 {
+			c.h.Sim.AdvanceBy(f.HangTicks)
+			return nil, 0, fmt.Errorf("sim: source %s hung (gave up after %d ticks)", c.src, f.HangTicks)
+		}
+		if f.Down {
+			return nil, 0, fmt.Errorf("sim: source %s is down", c.src)
+		}
+	}
+	var answers []*relation.Relation
+	var asOf clock.Time
+	var err error
+	if c.tier.Med != nil && c.tier.Med.Contributor(c.src) != core.VirtualContributor {
+		cutoff := c.db.LastCommitAtOrBefore(c.h.Sim.Time() - d.Ann[c.src])
+		answers, asOf, err = c.db.QueryMultiAt(specs, cutoff)
+	} else {
+		answers, asOf, err = c.db.QueryMulti(specs)
+	}
+	c.h.Sim.AdvanceBy(d.QProcSource[c.src] + d.Comm[c.src]) // processing + answer travels
+	return answers, asOf, err
+}
+
+// tierConn is the top mediator's path to one middle tier: link delays
+// plus the tier's fault state, answering from the federate.Exporter.
+// It implements core.TieredConn so the top mediator's answers carry
+// base-source coordinates.
+type tierConn struct {
+	h    *TieredHarness
+	tier *Tier
+}
+
+func (c tierConn) Name() string { return c.tier.Name }
+
+func (c tierConn) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	out, asOf, _, err := c.QueryMultiBase(specs)
+	return out, asOf, err
+}
+
+func (c tierConn) QueryMultiBase(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, clock.Vector, error) {
+	d := c.tier.Link
+	c.h.Sim.AdvanceBy(d.Comm) // request travels
+	if f := c.h.faults[c.tier.Name]; f != nil {
+		if f.HangTicks > 0 {
+			c.h.Sim.AdvanceBy(f.HangTicks)
+			return nil, 0, nil, fmt.Errorf("sim: tier %s hung (gave up after %d ticks)", c.tier.Name, f.HangTicks)
+		}
+		if f.Down {
+			return nil, 0, nil, fmt.Errorf("sim: tier %s is down", c.tier.Name)
+		}
+	}
+	answers, asOf, base, err := c.tier.Exp.QueryMultiBase(specs)
+	c.h.Sim.AdvanceBy(d.QProc + d.Comm) // processing + answer travels
+	return answers, asOf, base, err
+}
+
+// NewTieredHarness builds the simulated federation: one source DB per
+// leaf source (shared between tiers that read it) loaded with the given
+// initial relations, one mediator plus export-as-source adapter per
+// TierSpec, and a top mediator with plan top whose sources are the tier
+// names. Announcements flow leaf→tier with the per-source delays and
+// tier→top with each tier's link delays; a periodic update loop with
+// period UHold drains every tier and then the top.
+func NewTieredHarness(tiers []TierSpec, top *vdp.VDP, initial map[string]map[string]*relation.Relation, d Delays) (*TieredHarness, error) {
+	s := New()
+	h := &TieredHarness{Sim: s, DBs: map[string]*source.DB{}, Rec: trace.NewRecorder(),
+		Plan: top, Delay: d, faults: map[string]*SourceFault{}}
+
+	// Leaf databases, shared across tiers; each relation loaded once.
+	consumers := map[string][]*Tier{} // leaf source -> tiers reading it
+	for _, ts := range tiers {
+		t := &Tier{Name: ts.Name, Plan: ts.Plan, Link: ts.Link}
+		h.Tiers = append(h.Tiers, t)
+		for _, src := range ts.Plan.Sources() {
+			if _, ok := h.DBs[src]; !ok {
+				db := source.NewDB(src, s)
+				for _, rel := range initialOrEmpty(ts.Plan, src, initial) {
+					if err := db.LoadRelation(rel); err != nil {
+						return nil, err
+					}
+				}
+				h.DBs[src] = db
+			}
+			consumers[src] = append(consumers[src], t)
+		}
+	}
+
+	// Middle-tier mediators over the leaf connections.
+	for _, t := range h.Tiers {
+		conns := map[string]core.SourceConn{}
+		for _, src := range t.Plan.Sources() {
+			conns[src] = leafTierConn{h: h, tier: t, db: h.DBs[src], src: src}
+		}
+		med, err := core.New(core.Config{VDP: t.Plan, Sources: conns, Clock: s})
+		if err != nil {
+			return nil, fmt.Errorf("tier %s: %w", t.Name, err)
+		}
+		t.Med = med
+	}
+
+	// Leaf announcement fan-out: one subscription per leaf checks the
+	// fault once (a dropped announcement is dropped for every consumer)
+	// and delivers to each consuming tier after the source's delay.
+	for src, db := range h.DBs {
+		src, ts := src, consumers[src]
+		db.Subscribe(func(a source.Announcement) {
+			if f := h.faults[src]; f != nil {
+				if f.Down {
+					f.DroppedAnns++
+					return
+				}
+				if f.DropNextAnns > 0 {
+					f.DropNextAnns--
+					f.DroppedAnns++
+					return
+				}
+			}
+			delay := d.Ann[src] + d.Comm[src]
+			for _, t := range ts {
+				med := t.Med
+				s.After(delay, func() { med.OnAnnouncement(a) })
+			}
+		})
+	}
+	for _, t := range h.Tiers {
+		if err := t.Med.Initialize(); err != nil {
+			return nil, fmt.Errorf("tier %s: %w", t.Name, err)
+		}
+		exp, err := federate.New(t.Med, t.Name)
+		if err != nil {
+			return nil, fmt.Errorf("tier %s: %w", t.Name, err)
+		}
+		t.Exp = exp
+	}
+
+	// The top mediator consumes the tiers through their links.
+	conns := map[string]core.SourceConn{}
+	for _, t := range h.Tiers {
+		conns[t.Name] = tierConn{h: h, tier: t}
+	}
+	med, err := core.New(core.Config{VDP: top, Sources: conns, Clock: s})
+	if err != nil {
+		return nil, err
+	}
+	h.Top = med
+	for _, t := range h.Tiers {
+		t := t
+		t.Exp.Subscribe(func(a source.Announcement) {
+			if f := h.faults[t.Name]; f != nil {
+				if f.Down {
+					f.DroppedAnns++
+					return
+				}
+				if f.DropNextAnns > 0 {
+					f.DropNextAnns--
+					f.DroppedAnns++
+					return
+				}
+			}
+			delay := t.Link.Ann + t.Link.Comm
+			s.After(delay, func() { med.OnAnnouncement(a) })
+		})
+	}
+	if err := med.Initialize(); err != nil {
+		return nil, err
+	}
+
+	// Periodic update transactions (the u_hold policy), draining the
+	// tiers bottom-up so a leaf commit can cross both hops in one period.
+	if d.UHold > 0 {
+		s.Every(d.UHold, d.UHold, func() {
+			h.withTransaction(func() {
+				if err := h.FlushAll(); err != nil {
+					if h.OnTxnError != nil {
+						h.OnTxnError(err)
+						return
+					}
+					panic(fmt.Sprintf("sim: update transaction: %v", err))
+				}
+			})
+		})
+	}
+	return h, nil
+}
+
+// FlushAll runs one update transaction on every tier (in declaration
+// order) and then on the top mediator, modeling UProc before each.
+// Callers outside the periodic loop must wrap it in Exclusive.
+func (h *TieredHarness) FlushAll() error {
+	for _, t := range h.Tiers {
+		h.Sim.AdvanceBy(h.Delay.UProc)
+		if _, err := t.Med.RunUpdateTransaction(); err != nil {
+			return fmt.Errorf("tier %s: %w", t.Name, err)
+		}
+	}
+	h.Sim.AdvanceBy(h.Delay.UProc)
+	if _, err := h.Top.RunUpdateTransaction(); err != nil {
+		return fmt.Errorf("top: %w", err)
+	}
+	return nil
+}
+
+// withTransaction serializes mediator transactions exactly like
+// Harness.withTransaction: work landing mid-transaction is deferred a
+// tick at a time.
+func (h *TieredHarness) withTransaction(fn func()) {
+	if h.busy {
+		h.Sim.After(1, func() { h.withTransaction(fn) })
+		return
+	}
+	h.busy = true
+	fn()
+	h.busy = false
+}
+
+// Exclusive runs fn as a serialized transaction at the current virtual
+// time (see Harness.Exclusive).
+func (h *TieredHarness) Exclusive(fn func()) { h.withTransaction(fn) }
+
+// ScheduleCommit schedules a leaf-source transaction at virtual time t
+// (see Harness.ScheduleCommit).
+func (h *TieredHarness) ScheduleCommit(t clock.Time, src string, build func() *delta.Delta) {
+	h.Sim.At(t, func() {
+		d := build()
+		if d == nil || d.IsEmpty() {
+			return
+		}
+		if _, err := h.DBs[src].Apply(d); err != nil {
+			panic(fmt.Sprintf("sim: commit to %s: %v", src, err))
+		}
+	})
+}
+
+// TierNames lists the tiers in declaration order.
+func (h *TieredHarness) TierNames() []string {
+	out := make([]string, len(h.Tiers))
+	for i, t := range h.Tiers {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// ComposedBounds computes the federation's Theorem 7.2 bound in
+// base-source coordinates: the top mediator's bound over its tier
+// sources (each hop's LinkDelays standing in for the source delay
+// triple) composed with every tier's own bound over the leaves
+// (resilience.ComposeFreshness).
+func (h *TieredHarness) ComposedBounds() clock.Vector {
+	top := Delays{
+		Ann: map[string]clock.Time{}, Comm: map[string]clock.Time{}, QProcSource: map[string]clock.Time{},
+		UHold: h.Delay.UHold, UProc: h.Delay.UProc, QProcMed: h.Delay.QProcMed,
+	}
+	lower := map[string]clock.Vector{}
+	for _, t := range h.Tiers {
+		top.Ann[t.Name], top.Comm[t.Name], top.QProcSource[t.Name] = t.Link.Ann, t.Link.Comm, t.Link.QProc
+		lower[t.Name] = h.Delay.Bounds(t.Med, t.Plan.Sources())
+	}
+	return resilience.ComposeFreshness(top.Bounds(h.Top, h.TierNames()), lower)
+}
+
+// Environment exposes the run for the correctness checkers in
+// base-source coordinates: flat is the composed single-mediator plan
+// (tier views and top views over the leaf sources), and Rec must hold
+// the top mediator's queries recorded with their BaseReflect vectors.
+func (h *TieredHarness) Environment(flat *vdp.VDP) checker.Environment {
+	return checker.Environment{VDP: flat, Sources: h.DBs, Trace: h.Rec}
+}

@@ -31,12 +31,21 @@ import (
 // anything larger proves announcements were lost (a gap). Zero means
 // "unknown" — producers that predate sequencing — and disables gap
 // detection for that announcement.
+// Reflect and Barrier exist for federated tiers (a mediator re-announcing
+// its own commits as a source; internal/federate). Reflect, when non-nil,
+// is the announcing tier's ref′ vector at Time in base-source
+// coordinates; plain sources leave it nil. Barrier, when non-empty, marks
+// a publish that was NOT derived from the previous announcement by a
+// delta (a downstream resync or re-annotation): it carries no Delta, and
+// consumers must quarantine the stream and resynchronize from a snapshot.
 type Announcement struct {
 	Source   string
 	Time     clock.Time
 	Delta    *delta.Delta
 	Seq      uint64
 	FirstSeq uint64
+	Reflect  clock.Vector
+	Barrier  string
 }
 
 // Handler receives announcements; called synchronously at commit, in
@@ -298,6 +307,14 @@ func (db *DB) LastCommitAtOrBefore(t clock.Time) clock.Time {
 		out = c.Time
 	}
 	return out
+}
+
+// EvalSpec answers one snapshot read (π_Attrs σ_Cond) against an
+// arbitrary relation, with the same semantics a DB applies to its own
+// state. It never mutates r. Exported for source-protocol backends that
+// are not DBs (the federated-mediator exporter).
+func EvalSpec(r *relation.Relation, spec QuerySpec) (*relation.Relation, error) {
+	return evalSpec(r, spec)
 }
 
 func evalSpec(r *relation.Relation, spec QuerySpec) (*relation.Relation, error) {

@@ -184,16 +184,30 @@ func (c *Client) readLoop(conn net.Conn, hello chan<- string, done chan struct{}
 			c.mu.Lock()
 			h := c.handler
 			c.mu.Unlock()
-			if h != nil && m.Delta != nil {
-				dd, err := m.Delta.Decode()
-				if err == nil {
-					// Synchronous, in receive order: FIFO preserved.
-					h(source.Announcement{
-						Source: m.Source, Time: m.Time, Delta: dd,
-						Seq: m.Seq, FirstSeq: m.FirstSeq,
-					})
-				}
+			if h == nil {
+				break
 			}
+			a := source.Announcement{
+				Source: m.Source, Time: m.Time,
+				Seq: m.Seq, FirstSeq: m.FirstSeq,
+				Reflect: m.Reflect, Barrier: m.Barrier,
+			}
+			if m.Delta != nil {
+				dd, err := m.Delta.Decode()
+				if err != nil {
+					break
+				}
+				a.Delta = dd
+			} else if m.Barrier == "" {
+				// Neither delta nor barrier: malformed, drop it. The
+				// consuming mediator's gap detection catches the hole if
+				// the sender numbered it.
+				break
+			}
+			// Synchronous, in receive order: FIFO preserved. Barrier
+			// announcements (delta-less, from a federated tier) pass
+			// through like any other — OnAnnouncement quarantines on them.
+			h(a)
 		case "answer", "error":
 			c.mu.Lock()
 			ch := c.waiters[m.ID]
@@ -353,26 +367,37 @@ func (c *Client) WaiterCount() int {
 
 // QueryMulti implements core.SourceConn over the wire.
 func (c *Client) QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error) {
+	out, asOf, _, err := c.QueryMultiBase(specs)
+	return out, asOf, err
+}
+
+// QueryMultiBase is QueryMulti plus the answer's validity vector in
+// base-source coordinates, when the remote backend reports one
+// (TieredBackend on the server side — a mediator export face does, a
+// plain source database returns nil). It implements core.TieredConn, so a
+// mediator dialed into a downstream mediator composes Reflect vectors
+// across the hop. Safe for concurrent use, like every request method.
+func (c *Client) QueryMultiBase(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, clock.Vector, error) {
 	req := Message{Type: "query"}
 	for _, s := range specs {
 		req.Specs = append(req.Specs, EncodeSpec(s))
 	}
 	reply, err := c.roundTrip(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if len(reply.Answers) != len(specs) {
-		return nil, 0, fmt.Errorf("wire: got %d answers for %d specs", len(reply.Answers), len(specs))
+		return nil, 0, nil, fmt.Errorf("wire: got %d answers for %d specs", len(reply.Answers), len(specs))
 	}
 	out := make([]*relation.Relation, len(reply.Answers))
 	for i, wr := range reply.Answers {
 		r, err := wr.Decode()
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		out[i] = r
 	}
-	return out, reply.AsOf, nil
+	return out, reply.AsOf, reply.Reflect, nil
 }
 
 // Apply submits a transaction to the remote source (for loaders and

@@ -548,6 +548,12 @@ type Message struct {
 	// number its announcements, which disables detection).
 	Seq      uint64 `json:"seq,omitempty"`
 	FirstSeq uint64 `json:"fseq,omitempty"`
+	// type "announce", from a federated tier: the barrier reason. A
+	// barrier announcement carries no delta — it reports a downstream
+	// publish (resync, re-annotation) whose state no delta stream
+	// reconstructs, and quarantines the consumer into a snapshot resync
+	// (source.Announcement.Barrier semantics).
+	Barrier string `json:"barrier,omitempty"`
 	// type "medquery": degradation policy ("" / "failfast" / "stale") and
 	// the client's maximum tolerable staleness bound (0 = unbounded).
 	Degrade  string     `json:"degrade,omitempty"`
@@ -598,6 +604,13 @@ type Message struct {
 	// Time, and Reflect carry the committed version's sequence number,
 	// commit stamp, and Reflect vector; Coalesced counts extra commits
 	// folded in under backpressure.
+	//
+	// Reflect is shared with two other message types: on "announce" from a
+	// federated tier it is the announced version's ref′ vector in
+	// base-source coordinates, and on an "answer" from a tiered backend it
+	// is the answered version's (both source.Announcement.Reflect /
+	// TieredBackend semantics — what lets the consuming mediator compose
+	// validity vectors across hops, DESIGN.md §11).
 	FrameKind  string        `json:"framekind,omitempty"`
 	First      uint64        `json:"first,omitempty"`
 	Reflect    clock.Vector  `json:"reflect,omitempty"`

@@ -8,15 +8,60 @@ import (
 	"net"
 	"sync"
 
+	"squirrel/internal/clock"
+	"squirrel/internal/delta"
+	"squirrel/internal/relation"
 	"squirrel/internal/source"
 )
 
-// SourceServer exposes one source database over TCP. Each accepted
+// SourceBackend is what SourceServer serves: anything that behaves as an
+// autonomous source — a name, a relation catalog, an announcement feed,
+// atomic multi-relation snapshot reads, and (optionally honored) write
+// submission. *source.DB is the canonical backend; federate.Exporter
+// satisfies it too, which is how a mediator's exports go on the wire as a
+// source for the tier above (DESIGN.md §11).
+//
+// Concurrency: the server calls QueryMulti from per-connection handler
+// goroutines concurrently with the Subscribe feed; implementations must
+// be safe for that, and must invoke announcement handlers in commit
+// order (the §6.3 FIFO contract the server preserves per connection).
+type SourceBackend interface {
+	// Name identifies the source (sent in the hello).
+	Name() string
+	// Relations lists the served relation names.
+	Relations() []string
+	// Schema returns one relation's schema.
+	Schema(rel string) (*relation.Schema, error)
+	// Subscribe registers an announcement handler. Handlers run inside
+	// the backend's commit path and must not block.
+	Subscribe(h source.Handler)
+	// QueryMulti answers several snapshot reads atomically, returning the
+	// answered state's timestamp.
+	QueryMulti(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, error)
+	// Apply submits a write transaction (backends that are read-only from
+	// above, like a mediator export face, return an error).
+	Apply(d *delta.Delta) (clock.Time, error)
+}
+
+// TieredBackend is optionally implemented by backends whose answers carry
+// a base-source-coordinates validity vector alongside the timestamp —
+// federate.Exporter does. The server forwards the vector on answer
+// messages so a consuming mediator can compose Reflect vectors across
+// tiers (core.TieredConn on the client side).
+type TieredBackend interface {
+	QueryMultiBase(specs []source.QuerySpec) ([]*relation.Relation, clock.Time, clock.Vector, error)
+}
+
+// SourceServer exposes one source backend over TCP. Each accepted
 // connection gets the announcement feed plus query service, multiplexed
 // over a single per-connection FIFO so Eager Compensation's ordering
 // assumption holds end to end.
+//
+// Concurrency: Start/Serve may be called once; Close is safe from any
+// goroutine and waits for per-connection handlers to exit. The exported
+// fields (Logf, OutboxCap) must be set before Serve/Start.
 type SourceServer struct {
-	db *source.DB
+	db SourceBackend
 	ln net.Listener
 
 	mu     sync.Mutex
@@ -38,9 +83,16 @@ type srvConn struct {
 	done chan struct{}
 }
 
-// NewSourceServer wraps db; call Serve with a listener.
+// NewSourceServer wraps a source database; call Serve with a listener.
 func NewSourceServer(db *source.DB) *SourceServer {
-	return &SourceServer{db: db, conns: make(map[*srvConn]struct{})}
+	return NewBackendServer(db)
+}
+
+// NewBackendServer wraps any SourceBackend — the constructor to use when
+// serving a mediator's exports (federate.Exporter) as a source for the
+// tier above.
+func NewBackendServer(b SourceBackend) *SourceServer {
+	return &SourceServer{db: b, conns: make(map[*srvConn]struct{})}
 }
 
 // ListenAndServe listens on addr and serves until Close. It returns the
@@ -61,7 +113,11 @@ func (s *SourceServer) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	go s.Serve(ln) //nolint:errcheck // background accept loop
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			s.logf("wire: serve: %v", err)
+		}
+	}()
 	return ln.Addr().String(), nil
 }
 
@@ -84,9 +140,14 @@ func (s *SourceServer) Serve(ln net.Listener) error {
 	// behind it).
 	s.db.Subscribe(func(a source.Announcement) {
 		msg := Message{Type: "announce", Source: a.Source, Time: a.Time,
-			Seq: a.Seq, FirstSeq: a.FirstSeq}
-		d := EncodeDelta(a.Delta)
-		msg.Delta = &d
+			Seq: a.Seq, FirstSeq: a.FirstSeq,
+			Reflect: a.Reflect, Barrier: a.Barrier}
+		if a.Delta != nil {
+			// Barrier announcements carry no delta: the publish they
+			// report was not produced by one.
+			d := EncodeDelta(a.Delta)
+			msg.Delta = &d
+		}
 		s.mu.Lock()
 		live := make([]*srvConn, 0, len(s.conns))
 		for c := range s.conns {
@@ -210,12 +271,20 @@ func (s *SourceServer) readLoop(c *srvConn) {
 			if !ok {
 				continue
 			}
-			answers, asOf, err := s.db.QueryMulti(specs)
+			var answers []*relation.Relation
+			var asOf clock.Time
+			var base clock.Vector
+			var err error
+			if tb, tiered := s.db.(TieredBackend); tiered {
+				answers, asOf, base, err = tb.QueryMultiBase(specs)
+			} else {
+				answers, asOf, err = s.db.QueryMulti(specs)
+			}
 			if err != nil {
 				c.send(Message{Type: "error", ID: m.ID, Error: err.Error()})
 				continue
 			}
-			resp := Message{Type: "answer", ID: m.ID, AsOf: asOf}
+			resp := Message{Type: "answer", ID: m.ID, AsOf: asOf, Reflect: base}
 			for _, a := range answers {
 				resp.Answers = append(resp.Answers, EncodeRelation(a))
 			}

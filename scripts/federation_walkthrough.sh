@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Two-tier federation walkthrough (README "Tiered federation" section),
+# scripted for CI: demo source → tier mediator serving its export as a
+# source → top mediator stacked on it with a plain -source → query at the
+# top, verified against the expected answer through both hops.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${SQUIRREL_BIN:-}"
+if [ -z "$BIN" ]; then
+  BIN="$(mktemp -d)/squirrel"
+  go build -o "$BIN" ./cmd/squirrel
+fi
+
+SRC_PORT="${SRC_PORT:-7170}"
+TIER_PORT="${TIER_PORT:-7180}"
+EXPORT_PORT="${EXPORT_PORT:-7181}"
+TOP_PORT="${TOP_PORT:-7190}"
+
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_port() {
+  local host="${1%:*}" port="${1#*:}"
+  for _ in $(seq 100); do
+    if (exec 3<>"/dev/tcp/$host/$port") 2>/dev/null; then
+      exec 3>&- || true
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "timeout waiting for $1" >&2
+  return 1
+}
+
+echo "== leaf: demo source db1 (R) on :$SRC_PORT"
+"$BIN" serve-source -addr "127.0.0.1:$SRC_PORT" &
+pids+=($!)
+wait_port "127.0.0.1:$SRC_PORT"
+
+echo "== tier: mediator over db1, export VRp served as source 'meda' on :$EXPORT_PORT"
+"$BIN" serve-mediator \
+  -source "127.0.0.1:$SRC_PORT" \
+  -view 'VRp=SELECT r1, r2, r3 FROM R WHERE r4 = 100' \
+  -listen "127.0.0.1:$TIER_PORT" \
+  -export-as-source "127.0.0.1:$EXPORT_PORT" -export-name meda \
+  -flush 200ms &
+pids+=($!)
+wait_port "127.0.0.1:$EXPORT_PORT"
+
+echo "== top: mediator over the tier's export, T on :$TOP_PORT"
+"$BIN" serve-mediator \
+  -source "127.0.0.1:$EXPORT_PORT" \
+  -view 'T=SELECT r1, r3 FROM VRp WHERE r2 = 10' \
+  -listen "127.0.0.1:$TOP_PORT" \
+  -flush 200ms &
+pids+=($!)
+wait_port "127.0.0.1:$TOP_PORT"
+
+echo "== query T at the top (two hops below the data)"
+out="$("$BIN" query-view -addr "127.0.0.1:$TOP_PORT" -export T -sync)"
+echo "$out"
+echo "$out" | grep -q '(1, 5)' || { echo "missing row (1, 5)" >&2; exit 1; }
+echo "$out" | grep -q '(2, 120)' || { echo "missing row (2, 120)" >&2; exit 1; }
+
+echo "== top's stats show the tier consumed as an ordinary source"
+"$BIN" stats -addr "127.0.0.1:$TOP_PORT" | grep 'source meda' \
+  || { echo "top does not list source meda" >&2; exit 1; }
+
+echo "federation walkthrough OK"
